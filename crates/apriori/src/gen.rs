@@ -1,0 +1,187 @@
+//! Candidate generation: join + prune (§2 of the paper).
+//!
+//! `C_k = { A\[1\]A\[2\]…A[k−2]A[k−1]B[k−1] | A,B ∈ L_{k−1},
+//!          A[1:k−2] = B[1:k−2], A[k−1] < B[k−1] }`
+//!
+//! followed by the pruning step: *"Before inserting an itemset into Ck,
+//! Apriori tests whether all its (k−1)-subsets are frequent."*
+//!
+//! The join is organized by **equivalence classes** — itemsets sharing a
+//! `k−2` prefix — which is exactly the §4.1 partitioning Eclat reuses;
+//! `partition_classes` here is the single implementation both crates use.
+
+use mining_types::{FxHashSet, Itemset, OpMeter};
+
+/// Group a lexicographically sorted `L_{k-1}` into equivalence classes by
+/// common `k-2` prefix. Returns ranges into the input slice.
+///
+/// # Panics
+/// Panics if the slice is not sorted or itemsets have mixed sizes.
+pub fn partition_classes(lk1: &[Itemset]) -> Vec<std::ops::Range<usize>> {
+    if lk1.is_empty() {
+        return Vec::new();
+    }
+    let k1 = lk1[0].len();
+    assert!(k1 >= 1);
+    assert!(
+        lk1.windows(2).all(|w| w[0] < w[1] && w[1].len() == k1),
+        "L_(k-1) must be sorted, duplicate-free, and uniform in size"
+    );
+    let prefix = k1 - 1;
+    let mut classes = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=lk1.len() {
+        if i == lk1.len() || !lk1[i].shares_prefix(&lk1[start], prefix) {
+            classes.push(start..i);
+            start = i;
+        }
+    }
+    classes
+}
+
+/// The join step: all pairwise joins within each equivalence class.
+/// Output is sorted. `meter` counts candidates generated.
+pub fn join_step(lk1: &[Itemset], meter: &mut OpMeter) -> Vec<Itemset> {
+    let mut out = Vec::new();
+    for class in partition_classes(lk1) {
+        let members = &lk1[class];
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                // Same prefix and members sorted ⇒ join always succeeds.
+                let joined = members[i]
+                    .join(&members[j])
+                    .expect("class members always join");
+                meter.cand_gen += 1;
+                out.push(joined);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The pruning step: drop candidates with an infrequent `(k-1)`-subset.
+pub fn prune_candidates(candidates: Vec<Itemset>, lk1: &[Itemset], meter: &mut OpMeter) -> Vec<Itemset> {
+    let frequent: FxHashSet<&Itemset> = lk1.iter().collect();
+    candidates
+        .into_iter()
+        .filter(|c| {
+            c.one_smaller_subsets().all(|sub| {
+                meter.hash_probe += 1;
+                frequent.contains(&sub)
+            })
+        })
+        .collect()
+}
+
+/// Join + prune in one call — the complete candidate generation of §2.
+pub fn generate_candidates(lk1: &[Itemset], meter: &mut OpMeter) -> Vec<Itemset> {
+    let joined = join_step(lk1, meter);
+    prune_candidates(joined, lk1, meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(raw: &[u32]) -> Itemset {
+        Itemset::of(raw)
+    }
+
+    fn paper_l2() -> Vec<Itemset> {
+        // §2 / §4.1: L2 = {AB AC AD AE BC BD BE DE}, A..E = 0..4
+        vec![
+            iset(&[0, 1]),
+            iset(&[0, 2]),
+            iset(&[0, 3]),
+            iset(&[0, 4]),
+            iset(&[1, 2]),
+            iset(&[1, 3]),
+            iset(&[1, 4]),
+            iset(&[3, 4]),
+        ]
+    }
+
+    #[test]
+    fn classes_match_paper_example() {
+        // §4.1: S_A = {AB,AC,AD,AE}, S_B = {BC,BD,BE}, S_D = {DE}
+        let l2 = paper_l2();
+        let classes = partition_classes(&l2);
+        assert_eq!(classes, vec![0..4, 4..7, 7..8]);
+    }
+
+    #[test]
+    fn join_matches_paper_c3() {
+        let l2 = paper_l2();
+        let mut m = OpMeter::new();
+        let c3 = join_step(&l2, &mut m);
+        let expect: Vec<Itemset> = [
+            [0u32, 1, 2],
+            [0, 1, 3],
+            [0, 1, 4],
+            [0, 2, 3],
+            [0, 2, 4],
+            [0, 3, 4],
+            [1, 2, 3],
+            [1, 2, 4],
+            [1, 3, 4],
+        ]
+        .iter()
+        .map(|r| iset(r))
+        .collect();
+        assert_eq!(c3, expect);
+        assert_eq!(m.cand_gen, 9);
+    }
+
+    #[test]
+    fn prune_removes_candidates_with_infrequent_subsets() {
+        let l2 = paper_l2();
+        let mut m = OpMeter::new();
+        let c3 = generate_candidates(&l2, &mut m);
+        // From the paper's C3, pruning removes those containing CD, CE or
+        // missing 2-subsets: ACD needs CD∉L2 → pruned; ACE needs CE → pruned;
+        // ADE needs DE ✓, AD ✓, AE ✓ → kept; BCD needs CD → pruned;
+        // BCE needs CE → pruned; BDE needs DE ✓ → kept.
+        let expect: Vec<Itemset> = [
+            [0u32, 1, 2], // ABC: AB,AC,BC ✓
+            [0, 1, 3],    // ABD: AB,AD,BD ✓
+            [0, 1, 4],    // ABE: AB,AE,BE ✓
+            [0, 3, 4],    // ADE
+            [1, 3, 4],    // BDE
+        ]
+        .iter()
+        .map(|r| iset(r))
+        .collect();
+        assert_eq!(c3, expect);
+    }
+
+    #[test]
+    fn singleton_class_generates_nothing() {
+        // §4.1: "Any class with only 1 member can be eliminated".
+        let l2 = vec![iset(&[3, 4])];
+        let mut m = OpMeter::new();
+        assert!(join_step(&l2, &mut m).is_empty());
+    }
+
+    #[test]
+    fn l1_join_generates_all_pairs() {
+        let l1 = vec![iset(&[1]), iset(&[5]), iset(&[9])];
+        let mut m = OpMeter::new();
+        let c2 = generate_candidates(&l1, &mut m);
+        assert_eq!(c2, vec![iset(&[1, 5]), iset(&[1, 9]), iset(&[5, 9])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut m = OpMeter::new();
+        assert!(partition_classes(&[]).is_empty());
+        assert!(generate_candidates(&[], &mut m).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_input_rejected() {
+        let l2 = vec![iset(&[1, 3]), iset(&[0, 2])];
+        partition_classes(&l2);
+    }
+}

@@ -1,0 +1,598 @@
+//! The candidate hash tree of Apriori (§2 of the paper).
+//!
+//! *"The candidates, Ck, are stored in a hash tree to facilitate fast
+//! support counting. An internal node of the hash tree at depth d contains
+//! a hash table whose cells point to nodes at depth d+1. All the itemsets
+//! are stored in the leaves."*
+//!
+//! Counting follows the paper's description exactly: *"for each
+//! transaction in the database, all k-subsets of the transaction are
+//! generated in lexicographical order. Each subset is searched in the
+//! hash tree, and the count of the candidate incremented if it matches
+//! the subset."* The search is an exact descent — hash on successive
+//! subset items, then a linear probe of the leaf — so no candidate can be
+//! double-counted.
+
+use mining_types::{hash::hash_u64, ItemId, Itemset, OpMeter};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Default hash-table width of interior nodes.
+pub const DEFAULT_FANOUT: usize = 512;
+/// Default maximum leaf size before splitting.
+pub const DEFAULT_LEAF_THRESHOLD: usize = 32;
+
+/// A candidate `k`-itemset hash tree with per-candidate counts.
+#[derive(Debug)]
+pub struct HashTree {
+    k: usize,
+    fanout: usize,
+    leaf_threshold: usize,
+    root: Node,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    Interior(Vec<Node>),
+    Leaf(Vec<Entry>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    items: Itemset,
+    /// Atomic so CCPD-style shared-tree counting (the paper's \[16\]) can
+    /// update the shared structure from many threads; single-threaded
+    /// callers pay only a relaxed add.
+    count: AtomicU32,
+}
+
+impl HashTree {
+    /// Empty tree for `k`-itemset candidates with default parameters.
+    pub fn new(k: usize) -> HashTree {
+        Self::with_params(k, DEFAULT_FANOUT, DEFAULT_LEAF_THRESHOLD)
+    }
+
+    /// Empty tree with explicit fanout and leaf threshold.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `fanout < 2`, or `leaf_threshold == 0`.
+    pub fn with_params(k: usize, fanout: usize, leaf_threshold: usize) -> HashTree {
+        assert!(k >= 1, "candidates must have at least one item");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(leaf_threshold >= 1, "leaf threshold must be at least 1");
+        HashTree {
+            k,
+            fanout,
+            leaf_threshold,
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Build a tree from candidates.
+    pub fn from_candidates<I: IntoIterator<Item = Itemset>>(k: usize, cands: I) -> HashTree {
+        let mut t = HashTree::new(k);
+        for c in cands {
+            t.insert(c);
+        }
+        t
+    }
+
+    /// Candidate size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no candidates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a candidate `k`-itemset with count zero.
+    ///
+    /// # Panics
+    /// Panics if the itemset size differs from `k` or it is a duplicate.
+    pub fn insert(&mut self, candidate: Itemset) {
+        assert_eq!(candidate.len(), self.k, "candidate size must be k={}", self.k);
+        let (fanout, threshold, k) = (self.fanout, self.leaf_threshold, self.k);
+        let mut node = &mut self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                Node::Interior(children) => {
+                    let b = (hash_u64(candidate.items()[depth].0 as u64) % fanout as u64) as usize;
+                    node = &mut children[b];
+                    depth += 1;
+                }
+                Node::Leaf(entries) => {
+                    assert!(
+                        !entries.iter().any(|e| e.items == candidate),
+                        "duplicate candidate {candidate}"
+                    );
+                    entries.push(Entry {
+                        items: candidate,
+                        count: AtomicU32::new(0),
+                    });
+                    self.len += 1;
+                    // Split an overfull leaf — unless we've already hashed
+                    // on all k items, in which case the leaf must absorb
+                    // the overflow (classic hash-tree rule).
+                    if entries.len() > threshold && depth < k {
+                        let old = std::mem::take(entries);
+                        let mut children: Vec<Node> =
+                            (0..fanout).map(|_| Node::Leaf(Vec::new())).collect();
+                        for e in old {
+                            let b = (hash_u64(e.items.items()[depth].0 as u64) % fanout as u64)
+                                as usize;
+                            match &mut children[b] {
+                                Node::Leaf(l) => l.push(e),
+                                Node::Interior(_) => unreachable!(),
+                            }
+                        }
+                        *node = Node::Interior(children);
+                        // Note: a child may itself now exceed the
+                        // threshold; it will split on its next insert.
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Exact search: increment the candidate equal to `subset` if present.
+    /// Returns whether a candidate matched. `meter` counts hash probes.
+    /// Takes `&self`: counts are atomic (relaxed), so concurrent counting
+    /// threads sharing one tree are safe — the CCPD model of \[16\].
+    pub fn increment(&self, subset: &[ItemId], meter: &mut OpMeter) -> bool {
+        debug_assert_eq!(subset.len(), self.k);
+        let fanout = self.fanout;
+        let mut node = &self.root;
+        let mut depth = 0usize;
+        loop {
+            meter.hash_probe += 1;
+            match node {
+                Node::Interior(children) => {
+                    let b = (hash_u64(subset[depth].0 as u64) % fanout as u64) as usize;
+                    node = &children[b];
+                    depth += 1;
+                }
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        meter.hash_probe += 1;
+                        if e.items.items() == subset {
+                            e.count.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Count all candidates against one (sorted) transaction by pruned
+    /// hash-tree traversal.
+    ///
+    /// The recursion chooses transaction items left to right, descending
+    /// into the child their hash selects; subtrees that hold no candidate
+    /// prune their *entire family* of subsets at once — the
+    /// *short-circuited subset counting* optimization of CCPD \[16\].
+    /// (The paper's literal description — "all k-subsets … are generated
+    /// in lexicographical order \[and\] searched in the hash tree" — is the
+    /// unpruned equivalent, kept as
+    /// [`HashTree::count_transaction_naive`]; both produce identical
+    /// counts, but the naive form is `O(2^|t|)` on long transactions.)
+    ///
+    /// A leaf candidate is matched by requiring its first `d` items to
+    /// *equal* the chosen path items (not merely hash-collide) and its
+    /// remaining items to be a subset of the transaction suffix; because
+    /// transaction items are unique, each contained candidate is counted
+    /// exactly once.
+    pub fn count_transaction(&self, txn: &[ItemId], meter: &mut OpMeter) {
+        if txn.len() < self.k || self.is_empty() {
+            return;
+        }
+        let (k, fanout) = (self.k, self.fanout);
+        let mut chosen: Vec<ItemId> = Vec::with_capacity(k);
+        descend(&self.root, k, fanout, txn, 0, &mut chosen, meter);
+    }
+
+    /// The paper's literal counting procedure: generate every k-subset of
+    /// the transaction in lexicographic order and search each exactly.
+    /// Used by tests to validate the pruned traversal and by the A-series
+    /// ablations to quantify the pruning win.
+    pub fn count_transaction_naive(&self, txn: &[ItemId], meter: &mut OpMeter) {
+        if txn.len() < self.k || self.is_empty() {
+            return;
+        }
+        let txn_set = Itemset::from_sorted(txn.to_vec());
+        let mut subsets = txn_set.k_subsets(self.k);
+        let mut buf: Vec<ItemId> = Vec::with_capacity(self.k);
+        while subsets.next_into(&mut buf) {
+            meter.subsets_gen += 1;
+            self.increment(&buf, meter);
+        }
+    }
+
+    /// Drain candidates meeting `minsup` into `(itemset, count)` pairs,
+    /// sorted lexicographically — the `L_k` selection step of Figure 1.
+    pub fn frequent(&self, minsup: u32) -> Vec<(Itemset, u32)> {
+        let mut out = Vec::new();
+        collect(&self.root, minsup, &mut out);
+        out.sort();
+        out
+    }
+
+    /// All candidates with their current counts (sorted; test support).
+    pub fn all_counts(&self) -> Vec<(Itemset, u32)> {
+        self.frequent(0)
+    }
+
+    /// Add another tree's counts into this one — the per-candidate
+    /// sum-reduction of Count Distribution. Trees must contain the same
+    /// candidate sets (they do by construction: every processor builds the
+    /// identical tree from the global `L_{k-1}`).
+    ///
+    /// # Panics
+    /// Panics if the candidate sets differ.
+    pub fn merge_counts(&self, other: &HashTree) {
+        assert_eq!(self.k, other.k);
+        let theirs = other.all_counts();
+        assert_eq!(self.len, theirs.len(), "candidate sets differ");
+        for (is, c) in theirs {
+            let added = self.add_count(is.items(), c);
+            assert!(added, "candidate missing during merge");
+        }
+    }
+
+    /// Add `delta` to the exact candidate `subset`. Returns whether found.
+    pub fn add_count(&self, subset: &[ItemId], delta: u32) -> bool {
+        let fanout = self.fanout;
+        let mut node = &self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                Node::Interior(children) => {
+                    let b = (hash_u64(subset[depth].0 as u64) % fanout as u64) as usize;
+                    node = &children[b];
+                    depth += 1;
+                }
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        if e.items.items() == subset {
+                            e.count.fetch_add(delta, Ordering::Relaxed);
+                            return true;
+                        }
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Raw count vector in lexicographic candidate order — the message a
+    /// Count Distribution processor exchanges (only counts travel, §3.1).
+    pub fn counts_vector(&self) -> Vec<u32> {
+        self.all_counts().into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Add a lexicographically ordered count vector (inverse of
+    /// [`HashTree::counts_vector`]).
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from the candidate count.
+    pub fn add_counts_vector(&self, counts: &[u32]) {
+        let order: Vec<Itemset> = self.all_counts().into_iter().map(|(is, _)| is).collect();
+        assert_eq!(order.len(), counts.len(), "count vector length mismatch");
+        for (is, &c) in order.iter().zip(counts) {
+            if c > 0 {
+                let ok = self.add_count(is.items(), c);
+                debug_assert!(ok);
+            }
+        }
+    }
+
+    /// Tree depth (longest root→leaf path; diagnostic/statistics).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Interior(ch) => 1 + ch.iter().map(d).max().unwrap_or(0),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+/// Pruned counting recursion (see [`HashTree::count_transaction`]).
+fn descend(
+    node: &Node,
+    k: usize,
+    fanout: usize,
+    txn: &[ItemId],
+    pos: usize,
+    chosen: &mut Vec<ItemId>,
+    meter: &mut OpMeter,
+) {
+    meter.hash_probe += 1;
+    match node {
+        Node::Leaf(entries) => {
+            let d = chosen.len();
+            for e in entries {
+                meter.hash_probe += 1;
+                let items = e.items.items();
+                if items[..d] == chosen[..]
+                    && is_subset_sorted(&items[d..], &txn[pos..])
+                {
+                    meter.subsets_gen += 1;
+                    e.count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Node::Interior(children) => {
+            let depth = chosen.len();
+            // Need k - depth - 1 further items after the one chosen here.
+            let last_pos = txn.len() - (k - depth);
+            for i in pos..=last_pos {
+                let b = (hash_u64(txn[i].0 as u64) % fanout as u64) as usize;
+                chosen.push(txn[i]);
+                descend(&children[b], k, fanout, txn, i + 1, chosen, meter);
+                chosen.pop();
+            }
+        }
+    }
+}
+
+/// Merge subset test over two sorted slices.
+fn is_subset_sorted(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for want in needle {
+        for have in it.by_ref() {
+            match have.cmp(want) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn collect(node: &Node, minsup: u32, out: &mut Vec<(Itemset, u32)>) {
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                let c = e.count.load(Ordering::Relaxed);
+                if c >= minsup {
+                    out.push((e.items.clone(), c));
+                }
+            }
+        }
+        Node::Interior(children) => {
+            for c in children {
+                collect(c, minsup, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(raw: &[u32]) -> Itemset {
+        Itemset::of(raw)
+    }
+
+    fn items(raw: &[u32]) -> Vec<ItemId> {
+        raw.iter().copied().map(ItemId).collect()
+    }
+
+    #[test]
+    fn insert_and_exact_increment() {
+        let mut t = HashTree::new(2);
+        t.insert(iset(&[1, 2]));
+        t.insert(iset(&[1, 3]));
+        assert_eq!(t.len(), 2);
+        let mut m = OpMeter::new();
+        assert!(t.increment(&items(&[1, 2]), &mut m));
+        assert!(t.increment(&items(&[1, 2]), &mut m));
+        assert!(!t.increment(&items(&[2, 3]), &mut m));
+        assert!(m.hash_probe > 0);
+        let counts = t.all_counts();
+        assert_eq!(counts, vec![(iset(&[1, 2]), 2), (iset(&[1, 3]), 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate candidate")]
+    fn duplicate_insert_panics() {
+        let mut t = HashTree::new(2);
+        t.insert(iset(&[1, 2]));
+        t.insert(iset(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be k")]
+    fn wrong_size_insert_panics() {
+        let mut t = HashTree::new(2);
+        t.insert(iset(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn splitting_preserves_candidates() {
+        // Force splits with a tiny leaf threshold.
+        let mut t = HashTree::with_params(3, 4, 2);
+        let mut all = Vec::new();
+        for a in 0..5u32 {
+            for b in a + 1..6 {
+                for c in b + 1..7 {
+                    let is = iset(&[a, b, c]);
+                    t.insert(is.clone());
+                    all.push(is);
+                }
+            }
+        }
+        all.sort();
+        assert_eq!(t.len(), all.len());
+        assert!(t.depth() >= 1, "splits must have happened");
+        let stored: Vec<Itemset> = t.all_counts().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(stored, all);
+        // every candidate findable by exact search
+        let mut m = OpMeter::new();
+        for is in &all {
+            assert!(t.increment(is.items(), &mut m), "lost {is}");
+        }
+    }
+
+    #[test]
+    fn count_transaction_counts_each_contained_candidate_once() {
+        let mut t = HashTree::with_params(2, 4, 1);
+        for c in [[1u32, 2], [1, 3], [2, 3], [4, 5]] {
+            t.insert(iset(&c));
+        }
+        let mut m = OpMeter::new();
+        t.count_transaction(&items(&[1, 2, 3]), &mut m);
+        let counts = t.all_counts();
+        assert_eq!(
+            counts,
+            vec![
+                (iset(&[1, 2]), 1),
+                (iset(&[1, 3]), 1),
+                (iset(&[2, 3]), 1),
+                (iset(&[4, 5]), 0),
+            ]
+        );
+        // C(3,2) = 3 subsets generated
+        assert_eq!(m.subsets_gen, 3);
+    }
+
+    #[test]
+    fn count_transaction_short_circuits_small_transactions() {
+        let mut t = HashTree::new(3);
+        t.insert(iset(&[1, 2, 3]));
+        let mut m = OpMeter::new();
+        t.count_transaction(&items(&[1, 2]), &mut m);
+        assert_eq!(m.subsets_gen, 0, "|t| < k generates nothing");
+        assert_eq!(t.all_counts()[0].1, 0);
+    }
+
+    #[test]
+    fn frequent_filters_by_minsup() {
+        let mut t = HashTree::new(1);
+        t.insert(iset(&[1]));
+        t.insert(iset(&[2]));
+        let mut m = OpMeter::new();
+        for _ in 0..3 {
+            t.increment(&items(&[1]), &mut m);
+        }
+        t.increment(&items(&[2]), &mut m);
+        assert_eq!(t.frequent(2), vec![(iset(&[1]), 3)]);
+        assert_eq!(t.frequent(4), vec![]);
+    }
+
+    #[test]
+    fn counts_vector_round_trip() {
+        let mut a = HashTree::new(2);
+        let mut b = HashTree::new(2);
+        for c in [[1u32, 2], [3, 4], [1, 4]] {
+            a.insert(iset(&c));
+            b.insert(iset(&c));
+        }
+        let mut m = OpMeter::new();
+        a.increment(&items(&[1, 2]), &mut m);
+        a.increment(&items(&[1, 4]), &mut m);
+        b.increment(&items(&[1, 4]), &mut m);
+        // simulate the count exchange: b receives a's counts
+        let v = a.counts_vector();
+        b.add_counts_vector(&v);
+        let merged = b.all_counts();
+        assert_eq!(
+            merged,
+            vec![(iset(&[1, 2]), 1), (iset(&[1, 4]), 2), (iset(&[3, 4]), 0)]
+        );
+    }
+
+    #[test]
+    fn merge_counts_sums() {
+        let mut a = HashTree::new(2);
+        let mut b = HashTree::new(2);
+        for c in [[1u32, 2], [3, 4]] {
+            a.insert(iset(&c));
+            b.insert(iset(&c));
+        }
+        let mut m = OpMeter::new();
+        a.increment(&items(&[1, 2]), &mut m);
+        b.increment(&items(&[1, 2]), &mut m);
+        b.increment(&items(&[3, 4]), &mut m);
+        a.merge_counts(&b);
+        assert_eq!(
+            a.all_counts(),
+            vec![(iset(&[1, 2]), 2), (iset(&[3, 4]), 1)]
+        );
+    }
+
+    #[test]
+    fn pruned_traversal_matches_naive_enumeration() {
+        // Random candidates + random transactions: both counting paths
+        // must produce identical counts, with the pruned one touching
+        // far fewer nodes on long transactions.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for k in [2usize, 3, 4] {
+            let mut pruned = HashTree::with_params(k, 8, 2);
+            let mut naive = HashTree::with_params(k, 8, 2);
+            let mut seen = std::collections::HashSet::new();
+            while seen.len() < 40 {
+                let items: Vec<u32> = (0..k).map(|_| (next() % 30) as u32).collect();
+                let is = Itemset::from_unsorted(items.into_iter().map(ItemId));
+                if is.len() == k && seen.insert(is.clone()) {
+                    pruned.insert(is.clone());
+                    naive.insert(is);
+                }
+            }
+            let mut m_pruned = OpMeter::new();
+            let mut m_naive = OpMeter::new();
+            for _ in 0..50 {
+                let len = 3 + (next() % 20) as usize;
+                let mut txn: Vec<u32> = (0..len).map(|_| (next() % 30) as u32).collect();
+                txn.sort_unstable();
+                txn.dedup();
+                let txn: Vec<ItemId> = txn.into_iter().map(ItemId).collect();
+                pruned.count_transaction(&txn, &mut m_pruned);
+                naive.count_transaction_naive(&txn, &mut m_naive);
+            }
+            assert_eq!(pruned.all_counts(), naive.all_counts(), "k={k}");
+            assert!(
+                m_pruned.hash_probe <= m_naive.hash_probe + m_naive.subsets_gen,
+                "pruned should not do more work"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_tree_when_k_items_all_hashed() {
+        // leaf threshold 1, fanout 2 → heavy collisions; leaves at depth k
+        // must absorb overflow without infinite splitting.
+        let mut t = HashTree::with_params(2, 2, 1);
+        for c in [[0u32, 2], [0, 4], [0, 6], [2, 4], [2, 6], [4, 6]] {
+            t.insert(iset(&c));
+        }
+        assert_eq!(t.len(), 6);
+        assert!(t.depth() <= 2, "depth is bounded by k");
+        let mut m = OpMeter::new();
+        for c in [[0u32, 2], [0, 4], [0, 6], [2, 4], [2, 6], [4, 6]] {
+            assert!(t.increment(&items(&c), &mut m));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequential Apriori — the algorithm "at the core of all parallel
+//! algorithms" the paper compares against (§2, Figure 1).
+//!
+//! The crate provides:
+//!
+//! * [`hash_tree`] — the candidate hash tree: interior hash nodes, leaf
+//!   buckets, exact subset search; the data structure whose maintenance
+//!   and poor cache locality Eclat's §7 argues against;
+//! * [`gen`] — candidate generation: the lexicographic `L_{k-1} ⋈ L_{k-1}`
+//!   join plus the subset-pruning step, organized by equivalence classes;
+//! * [`mine`] / [`mine_with`] — the full iterative algorithm of Figure 1,
+//!   with the triangular-array optimization for `L2` available exactly as
+//!   CCPD/Eclat use it;
+//! * [`partition`] — the two-scan **Partition** algorithm of the paper's
+//!   reference \[14\] (§1.2's I/O-minimizing alternative);
+//! * [`sampling`] — sample-then-verify mining per references \[15\]/\[17\]
+//!   (§1.2's "work with only a small random sample" approach);
+//! * [`mod@reference`] — an exhaustive brute-force miner used as the test
+//!   oracle for every other algorithm in the workspace.
+
+pub mod gen;
+pub mod hash_tree;
+pub mod partition;
+pub mod reference;
+pub mod sampling;
+
+mod miner;
+
+pub use gen::{generate_candidates, prune_candidates};
+pub use hash_tree::HashTree;
+pub use miner::{mine, mine_with, AprioriConfig};
+pub use partition::{mine_partition, PartitionConfig, PartitionStats};
+pub use sampling::{mine_with_sampling, SamplingConfig, SamplingReport};

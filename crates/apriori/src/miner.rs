@@ -1,0 +1,218 @@
+//! The full sequential Apriori loop (Figure 1 of the paper).
+
+use crate::gen::generate_candidates;
+use crate::hash_tree::{HashTree, DEFAULT_FANOUT, DEFAULT_LEAF_THRESHOLD};
+use dbstore::HorizontalDb;
+use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter, TriangleMatrix};
+
+/// Tuning knobs for Apriori.
+#[derive(Clone, Debug)]
+pub struct AprioriConfig {
+    /// Count `C2` with the upper-triangular array instead of the hash
+    /// tree. This is the optimization CCPD and Eclat's initialization
+    /// phase use (§5.1); plain Apriori corresponds to `false`.
+    pub triangle_l2: bool,
+    /// Hash-tree fanout.
+    pub fanout: usize,
+    /// Hash-tree leaf split threshold.
+    pub leaf_threshold: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            triangle_l2: true,
+            fanout: DEFAULT_FANOUT,
+            leaf_threshold: DEFAULT_LEAF_THRESHOLD,
+        }
+    }
+}
+
+/// Mine all frequent itemsets (sizes ≥ 1) with default configuration.
+pub fn mine(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
+    let mut meter = OpMeter::new();
+    mine_with(db, minsup, &AprioriConfig::default(), &mut meter)
+}
+
+/// Mine with explicit configuration and operation metering.
+///
+/// Implements Figure 1: `L1` from a counting scan; then for `k = 2, 3, …`
+/// generate `C_k` from `L_{k-1}` (join + prune), count every transaction's
+/// k-subsets against the candidate hash tree, and select `L_k`; stop when
+/// `L_k` is empty.
+pub fn mine_with(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &AprioriConfig,
+    meter: &mut OpMeter,
+) -> FrequentSet {
+    let threshold = minsup.count_threshold(db.num_transactions());
+    let mut result = FrequentSet::new();
+
+    // --- L1: one counting scan over the database.
+    let mut item_counts = vec![0u32; db.num_items() as usize];
+    for (_tid, items) in db.iter() {
+        meter.record += 1;
+        for &it in items {
+            item_counts[it.index()] += 1;
+        }
+    }
+    let mut l_prev: Vec<Itemset> = Vec::new();
+    for (i, &c) in item_counts.iter().enumerate() {
+        if c >= threshold {
+            let is = Itemset::single(ItemId(i as u32));
+            result.insert(is.clone(), c);
+            l_prev.push(is);
+        }
+    }
+    // l_prev is sorted by construction (ascending item index).
+
+    let mut k = 2usize;
+    while !l_prev.is_empty() {
+        let mut l_cur: Vec<(Itemset, u32)> = Vec::new();
+
+        if k == 2 && cfg.triangle_l2 {
+            // Triangular-array counting (§5.1): every pair of frequent
+            // items, one scan, no candidate structure.
+            let frequent_item = |it: ItemId| item_counts[it.index()] >= threshold;
+            let mut tri = TriangleMatrix::new(db.num_items() as usize);
+            let mut scratch: Vec<ItemId> = Vec::new();
+            for (_tid, items) in db.iter() {
+                meter.record += 1;
+                scratch.clear();
+                scratch.extend(items.iter().copied().filter(|&i| frequent_item(i)));
+                meter.pair_incr += (scratch.len() * scratch.len().saturating_sub(1) / 2) as u64;
+                tri.count_transaction(&scratch);
+            }
+            l_cur = tri
+                .frequent_pairs(threshold)
+                .map(|(a, b, c)| (Itemset::pair(a, b), c))
+                .collect();
+        } else {
+            let candidates = generate_candidates(&l_prev, meter);
+            if !candidates.is_empty() {
+                let mut tree =
+                    HashTree::with_params(k, cfg.fanout, cfg.leaf_threshold);
+                for c in candidates {
+                    tree.insert(c);
+                }
+                for (_tid, items) in db.iter() {
+                    meter.record += 1;
+                    tree.count_transaction(items, meter);
+                }
+                l_cur = tree.frequent(threshold);
+            }
+        }
+
+        for (is, c) in &l_cur {
+            result.insert(is.clone(), *c);
+        }
+        l_prev = l_cur.into_iter().map(|(is, _)| is).collect();
+        k += 1;
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn iset(raw: &[u32]) -> Itemset {
+        Itemset::of(raw)
+    }
+
+    /// Small hand-checkable database.
+    fn toy() -> HorizontalDb {
+        HorizontalDb::of(&[
+            &[0, 1, 2],
+            &[0, 1],
+            &[0, 2],
+            &[1, 2],
+            &[0, 1, 2],
+            &[3],
+        ])
+    }
+
+    #[test]
+    fn hand_checked_supports() {
+        let db = toy();
+        // counts: 0→4, 1→4, 2→4, 3→1; {0,1}→3, {0,2}→3, {1,2}→3, {0,1,2}→2
+        let fs = mine(&db, MinSupport::from_fraction(0.5)); // threshold = 3
+        assert_eq!(fs.support_of(&iset(&[0])), Some(4));
+        assert_eq!(fs.support_of(&iset(&[0, 1])), Some(3));
+        assert_eq!(fs.support_of(&iset(&[3])), None);
+        assert_eq!(fs.support_of(&iset(&[0, 1, 2])), None, "support 2 < 3");
+        assert_eq!(fs.len(), 6);
+    }
+
+    #[test]
+    fn triangle_and_hashtree_l2_agree() {
+        let db = toy();
+        let minsup = MinSupport::from_fraction(0.3);
+        let mut m1 = OpMeter::new();
+        let mut m2 = OpMeter::new();
+        let with_tri = mine_with(
+            &db,
+            minsup,
+            &AprioriConfig {
+                triangle_l2: true,
+                ..Default::default()
+            },
+            &mut m1,
+        );
+        let with_tree = mine_with(
+            &db,
+            minsup,
+            &AprioriConfig {
+                triangle_l2: false,
+                ..Default::default()
+            },
+            &mut m2,
+        );
+        assert_eq!(with_tri, with_tree);
+        assert!(m1.pair_incr > 0);
+        assert!(m2.subsets_gen > 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        for seed in 0..4u64 {
+            let db = reference::random_db(seed, 60, 10, 5);
+            for pct in [5.0, 10.0, 20.0] {
+                let minsup = MinSupport::from_percent(pct);
+                let ours = mine(&db, minsup);
+                let truth = reference::brute_force(&db, minsup);
+                assert_eq!(ours, truth, "seed {seed} pct {pct}");
+            }
+        }
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let db = reference::random_db(9, 100, 12, 6);
+        let fs = mine(&db, MinSupport::from_percent(8.0));
+        assert_eq!(fs.closure_violation(), None);
+        assert!(fs.max_size() >= 2, "the test db should have some 2-itemsets");
+    }
+
+    #[test]
+    fn empty_and_degenerate_databases() {
+        let empty = HorizontalDb::of(&[]);
+        assert!(mine(&empty, MinSupport::from_percent(1.0)).is_empty());
+
+        let singles = HorizontalDb::of(&[&[0], &[0], &[1]]);
+        let fs = mine(&singles, MinSupport::from_fraction(0.5));
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs.support_of(&iset(&[0])), Some(2));
+    }
+
+    #[test]
+    fn support_one_hundred_percent() {
+        let db = HorizontalDb::of(&[&[1, 2], &[1, 2], &[1, 2]]);
+        let fs = mine(&db, MinSupport::from_fraction(1.0));
+        assert_eq!(fs.len(), 3); // {1}, {2}, {1,2}
+        assert_eq!(fs.support_of(&iset(&[1, 2])), Some(3));
+    }
+}

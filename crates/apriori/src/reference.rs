@@ -1,0 +1,112 @@
+//! Brute-force reference miner and random-database helpers — the test
+//! oracle every algorithm in the workspace is checked against.
+//!
+//! Exhaustively enumerates all itemsets over the (small!) item universe
+//! and counts supports by scanning. Exponential in the number of items, so
+//! only usable with `num_items ≤ ~16`; tests keep universes tiny.
+
+use dbstore::HorizontalDb;
+use mining_types::{FrequentSet, ItemId, Itemset, MinSupport};
+
+/// Exhaustive miner: every itemset of every size, counted by scan.
+///
+/// # Panics
+/// Panics if the item universe exceeds 20 items (2^20 itemsets is already
+/// a million — the oracle is for toy inputs only).
+pub fn brute_force(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
+    let n = db.num_items();
+    assert!(n <= 20, "brute force oracle limited to 20 items, got {n}");
+    let threshold = minsup.count_threshold(db.num_transactions());
+
+    // Bitmask per transaction for O(1) subset checks.
+    let masks: Vec<u32> = db
+        .iter()
+        .map(|(_, items)| items.iter().fold(0u32, |m, &i| m | (1 << i.0)))
+        .collect();
+
+    let mut out = FrequentSet::new();
+    for candidate in 1u32..(1u32 << n) {
+        let support = masks.iter().filter(|&&m| m & candidate == candidate).count() as u32;
+        if support >= threshold {
+            let items: Vec<ItemId> = (0..n).filter(|b| candidate & (1 << b) != 0).map(ItemId).collect();
+            out.insert(Itemset::from_sorted(items), support);
+        }
+    }
+    out
+}
+
+/// Deterministic random database for cross-checking: `num_txns`
+/// transactions over `num_items` items, average length ~`avg_len`.
+///
+/// Uses a tiny xorshift generator so this module needs no `rand`
+/// dependency and test inputs are stable forever.
+pub fn random_db(seed: u64, num_txns: usize, num_items: u32, avg_len: usize) -> HorizontalDb {
+    assert!(num_items >= 1);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut txns = Vec::with_capacity(num_txns);
+    for _ in 0..num_txns {
+        let len = 1 + (next() as usize) % (2 * avg_len.max(1));
+        let mut items: Vec<ItemId> = (0..len)
+            .map(|_| ItemId((next() % num_items as u64) as u32))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        txns.push(items);
+    }
+    HorizontalDb::from_transactions(txns).with_num_items(num_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_hand_example() {
+        let db = HorizontalDb::of(&[&[0, 1], &[0, 1], &[0], &[1, 2]]);
+        let fs = brute_force(&db, MinSupport::from_fraction(0.5));
+        // threshold 2: {0}→3 ✓, {1}→3 ✓, {2}→1 ✗, {0,1}→2 ✓, {1,2}→1 ✗
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs.support_of(&Itemset::of(&[0, 1])), Some(2));
+        assert_eq!(fs.support_of(&Itemset::of(&[2])), None);
+    }
+
+    #[test]
+    fn brute_force_is_downward_closed() {
+        let db = random_db(3, 80, 12, 5);
+        let fs = brute_force(&db, MinSupport::from_percent(10.0));
+        assert_eq!(fs.closure_violation(), None);
+    }
+
+    #[test]
+    fn random_db_is_deterministic_and_valid() {
+        let a = random_db(7, 50, 10, 4);
+        let b = random_db(7, 50, 10, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, random_db(8, 50, 10, 4));
+        for (_, t) in a.iter() {
+            assert!(!t.is_empty());
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+            assert!(t.iter().all(|i| i.0 < 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 20 items")]
+    fn brute_force_rejects_large_universe() {
+        let db = HorizontalDb::of(&[&[30]]);
+        brute_force(&db, MinSupport::from_percent(1.0));
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = HorizontalDb::of(&[]);
+        assert!(brute_force(&db, MinSupport::from_percent(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Behavioral tests of the parallel baselines on Quest-structured data:
+//! correctness across knobs, and the cost-structure claims §3 makes
+//! about them.
+
+use dbstore::HorizontalDb;
+use memchannel::{ClusterConfig, CostModel};
+use mining_types::{FrequentSet, MinSupport};
+use parbase::{CandidateDistConfig, CcpdShmConfig, CountDistConfig};
+use questgen::{QuestGenerator, QuestParams};
+
+fn quest(d: usize, seed: u64) -> HorizontalDb {
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::tiny(d, seed)).generate_all())
+}
+
+fn cost() -> CostModel {
+    CostModel::dec_alpha_1997()
+}
+
+#[test]
+fn all_baselines_agree_with_apriori_on_quest_data() {
+    let db = quest(2_000, 42);
+    let minsup = MinSupport::from_percent(1.5);
+    let reference = apriori::mine(&db, minsup);
+    let topo = ClusterConfig::new(2, 2);
+
+    let cd = parbase::mine_count_dist(&db, minsup, &topo, &cost(), &CountDistConfig::default());
+    assert_eq!(cd.frequent, reference, "count distribution");
+
+    let cand =
+        parbase::mine_candidate_dist(&db, minsup, &topo, &cost(), &CandidateDistConfig::default());
+    assert_eq!(cand.frequent, reference, "candidate distribution");
+
+    let shm = parbase::mine_ccpd_shm(&db, minsup, &CcpdShmConfig::default());
+    assert_eq!(shm, reference, "shared-memory CCPD");
+
+    let (part, _) = apriori::mine_partition(&db, minsup, &Default::default());
+    assert_eq!(part, reference, "partition algorithm");
+}
+
+#[test]
+fn hash_tree_knobs_do_not_change_answers() {
+    let db = quest(800, 7);
+    let minsup = MinSupport::from_percent(2.0);
+    let topo = ClusterConfig::new(2, 1);
+    let reference = apriori::mine(&db, minsup);
+    for (fanout, leaf) in [(2usize, 1usize), (8, 4), (64, 16), (1024, 64)] {
+        let cfg = CountDistConfig {
+            fanout,
+            leaf_threshold: leaf,
+            ..Default::default()
+        };
+        let rep = parbase::mine_count_dist(&db, minsup, &topo, &cost(), &cfg);
+        assert_eq!(rep.frequent, reference, "fanout {fanout} leaf {leaf}");
+    }
+}
+
+#[test]
+fn count_dist_time_grows_with_iterations_not_with_processors_alone() {
+    // §3.1's cost structure: CD's disk time scales with iterations; more
+    // processors shrink per-proc block scans.
+    let db = quest(3_000, 3);
+    let minsup = MinSupport::from_percent(1.0);
+    let seq = parbase::mine_count_dist(
+        &db,
+        minsup,
+        &ClusterConfig::sequential(),
+        &cost(),
+        &CountDistConfig::default(),
+    );
+    let par = parbase::mine_count_dist(
+        &db,
+        minsup,
+        &ClusterConfig::new(4, 1),
+        &cost(),
+        &CountDistConfig::default(),
+    );
+    assert_eq!(seq.frequent, par.frequent);
+    assert_eq!(seq.iterations, par.iterations);
+    assert!(par.total_secs() < seq.total_secs(), "CD parallelizes somewhat");
+    // but sublinearly: candidate generation is replicated per §3.1
+    let speedup = seq.total_secs() / par.total_secs();
+    assert!(speedup < 4.0, "CD speedup {speedup:.2} should be sublinear");
+}
+
+#[test]
+fn candidate_dist_redistribution_pass_tradeoff() {
+    // Early redistribution decouples sooner but replicates more of the
+    // database; whatever the pass, answers are identical.
+    let db = quest(1_500, 11);
+    let minsup = MinSupport::from_percent(1.5);
+    let topo = ClusterConfig::new(4, 1);
+    let reference = apriori::mine(&db, minsup);
+    let mut times = Vec::new();
+    for pass in [2usize, 3, 4, 6] {
+        let rep = parbase::mine_candidate_dist(
+            &db,
+            minsup,
+            &topo,
+            &cost(),
+            &CandidateDistConfig {
+                redistribution_pass: pass,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.frequent, reference, "pass {pass}");
+        times.push(rep.total_secs());
+    }
+    assert!(times.iter().all(|&t| t > 0.0));
+}
+
+#[test]
+fn ccpd_shm_wall_clock_matches_apriori_results_under_thread_counts() {
+    let db = quest(1_200, 19);
+    let minsup = MinSupport::from_percent(2.0);
+    let reference = apriori::mine(&db, minsup);
+    for parts in [1usize, 2, 5, 9] {
+        let shm = parbase::mine_ccpd_shm(
+            &db,
+            minsup,
+            &CcpdShmConfig {
+                partitions: Some(parts),
+                ..Default::default()
+            },
+        );
+        assert_eq!(shm, reference, "partitions {parts}");
+    }
+}
+
+#[test]
+fn cd_strips_to_eclat_answer() {
+    // The two sides of Table 2 mine the same thing (modulo singletons).
+    let db = quest(1_000, 23);
+    let minsup = MinSupport::from_percent(2.0);
+    let topo = ClusterConfig::new(2, 1);
+    let cd = parbase::mine_count_dist(&db, minsup, &topo, &cost(), &Default::default());
+    let ec = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost(), &Default::default());
+    let cd_pairs_up: FrequentSet = cd
+        .frequent
+        .iter()
+        .filter(|(is, _)| is.len() >= 2)
+        .map(|(is, s)| (is.clone(), s))
+        .collect();
+    assert_eq!(cd_pairs_up, ec.frequent);
+}

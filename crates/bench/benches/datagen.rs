@@ -1,0 +1,54 @@
+//! Throughput of the Quest synthetic data generator (Table 1 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use questgen::{QuestGenerator, QuestParams};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("questgen/generate");
+    group.sample_size(10);
+    for d in [10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("t10_i6", d), &d, |bench, &d| {
+            bench.iter(|| {
+                let gen = QuestGenerator::new(QuestParams::t10_i6(d));
+                black_box(gen.generate_all().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertical_transform(c: &mut Criterion) {
+    let db = dbstore::HorizontalDb::from_transactions(
+        QuestGenerator::new(QuestParams::t10_i6(50_000)).generate_all(),
+    );
+    let mut group = c.benchmark_group("dbstore/transform");
+    group.sample_size(10);
+    group.bench_function("horizontal_to_vertical_50k", |bench| {
+        bench.iter(|| black_box(dbstore::VerticalDb::from_horizontal(&db)))
+    });
+    let vert = dbstore::VerticalDb::from_horizontal(&db);
+    group.bench_function("vertical_to_horizontal_50k", |bench| {
+        bench.iter(|| black_box(vert.to_horizontal(db.num_transactions())))
+    });
+    group.bench_function("binary_write_horizontal_50k", |bench| {
+        bench.iter(|| {
+            let mut buf = Vec::with_capacity(db.byte_size() as usize + 32);
+            black_box(dbstore::binfmt::write_horizontal(&db, &mut buf).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // plots are pure overhead on this machine, and the default 3s+5s
+    // warmup/measurement windows are oversized for deterministic kernels
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generate, bench_vertical_transform
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the Apriori candidate hash tree (§2): insertion,
+//! exact search, and per-transaction subset counting — the "most compute
+//! intensive step" whose cost Eclat's intersections replace.
+
+use apriori::hash_tree::HashTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mining_types::{ItemId, Itemset, OpMeter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn candidates(rng: &mut StdRng, n: usize, k: usize, universe: u32) -> Vec<Itemset> {
+    let mut out = mining_types::FxHashSet::default();
+    while out.len() < n {
+        let items: Vec<ItemId> = (0..k * 3)
+            .map(|_| ItemId(rng.random_range(0..universe)))
+            .collect();
+        let is = Itemset::from_unsorted(items);
+        if is.len() >= k {
+            out.insert(Itemset::from_sorted(is.items()[..k].to_vec()));
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("hash_tree/insert");
+    for n in [1_000usize, 10_000] {
+        let cands = candidates(&mut rng, n, 3, 500);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = HashTree::new(3);
+                for is in &cands {
+                    t.insert(is.clone());
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_transaction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let cands = candidates(&mut rng, 10_000, 3, 500);
+    let tree = HashTree::from_candidates(3, cands);
+    let tree = tree;
+    let mut group = c.benchmark_group("hash_tree/count_transaction");
+    for txn_len in [10usize, 20, 40] {
+        let txn: Vec<ItemId> = {
+            let mut v: Vec<u32> = (0..txn_len as u32 * 3)
+                .map(|_| rng.random_range(0..500))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v.truncate(txn_len);
+            v.into_iter().map(ItemId).collect()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(txn_len), &txn_len, |bench, _| {
+            bench.iter(|| {
+                let mut m = OpMeter::new();
+                tree.count_transaction(&txn, &mut m);
+                black_box(m.subsets_gen)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // plots are pure overhead on this machine, and the default 3s+5s
+    // warmup/measurement windows are oversized for deterministic kernels
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_insert, bench_count_transaction
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the tid-list intersection kernels (§4.2 / §5.3):
+//! two-pointer vs galloping vs adaptive, and the short-circuit win on
+//! infrequent joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tidlist::TidList;
+
+fn random_list(rng: &mut StdRng, len: usize, universe: u32) -> TidList {
+    let mut v: Vec<u32> = (0..len).map(|_| rng.random_range(0..universe)).collect();
+    v.sort_unstable();
+    v.dedup();
+    TidList::of(&v)
+}
+
+fn bench_balanced(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("intersect/balanced");
+    for len in [1_000usize, 10_000, 100_000] {
+        let a = random_list(&mut rng, len, (len * 4) as u32);
+        let b = random_list(&mut rng, len, (len * 4) as u32);
+        group.bench_with_input(BenchmarkId::new("two_pointer", len), &len, |bench, _| {
+            bench.iter(|| black_box(a.intersect(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", len), &len, |bench, _| {
+            bench.iter(|| black_box(a.gallop_intersect(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", len), &len, |bench, _| {
+            bench.iter(|| black_box(a.intersect_adaptive(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("count_only", len), &len, |bench, _| {
+            bench.iter(|| black_box(a.intersect_count(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("intersect/skewed_1_to_100");
+    for long_len in [10_000usize, 100_000] {
+        let short = random_list(&mut rng, long_len / 100, (long_len * 2) as u32);
+        let long = random_list(&mut rng, long_len, (long_len * 2) as u32);
+        group.bench_with_input(
+            BenchmarkId::new("two_pointer", long_len),
+            &long_len,
+            |bench, _| bench.iter(|| black_box(short.intersect(&long))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", long_len),
+            &long_len,
+            |bench, _| bench.iter(|| black_box(short.gallop_intersect(&long))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", long_len),
+            &long_len,
+            |bench, _| bench.iter(|| black_box(short.intersect_adaptive(&long))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_short_circuit(c: &mut Criterion) {
+    // A1: mostly-disjoint operands at a demanding minsup — the bounded
+    // kernel bails out almost immediately.
+    let a = TidList::of(&(0..50_000).collect::<Vec<_>>());
+    let b = TidList::of(&(49_000..99_000).collect::<Vec<_>>());
+    let minsup = 900; // true overlap is 1000 — close call, late bail-out
+    let mut group = c.benchmark_group("intersect/short_circuit");
+    group.bench_function("bounded_pass", |bench| {
+        bench.iter(|| black_box(a.intersect_bounded(&b, minsup)))
+    });
+    group.bench_function("bounded_fail", |bench| {
+        bench.iter(|| black_box(a.intersect_bounded(&b, 2_000)))
+    });
+    group.bench_function("unbounded", |bench| {
+        bench.iter(|| black_box(a.intersect(&b)))
+    });
+    group.finish();
+}
+
+fn bench_diffsets(c: &mut Criterion) {
+    use tidlist::diffset::DiffSet;
+    // Dense prefix: diffsets are tiny while tid-lists stay long.
+    let prefix = TidList::of(&(0..100_000).collect::<Vec<_>>());
+    let x = TidList::of(&(0..100_000).filter(|v| v % 100 != 0).collect::<Vec<_>>());
+    let y = TidList::of(&(0..100_000).filter(|v| v % 97 != 0).collect::<Vec<_>>());
+    let dx = DiffSet::from_tidlists(&prefix, &x);
+    let dy = DiffSet::from_tidlists(&prefix, &y);
+    let mut group = c.benchmark_group("intersect/diffset_vs_tidlist_dense");
+    group.bench_function("tidlist_join", |bench| {
+        bench.iter(|| black_box(x.intersect(&y)))
+    });
+    group.bench_function("diffset_join", |bench| {
+        bench.iter(|| black_box(dx.join(&dy)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // plots are pure overhead on this machine, and the default 3s+5s
+    // warmup/measurement windows are oversized for deterministic kernels
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_balanced, bench_skewed, bench_short_circuit, bench_diffsets
+}
+criterion_main!(benches);

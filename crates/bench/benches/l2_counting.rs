@@ -1,0 +1,65 @@
+//! A4: the §4.2 layout argument for `L2` — horizontal triangular
+//! counting vs vertical pairwise 1-item tid-list intersections.
+//!
+//! The paper computes ~4.5·10⁷ horizontal operations vs ~10⁹ vertical
+//! operations for 1M transactions; this bench measures the real gap at
+//! a scaled size, which is why Eclat "uses the horizontal layout for
+//! generating L2 and uses the vertical layout thereafter".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbstore::{HorizontalDb, VerticalDb};
+use mining_types::OpMeter;
+use questgen::{QuestGenerator, QuestParams};
+use std::hint::black_box;
+
+fn db() -> HorizontalDb {
+    // keep the universe modest so the vertical pairing is feasible
+    let params = QuestParams {
+        num_items: 200,
+        num_patterns: 400,
+        ..QuestParams::t10_i6(20_000)
+    };
+    HorizontalDb::from_transactions(QuestGenerator::new(params).generate_all())
+}
+
+fn bench_l2(c: &mut Criterion) {
+    let db = db();
+    let vert = VerticalDb::from_horizontal(&db);
+    let mut group = c.benchmark_group("l2_counting");
+    group.sample_size(10);
+    group.bench_function("horizontal_triangle", |bench| {
+        bench.iter(|| {
+            let mut m = OpMeter::new();
+            black_box(eclat::transform::count_pairs(
+                &db,
+                0..db.num_transactions(),
+                &mut m,
+            ))
+        })
+    });
+    group.bench_function("vertical_pairwise_intersections", |bench| {
+        bench.iter(|| {
+            let items: Vec<_> = vert.iter().map(|(i, _)| i).collect();
+            let mut total = 0u64;
+            for (p, &a) in items.iter().enumerate() {
+                for &b in &items[p + 1..] {
+                    total += vert.tidlist(a).intersect_count(vert.tidlist(b)) as u64;
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // plots are pure overhead on this machine, and the default 3s+5s
+    // warmup/measurement windows are oversized for deterministic kernels
+    config = Criterion::default()
+        .without_plots()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_l2
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerates **Table 1** — database properties.
+//!
+//! Paper row format: database name, |T| (average transaction size),
+//! |D| (number of transactions), |I| (average maximal potentially
+//! frequent itemset size), size in MB.
+//!
+//! ```text
+//! cargo run -p repro-bench --bin table1 --release [-- --scale=paper]
+//! ```
+
+use questgen::{DatabaseStats, QuestGenerator};
+use repro_bench::{row, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    println!("Table 1: Database properties (scale: {scale:?})");
+    println!("paper reference: T10.I6.D{{800K..6400K}}, |T|=10, |I|=6, N=1000, |L|=2000\n");
+    let widths = [16, 6, 12, 6, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["Database", "|T|", "|D|", "|I|", "Size(MB)", "meas.|T|"]
+                .map(String::from)
+                .to_vec(),
+            &widths
+        )
+    );
+    for params in scale.table1_databases() {
+        let name = params.name();
+        let predicted_mb = params.approx_size_mb();
+        let gen = QuestGenerator::new(params.clone());
+        let db = gen.generate_all();
+        let stats = DatabaseStats::measure(&db);
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    format!("{}", params.avg_transaction_len as u64),
+                    format!("{}", stats.num_transactions),
+                    format!("{}", params.avg_pattern_len as u64),
+                    format!("{:.1}", stats.size_mb()),
+                    format!("{:.2}", stats.avg_transaction_len),
+                ],
+                &widths
+            )
+        );
+        let _ = predicted_mb;
+    }
+    println!("\n(size = horizontal binary layout: (|D| + total items) × 4 bytes,");
+    println!(" matching the paper's 35 MB–274 MB range at paper scale)");
+}

@@ -1,0 +1,212 @@
+//! Reproduction harness: shared plumbing for the binaries that regenerate
+//! every table and figure of the paper, and for the Criterion benches.
+//!
+//! | artifact | binary | paper section |
+//! |----------|--------|---------------|
+//! | Table 1 (database properties) | `table1` | §8 |
+//! | Figure 6 (frequent k-itemsets) | `fig6` | §8 |
+//! | Table 2 (Eclat vs Count Distribution) | `table2` | §8.1 |
+//! | Figure 7 (Eclat speedups) | `fig7` | §8.1 |
+//! | Ablations A1–A6 | `ablations` | §5.2.1, §5.3, §3.2, §8.1 |
+//!
+//! All binaries accept `--scale=tiny|small|medium|paper` (default
+//! `small`) and `--support=<percent>`; scaled runs shrink `|D|` while
+//! keeping `T10.I6` structure — Figure 6's shape and Table 2's ratios are
+//! determined by the frequency structure, not by `|D|` (DESIGN.md §4).
+
+use memchannel::ClusterConfig;
+use questgen::QuestParams;
+
+/// A named reproduction scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale (seconds): D ∈ {5K, 10K, 20K}.
+    Tiny,
+    /// Default laptop scale (minutes): D ∈ {50K, 100K, 200K}.
+    Small,
+    /// Extended scale: D ∈ {200K, 400K, 800K}.
+    Medium,
+    /// The paper's sizes: D ∈ {800K, 1600K, 3200K} (hours; needs RAM).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI token.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The three `T10.I6` databases of Table 2 at this scale.
+    pub fn table2_databases(&self) -> Vec<QuestParams> {
+        let ds: [usize; 3] = match self {
+            Scale::Tiny => [5_000, 10_000, 20_000],
+            Scale::Small => [50_000, 100_000, 200_000],
+            Scale::Medium => [200_000, 400_000, 800_000],
+            Scale::Paper => [800_000, 1_600_000, 3_200_000],
+        };
+        ds.iter().map(|&d| QuestParams::t10_i6(d)).collect()
+    }
+
+    /// The four databases of Table 1 / Figure 6 at this scale.
+    pub fn table1_databases(&self) -> Vec<QuestParams> {
+        let ds: [usize; 4] = match self {
+            Scale::Tiny => [5_000, 10_000, 20_000, 40_000],
+            Scale::Small => [50_000, 100_000, 200_000, 400_000],
+            Scale::Medium => [200_000, 400_000, 800_000, 1_600_000],
+            Scale::Paper => [800_000, 1_600_000, 3_200_000, 6_400_000],
+        };
+        ds.iter().map(|&d| QuestParams::t10_i6(d)).collect()
+    }
+
+    /// Default minimum support (percent) at this scale.
+    ///
+    /// The paper uses 0.1 %, and because Quest pattern frequencies scale
+    /// linearly with |D|, the *same percentage* reproduces the same
+    /// frequency structure at every scale — so 0.1 % is the default
+    /// everywhere (only ceil-rounding of tiny thresholds differs).
+    pub fn default_support_percent(&self) -> f64 {
+        0.1
+    }
+}
+
+/// The processor configurations of Table 2 / Figure 7 (paper notation
+/// `P` = processors/host, `H` = hosts), capped for the chosen scale.
+pub fn table2_configs(include_large: bool) -> Vec<ClusterConfig> {
+    let mut v = vec![
+        ClusterConfig::new(1, 1), // sequential
+        ClusterConfig::new(2, 1), // H=2, P=1
+        ClusterConfig::new(2, 2), // H=2, P=2
+        ClusterConfig::new(4, 1),
+        ClusterConfig::new(2, 4),
+        ClusterConfig::new(4, 2),
+        ClusterConfig::new(8, 1),
+    ];
+    if include_large {
+        v.extend([
+            ClusterConfig::new(4, 4),
+            ClusterConfig::new(8, 2),
+            ClusterConfig::new(8, 3),
+            ClusterConfig::new(8, 4), // the full 32-processor testbed
+        ]);
+    }
+    v
+}
+
+/// Tiny CLI parser: `--key=value` flags plus bare flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from any iterator of tokens.
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut flags = Vec::new();
+        for tok in iter {
+            let tok = tok.trim_start_matches('-').to_string();
+            match tok.split_once('=') {
+                Some((k, v)) => flags.push((k.to_string(), Some(v.to_string()))),
+                None => flags.push((tok, None)),
+            }
+        }
+        Args { flags }
+    }
+
+    /// Value of `--key=...`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether a bare `--key` (or `--key=...`) was passed.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    /// The scale (default [`Scale::Small`]).
+    pub fn scale(&self) -> Scale {
+        self.get("scale")
+            .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("unknown scale '{s}'")))
+            .unwrap_or(Scale::Small)
+    }
+
+    /// Support percent (default = scale default).
+    pub fn support_percent(&self) -> f64 {
+        self.get("support")
+            .map(|s| s.parse().expect("--support must be a number (percent)"))
+            .unwrap_or_else(|| self.scale().default_support_percent())
+    }
+}
+
+/// Render a row of fixed-width columns.
+pub fn row(cols: &[String], widths: &[usize]) -> String {
+    cols.iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        let dbs = Scale::Paper.table1_databases();
+        assert_eq!(dbs[0].name(), "T10.I6.D800K");
+        assert_eq!(dbs[3].name(), "T10.I6.D6400K");
+        assert_eq!(Scale::Paper.default_support_percent(), 0.1);
+    }
+
+    #[test]
+    fn configs_include_the_full_testbed() {
+        let cfgs = table2_configs(true);
+        assert!(cfgs.iter().any(|c| c.total() == 32));
+        assert_eq!(cfgs[0].total(), 1);
+        let small = table2_configs(false);
+        assert!(small.iter().all(|c| c.total() <= 8));
+    }
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_iter(
+            ["--scale=tiny", "--support=0.5", "--hybrid"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.scale(), Scale::Tiny);
+        assert_eq!(a.support_percent(), 0.5);
+        assert!(a.has("hybrid"));
+        assert!(!a.has("paper"));
+        // default support follows scale
+        let b = Args::from_iter(std::iter::empty());
+        assert_eq!(b.support_percent(), 0.1);
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a    bb");
+    }
+}

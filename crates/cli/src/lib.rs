@@ -1,0 +1,460 @@
+//! `eclat` — command-line association mining.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! eclat generate --out data.ech --family t10i6 --transactions 100000 [--seed N]
+//! eclat stats    --input data.ech
+//! eclat mine     --input data.ech --support 0.1 [--algorithm eclat|parallel|apriori|clique]
+//!                [--maximal] [--min-size K] [--top N]
+//! eclat rules    --input data.ech --support 0.5 --confidence 0.8 [--top N]
+//! eclat simulate --input data.ech --support 0.1 --hosts 8 --procs 4
+//!                [--algorithm eclat|hybrid|countdist]
+//! ```
+//!
+//! Databases are the workspace's binary horizontal format
+//! ([`dbstore::binfmt`]). Every subcommand is a pure function from
+//! parsed arguments to a report string, so the whole surface is
+//! unit-testable without spawning processes.
+
+use dbstore::{binfmt, HorizontalDb};
+use memchannel::{ClusterConfig, CostModel};
+use mining_types::{FrequentSet, MinSupport, OpMeter};
+use questgen::{QuestGenerator, QuestParams};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Top-level dispatch. `argv` excludes the program name.
+///
+/// # Errors
+/// A human-readable message on bad usage, I/O failure, or bad data.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    let args = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "mine" => cmd_mine(&args),
+        "rules" => cmd_rules(&args),
+        "simulate" => cmd_simulate(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "eclat — association mining (reproduction of Zaki et al., SPAA'97)\n\
+     \n\
+     subcommands:\n\
+       generate --out FILE --transactions N [--family t10i6|t5i2|t20i4|t20i6] [--seed N]\n\
+       stats    --input FILE\n\
+       mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
+                [--maximal] [--min-size K] [--top N]\n\
+       rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
+       simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
+                [--algorithm eclat|hybrid|countdist]\n"
+        .to_string()
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+    bare: Vec<String>,
+}
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.bare.iter().any(|b| b == key) || self.get(key).is_some()
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut pairs = Vec::new();
+    let mut bare = Vec::new();
+    let mut it = rest.iter().peekable();
+    while let Some(tok) = it.next() {
+        let Some(stripped) = tok.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{tok}' (flags start with --)"));
+        };
+        if let Some((k, v)) = stripped.split_once('=') {
+            pairs.push((k.to_string(), v.to_string()));
+        } else if let Some(next) = it.peek() {
+            if next.starts_with("--") {
+                bare.push(stripped.to_string());
+            } else {
+                pairs.push((stripped.to_string(), it.next().unwrap().clone()));
+            }
+        } else {
+            bare.push(stripped.to_string());
+        }
+    }
+    Ok(Flags { pairs, bare })
+}
+
+fn load_db(flags: &Flags) -> Result<HorizontalDb, String> {
+    let path = flags.require("input")?;
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut r = BufReader::new(f);
+    let (db, _) = binfmt::read_horizontal(&mut r).map_err(|e| format!("read {path}: {e}"))?;
+    Ok(db)
+}
+
+fn support_of(flags: &Flags) -> Result<MinSupport, String> {
+    let pct: f64 = flags
+        .require("support")?
+        .trim_end_matches('%')
+        .parse()
+        .map_err(|_| "--support: expected a percentage".to_string())?;
+    if !(0.0..=100.0).contains(&pct) {
+        return Err("--support must be in [0, 100]".to_string());
+    }
+    Ok(MinSupport::from_percent(pct))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<String, String> {
+    let out = flags.require("out")?;
+    let d: usize = flags.parse("transactions", 0usize)?;
+    if d == 0 {
+        return Err("--transactions must be > 0".to_string());
+    }
+    let seed: u64 = flags.parse("seed", 0x5EEDu64)?;
+    let family = flags.get("family").unwrap_or("t10i6");
+    let params = match family {
+        "t10i6" => QuestParams::t10_i6(d),
+        "t5i2" => QuestParams::t5_i2(d),
+        "t20i4" => QuestParams::t20_i4(d),
+        "t20i6" => QuestParams::t20_i6(d),
+        other => return Err(format!("unknown family '{other}'")),
+    }
+    .with_seed(seed);
+    let name = params.name();
+    let db = HorizontalDb::from_transactions(QuestGenerator::new(params).generate_all());
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    let bytes = binfmt::write_horizontal(&db, &mut w).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "generated {name}: {} transactions, {} items, {:.1} MB -> {out}\n",
+        db.num_transactions(),
+        db.num_items(),
+        bytes as f64 / (1024.0 * 1024.0)
+    ))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let mut hist = vec![0usize; 1 + db.iter().map(|(_, t)| t.len()).max().unwrap_or(0)];
+    for (_, t) in db.iter() {
+        hist[t.len()] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "transactions : {}", db.num_transactions());
+    let _ = writeln!(out, "items        : {}", db.num_items());
+    let _ = writeln!(out, "avg length   : {:.2}", db.avg_transaction_len());
+    let _ = writeln!(out, "total bytes  : {}", db.byte_size());
+    let _ = writeln!(out, "length histogram:");
+    let max = hist.iter().copied().max().unwrap_or(1).max(1);
+    for (len, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            let bar = "#".repeat((n * 40 / max).max(1));
+            let _ = writeln!(out, "  {len:>3}: {n:>8} {bar}");
+        }
+    }
+    Ok(out)
+}
+
+fn mine_by_algorithm(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    algorithm: &str,
+) -> Result<FrequentSet, String> {
+    let mut meter = OpMeter::new();
+    let cfg = eclat::EclatConfig::default();
+    Ok(match algorithm {
+        "eclat" => eclat::sequential::mine_with(db, minsup, &cfg, &mut meter),
+        "parallel" => eclat::parallel::mine_with(db, minsup, &cfg),
+        "apriori" => apriori::mine(db, minsup),
+        "clique" => eclat::clique::mine_with(db, minsup, &cfg, &mut meter),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_mine(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let minsup = support_of(flags)?;
+    let algorithm = flags.get("algorithm").unwrap_or("eclat");
+    let min_size: usize = flags.parse("min-size", 2usize)?;
+    let top: usize = flags.parse("top", 20usize)?;
+
+    let t0 = std::time::Instant::now();
+    let fs = if flags.has("maximal") {
+        eclat::maximal::mine_maximal(&db, minsup)
+    } else {
+        mine_by_algorithm(&db, minsup, algorithm)?
+    };
+    let dt = t0.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    let kind = if flags.has("maximal") { "maximal frequent" } else { "frequent" };
+    let _ = writeln!(
+        out,
+        "{} {kind} itemsets in {dt:.2}s ({algorithm})",
+        fs.len()
+    );
+    let counts = fs.counts_by_size();
+    for (k, c) in counts.iter().enumerate() {
+        if *c > 0 {
+            let _ = writeln!(out, "  size {:>2}: {c}", k + 1);
+        }
+    }
+    let mut shown = 0usize;
+    let _ = writeln!(out, "top by support (size >= {min_size}):");
+    let mut sorted = fs.sorted();
+    sorted.sort_by(|a, b| b.support.cmp(&a.support).then(a.itemset.cmp(&b.itemset)));
+    for c in sorted {
+        if c.itemset.len() >= min_size {
+            let _ = writeln!(out, "  {:<40} {:>8}", format!("{}", c.itemset), c.support);
+            shown += 1;
+            if shown >= top {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_rules(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let minsup = support_of(flags)?;
+    let confidence: f64 = flags.parse("confidence", 0.8f64)?;
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err("--confidence must be in [0, 1]".to_string());
+    }
+    let top: usize = flags.parse("top", 20usize)?;
+    let mut meter = OpMeter::new();
+    let fs = eclat::sequential::mine_with(
+        &db,
+        minsup,
+        &eclat::EclatConfig::with_singletons(),
+        &mut meter,
+    );
+    let rules = assoc_rules::generate(&fs, confidence);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} rules at confidence >= {confidence} (from {} frequent itemsets)",
+        rules.len(),
+        fs.len()
+    );
+    for r in rules.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:<26} => {:<18} conf {:.3}  sup {:>6}  lift {:.2}",
+            format!("{}", r.antecedent),
+            format!("{}", r.consequent),
+            r.confidence(),
+            r.support,
+            r.lift(db.num_transactions())
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let minsup = support_of(flags)?;
+    let hosts: usize = flags.parse("hosts", 8usize)?;
+    let procs: usize = flags.parse("procs", 1usize)?;
+    if hosts == 0 || procs == 0 {
+        return Err("--hosts and --procs must be > 0".to_string());
+    }
+    let topo = ClusterConfig::new(hosts, procs);
+    let cost = CostModel::dec_alpha_1997();
+    let algorithm = flags.get("algorithm").unwrap_or("eclat");
+    let mut out = String::new();
+    match algorithm {
+        "eclat" | "hybrid" => {
+            let rep = if algorithm == "hybrid" {
+                eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &Default::default())
+            } else {
+                eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &Default::default())
+            };
+            let _ = writeln!(
+                out,
+                "{algorithm} on {} — simulated {:.2}s (setup {:.2}s), |L2| = {}, {} frequent itemsets",
+                topo.label(),
+                rep.total_secs(),
+                rep.setup_secs(),
+                rep.num_l2,
+                rep.frequent.len()
+            );
+            out.push_str(&memchannel::stats::render(&rep.timeline));
+        }
+        "countdist" => {
+            let rep = parbase::mine_count_dist(&db, minsup, &topo, &cost, &Default::default());
+            let _ = writeln!(
+                out,
+                "countdist on {} — simulated {:.2}s, {} iterations, {} frequent itemsets",
+                topo.label(),
+                rep.total_secs(),
+                rep.iterations,
+                rep.frequent.len()
+            );
+            out.push_str(&memchannel::stats::render(&rep.timeline));
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tempfile(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("eclat-cli-{tag}-{}.ech", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn generate(path: &str, n: usize) {
+        let out = run(&argv(&[
+            "generate",
+            "--out",
+            path,
+            "--transactions",
+            &n.to_string(),
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("generated T10.I6."), "{out}");
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&argv(&["help"])).unwrap().contains("subcommands"));
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_stats_mine_rules_simulate_pipeline() {
+        let path = tempfile("pipe");
+        generate(&path, 3000);
+
+        let stats = run(&argv(&["stats", "--input", &path])).unwrap();
+        assert!(stats.contains("transactions : 3000"), "{stats}");
+        assert!(stats.contains("length histogram"));
+
+        let mined = run(&argv(&[
+            "mine", "--input", &path, "--support", "0.5", "--top", "5",
+        ]))
+        .unwrap();
+        assert!(mined.contains("frequent itemsets"), "{mined}");
+        assert!(mined.contains("size  2:"), "{mined}");
+
+        let rules = run(&argv(&[
+            "rules",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--confidence",
+            "0.7",
+        ]))
+        .unwrap();
+        assert!(rules.contains("rules at confidence"), "{rules}");
+
+        let sim = run(&argv(&[
+            "simulate", "--input", &path, "--support", "0.5", "--hosts", "2", "--procs", "2",
+        ]))
+        .unwrap();
+        assert!(sim.contains("simulated"), "{sim}");
+        assert!(sim.contains("init"), "{sim}");
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn algorithms_agree_via_cli() {
+        let path = tempfile("algos");
+        generate(&path, 2000);
+        let base = run(&argv(&["mine", "--input", &path, "--support", "0.5"])).unwrap();
+        for algo in ["parallel", "apriori", "clique"] {
+            let out = run(&argv(&[
+                "mine", "--input", &path, "--support", "0.5", "--algorithm", algo,
+            ]))
+            .unwrap();
+            // same per-size breakdown lines (apriori adds size-1 row)
+            for line in base.lines().filter(|l| l.trim_start().starts_with("size")) {
+                assert!(out.contains(line.trim()), "{algo} missing {line}");
+            }
+        }
+        let maximal = run(&argv(&[
+            "mine", "--input", &path, "--support", "0.5", "--maximal",
+        ]))
+        .unwrap();
+        assert!(maximal.contains("maximal frequent"), "{maximal}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run(&argv(&["mine", "--support", "1"])).unwrap_err().contains("--input"));
+        assert!(run(&argv(&["mine", "--input", "/nonexistent", "--support", "1"]))
+            .unwrap_err()
+            .contains("open"));
+        let path = tempfile("err");
+        generate(&path, 100);
+        assert!(run(&argv(&["mine", "--input", &path, "--support", "200"]))
+            .unwrap_err()
+            .contains("[0, 100]"));
+        assert!(run(&argv(&["mine", "--input", &path, "--support", "1",
+            "--algorithm", "bogus"])).unwrap_err().contains("unknown algorithm"));
+        assert!(run(&argv(&["generate", "--out", "/tmp/x.ech"])).unwrap_err()
+            .contains("--transactions"));
+        assert!(run(&argv(&["simulate", "--input", &path, "--support", "1",
+            "--hosts", "0"])).unwrap_err().contains("must be > 0"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flag_parser_variants() {
+        let f = parse_flags(&argv(&["--a=1", "--b", "2", "--bare"])).unwrap();
+        assert_eq!(f.get("a"), Some("1"));
+        assert_eq!(f.get("b"), Some("2"));
+        assert!(f.has("bare"));
+        assert!(!f.has("missing"));
+        assert!(parse_flags(&argv(&["loose"])).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! `eclat` binary entry point: thin shell over [`eclat_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match eclat_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The paper's distributed Eclat on the simulated Memory Channel cluster
+//! (Figure 2), phase for phase:
+//!
+//! 1. **Initialization** — each processor scans its local block once,
+//!    counts all 2-itemsets into a local upper-triangular array, and a
+//!    §6.2 sum-reduction over the shared region produces global `L2`.
+//! 2. **Transformation** — `L2` is partitioned into equivalence classes,
+//!    scheduled greedily onto processors (§5.2.1); each processor scans
+//!    its block a second time building *partial* tid-lists, broadcasts
+//!    its partial counts (the offset-placement information of §6.3), and
+//!    the lock-step 2 MB-buffer exchange routes every partial list to its
+//!    class's owner; owners concatenate partials in processor order —
+//!    lists arrive globally sorted for free — and write them to disk.
+//! 3. **Asynchronous phase** — each processor reads its own vertical
+//!    partition back (the third and final scan) and mines its classes
+//!    independently with the recursive kernel: no communication, no
+//!    synchronization.
+//! 4. **Final reduction** — local result sets are aggregated.
+//!
+//! The real mining computation executes once per simulated processor;
+//! the recorded traces replay against the cost model to produce the
+//! virtual [`Timeline`] reported in Table 2 / Figure 7.
+
+use crate::compute::{compute_frequent, EclatConfig};
+use crate::equivalence::{classes_of_l2, EquivalenceClass};
+use crate::schedule::{schedule_weights, Assignment};
+use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
+use dbstore::{BlockPartition, HorizontalDb};
+use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
+use memchannel::{ClusterConfig, CostModel, Timeline, TraceRecorder};
+use mining_types::{FrequentSet, ItemId, Itemset, OpMeter, MinSupport};
+use tidlist::TidList;
+
+/// Phase labels used in the recorded traces.
+pub const PHASE_INIT: &str = "init";
+/// Transformation phase label.
+pub const PHASE_TRANSFORM: &str = "transform";
+/// Asynchronous (mining) phase label.
+pub const PHASE_ASYNC: &str = "async";
+/// Final-reduction phase label.
+pub const PHASE_REDUCE: &str = "reduce";
+
+/// Result of a simulated cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// The mined frequent itemsets (identical to sequential Eclat's).
+    pub frequent: FrequentSet,
+    /// The replayed virtual timeline.
+    pub timeline: Timeline,
+    /// The class→processor assignment used.
+    pub assignment: Assignment,
+    /// Write/read rounds of the lock-step exchange.
+    pub exchange_rounds: usize,
+    /// Number of frequent 2-itemsets (the scheduling input size).
+    pub num_l2: usize,
+}
+
+impl ClusterReport {
+    /// Total virtual execution time in seconds (Table 2's `Total`).
+    pub fn total_secs(&self) -> f64 {
+        self.timeline.total_secs()
+    }
+
+    /// Initialization + transformation time in seconds (Table 2's
+    /// `Setup` break-up).
+    pub fn setup_secs(&self) -> f64 {
+        self.timeline.phase_secs(PHASE_INIT) + self.timeline.phase_secs(PHASE_TRANSFORM)
+    }
+}
+
+/// Bytes of a serialized frequent-itemset result (`k` items + support).
+fn result_bytes(fs: &FrequentSet) -> u64 {
+    fs.iter().map(|(is, _)| is.len() as u64 * 4 + 4).sum()
+}
+
+/// Run Eclat on the simulated cluster.
+pub fn mine_cluster(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cluster: &ClusterConfig,
+    cost: &CostModel,
+    cfg: &EclatConfig,
+) -> ClusterReport {
+    let t = cluster.total();
+    let n = db.num_transactions();
+    let threshold = minsup.count_threshold(n);
+    let partition = BlockPartition::equal_blocks(n, t);
+    let mut recorders: Vec<TraceRecorder> = (0..t)
+        .map(|p| TraceRecorder::new(p, cost.clone()))
+        .collect();
+    let mut barriers = BarrierSeq::new();
+    let mut out = FrequentSet::new();
+
+    // ---------------- Initialization phase ----------------
+    let mut global_tri: Option<mining_types::TriangleMatrix> = None;
+    for p in 0..t {
+        let rec = &mut recorders[p];
+        rec.phase(PHASE_INIT);
+        let block = partition.block(p);
+        rec.disk_read(db.byte_size_range(block.clone()));
+        let mut meter = OpMeter::new();
+        let tri = count_pairs(db, block.clone(), &mut meter);
+        if cfg.include_singletons {
+            // Piggybacked singleton counting: meter its per-block cost
+            // here; the counts themselves are assembled once below.
+            let _ = count_items(db, block, &mut meter);
+        }
+        rec.compute(&meter);
+        match &mut global_tri {
+            Some(g) => g.merge_from(&tri),
+            None => global_tri = Some(tri),
+        }
+    }
+    let global_tri = global_tri.expect("at least one processor");
+    // §6.2 sum-reduction of the triangular arrays.
+    let tri_bytes = (global_tri.cells() as u64) * 4;
+    sum_reduce(&mut recorders, &vec![tri_bytes; t], tri_bytes, &mut barriers);
+
+    if cfg.include_singletons {
+        let mut m = OpMeter::new();
+        let counts = count_items(db, 0..n, &mut m);
+        for (i, &c) in counts.iter().enumerate() {
+            if c >= threshold {
+                out.insert(Itemset::single(ItemId(i as u32)), c);
+            }
+        }
+    }
+
+    let l2: Vec<(ItemId, ItemId, u32)> = global_tri
+        .frequent_pairs(threshold)
+        .collect();
+    let num_l2 = l2.len();
+
+    if l2.is_empty() {
+        // Nothing to transform or mine; close out the trace.
+        for rec in &mut recorders {
+            rec.phase(PHASE_REDUCE);
+        }
+        let bytes = result_bytes(&out);
+        sum_reduce(&mut recorders, &vec![0; t], bytes, &mut barriers);
+        let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
+        let timeline = memchannel::des::replay(cluster, cost, &traces);
+        return ClusterReport {
+            frequent: out,
+            timeline,
+            assignment: Assignment {
+                owner: vec![],
+                load: vec![0; t],
+            },
+            exchange_rounds: 0,
+            num_l2: 0,
+        };
+    }
+
+    // ---------------- Transformation phase ----------------
+    // Equivalence-class scheduling (concurrent on all processors in the
+    // paper — each works from the same global L2, so we compute it once).
+    let pairs_only: Vec<(ItemId, ItemId)> = l2.iter().map(|&(a, b, _)| (a, b)).collect();
+    // class boundaries by first item:
+    let mut class_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    {
+        let mut start = 0usize;
+        for i in 1..=pairs_only.len() {
+            if i == pairs_only.len() || pairs_only[i].0 != pairs_only[start].0 {
+                class_ranges.push(start..i);
+                start = i;
+            }
+        }
+    }
+    let weights: Vec<u64> = class_ranges
+        .iter()
+        .map(|r| match cfg.heuristic {
+            crate::schedule::ScheduleHeuristic::SupportWeighted => {
+                l2[r.clone()].iter().map(|&(_, _, c)| c as u64).sum()
+            }
+            _ => mining_types::itemset::choose2(r.len()),
+        })
+        .collect();
+    let assignment = schedule_weights(&weights, t, cfg.heuristic);
+    // slot → owning processor
+    let mut slot_owner = vec![0usize; pairs_only.len()];
+    for (ci, r) in class_ranges.iter().enumerate() {
+        for s in r.clone() {
+            slot_owner[s] = assignment.owner[ci];
+        }
+    }
+
+    let idx = index_pairs(&pairs_only);
+    // Per-processor partial tid-lists, and the trace of the second scan.
+    let mut partials: Vec<Vec<TidList>> = Vec::with_capacity(t);
+    for p in 0..t {
+        let rec = &mut recorders[p];
+        rec.phase(PHASE_TRANSFORM);
+        let block = partition.block(p);
+        rec.disk_read(db.byte_size_range(block.clone()));
+        let mut meter = OpMeter::new();
+        let lists = build_pair_tidlists(db, block, &idx, &mut meter);
+        rec.compute(&meter);
+        // Local tid-list transformation: write every partial list into
+        // the memory-mapped region at its offset (§6.3).
+        let local_bytes: u64 = lists.iter().map(|l| l.byte_size()).sum();
+        rec.local_copy(local_bytes);
+        partials.push(lists);
+    }
+    // Broadcast of partial counts (offset-placement info, §6.2 end).
+    let count_bytes = (num_l2 as u64) * 4;
+    broadcast_all(&mut recorders, &vec![count_bytes; t], &mut barriers);
+
+    // Outgoing byte matrix for the lock-step exchange.
+    let outgoing: Vec<Vec<u64>> = (0..t)
+        .map(|p| {
+            (0..t)
+                .map(|q| {
+                    if p == q {
+                        0
+                    } else {
+                        (0..pairs_only.len())
+                            .filter(|&s| slot_owner[s] == q)
+                            .map(|s| partials[p][s].byte_size())
+                            .sum()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let exchange_rounds =
+        lockstep_exchange(&mut recorders, &outgoing, cfg.buffer_bytes, &mut barriers);
+
+    // Concatenate partials in processor order → global tid-lists, owned
+    // per processor; write them to local disk.
+    let mut owned_lists: Vec<Vec<(usize, TidList)>> = vec![Vec::new(); t];
+    for (s, &owner) in slot_owner.iter().enumerate() {
+        let mut global = TidList::new();
+        for part in partials.iter() {
+            global.append_partial(&part[s]);
+        }
+        debug_assert!(global.support() >= threshold);
+        owned_lists[owner].push((s, global));
+    }
+    for (p, rec) in recorders.iter_mut().enumerate() {
+        let bytes: u64 = owned_lists[p].iter().map(|(_, l)| 4 + l.byte_size()).sum();
+        if bytes > 0 {
+            rec.disk_write(bytes);
+        }
+    }
+    drop(partials);
+
+    // ---------------- Asynchronous phase ----------------
+    let mut local_results: Vec<FrequentSet> = Vec::with_capacity(t);
+    for p in 0..t {
+        let rec = &mut recorders[p];
+        rec.phase(PHASE_ASYNC);
+        let bytes: u64 = owned_lists[p].iter().map(|(_, l)| 4 + l.byte_size()).sum();
+        if bytes > 0 {
+            rec.disk_read(bytes);
+        }
+        let mut meter = OpMeter::new();
+        let mut local = FrequentSet::new();
+        // owned slots grouped into complete classes (scheduling is
+        // class-granular, so a class's slots share one owner)
+        let slots = std::mem::take(&mut owned_lists[p]);
+        let pairs_with_lists: Vec<(ItemId, ItemId, TidList)> = slots
+            .into_iter()
+            .map(|(s, l)| (pairs_only[s].0, pairs_only[s].1, l))
+            .collect();
+        for class in classes_of_l2(pairs_with_lists) {
+            for m in &class.members {
+                local.insert(m.itemset.clone(), m.tids.support());
+            }
+            compute_frequent(class, threshold, cfg, &mut meter, &mut local);
+        }
+        rec.compute(&meter);
+        local_results.push(local);
+    }
+
+    // ---------------- Final reduction phase ----------------
+    let result_sizes: Vec<u64> = local_results.iter().map(result_bytes).collect();
+    let total_result: u64 = result_sizes.iter().sum();
+    for rec in recorders.iter_mut() {
+        rec.phase(PHASE_REDUCE);
+    }
+    sum_reduce(&mut recorders, &result_sizes, total_result, &mut barriers);
+    for local in local_results {
+        out.merge(local);
+    }
+
+    let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
+    let timeline = memchannel::des::replay(cluster, cost, &traces);
+    ClusterReport {
+        frequent: out,
+        timeline,
+        assignment,
+        exchange_rounds,
+        num_l2,
+    }
+}
+
+/// Convenience: run a class of `EquivalenceClass` values through the
+/// kernel, returning the local result (used by the hybrid variant).
+pub(crate) fn mine_classes(
+    classes: Vec<EquivalenceClass>,
+    threshold: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> FrequentSet {
+    let mut local = FrequentSet::new();
+    for class in classes {
+        for m in &class.members {
+            local.insert(m.itemset.clone(), m.tids.support());
+        }
+        compute_frequent(class, threshold, cfg, meter, &mut local);
+    }
+    local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+    use apriori::reference::random_db;
+
+    fn cost() -> CostModel {
+        CostModel::dec_alpha_1997()
+    }
+
+    #[test]
+    fn cluster_matches_sequential_on_every_topology() {
+        let db = random_db(4, 240, 14, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let expect = sequential::mine(&db, minsup);
+        for (h, p) in [(1, 1), (2, 1), (1, 4), (2, 2), (4, 2), (3, 3)] {
+            let report = mine_cluster(
+                &db,
+                minsup,
+                &ClusterConfig::new(h, p),
+                &cost(),
+                &EclatConfig::default(),
+            );
+            assert_eq!(report.frequent, expect, "H={h} P={p}");
+            assert!(report.total_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn phases_appear_in_the_timeline() {
+        let db = random_db(1, 200, 12, 6);
+        let minsup = MinSupport::from_percent(6.0);
+        let report = mine_cluster(
+            &db,
+            minsup,
+            &ClusterConfig::new(2, 2),
+            &cost(),
+            &EclatConfig::default(),
+        );
+        let tl = &report.timeline;
+        for phase in [PHASE_INIT, PHASE_TRANSFORM, PHASE_ASYNC, PHASE_REDUCE] {
+            assert!(
+                tl.phase_ns(phase) > 0.0,
+                "phase {phase} missing from timeline"
+            );
+        }
+        assert!(report.setup_secs() > 0.0);
+        assert!(report.setup_secs() < report.total_secs());
+        assert!(report.num_l2 > 0);
+    }
+
+    #[test]
+    fn more_processors_do_not_change_results_but_speed_up_async() {
+        let db = random_db(9, 400, 14, 6);
+        let minsup = MinSupport::from_percent(4.0);
+        let seq = mine_cluster(
+            &db,
+            minsup,
+            &ClusterConfig::sequential(),
+            &cost(),
+            &EclatConfig::default(),
+        );
+        let par = mine_cluster(
+            &db,
+            minsup,
+            &ClusterConfig::new(4, 1),
+            &cost(),
+            &EclatConfig::default(),
+        );
+        assert_eq!(seq.frequent, par.frequent);
+        assert!(
+            par.timeline.phase_ns(PHASE_ASYNC) <= seq.timeline.phase_ns(PHASE_ASYNC),
+            "async phase must not slow down with more hosts"
+        );
+    }
+
+    #[test]
+    fn singletons_supported() {
+        let db = random_db(2, 150, 10, 5);
+        let minsup = MinSupport::from_percent(8.0);
+        let report = mine_cluster(
+            &db,
+            minsup,
+            &ClusterConfig::new(2, 1),
+            &cost(),
+            &EclatConfig::with_singletons(),
+        );
+        let ap = apriori::mine(&db, minsup);
+        assert_eq!(report.frequent, ap);
+    }
+
+    #[test]
+    fn no_frequent_pairs_terminates_cleanly() {
+        let db = dbstore::HorizontalDb::of(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let report = mine_cluster(
+            &db,
+            MinSupport::from_fraction(0.6),
+            &ClusterConfig::new(2, 1),
+            &cost(),
+            &EclatConfig::default(),
+        );
+        assert!(report.frequent.is_empty());
+        assert_eq!(report.num_l2, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let db = random_db(5, 200, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let run = || {
+            mine_cluster(
+                &db,
+                minsup,
+                &ClusterConfig::new(2, 2),
+                &cost(),
+                &EclatConfig::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.frequent, b.frequent);
+        assert_eq!(a.timeline, b.timeline);
+    }
+}

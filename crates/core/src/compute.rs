@@ -1,0 +1,319 @@
+//! The recursive mining kernel `Compute_Frequent` (Figure 3).
+//!
+//! ```text
+//! Begin Compute_Frequent(E_{k-1})
+//!   for all itemsets I1 and I2 in E_{k-1}
+//!     if ((I1.tidlist ∩ I2.tidlist) ≥ minsup)
+//!       add (I1 ∪ I2) to L_k
+//!   Partition L_k into equivalence classes
+//!   for each equivalence class E_k in L_k
+//!     Compute_Frequent(E_k)
+//! End
+//! ```
+//!
+//! Once a level's members are joined, the parent tid-lists are dropped
+//! before recursing — *"once L_k has been determined, we can delete
+//! L_{k-1}; we thus need main memory space only for the itemsets in
+//! L_{k-1} within one equivalence class"* (§5.3).
+
+use crate::equivalence::{repartition, ClassMember, EquivalenceClass};
+use crate::schedule::ScheduleHeuristic;
+use mining_types::{FrequentSet, FxHashSet, OpMeter};
+use tidlist::IntersectOutcome;
+
+/// Tuning switches for Eclat (all variants).
+#[derive(Clone, Debug)]
+pub struct EclatConfig {
+    /// §5.3 short-circuited intersections: abandon a join the moment the
+    /// result provably cannot reach the minimum support.
+    pub short_circuit: bool,
+    /// §5.3 "Pruning Candidates": check a candidate's conclusive
+    /// `(k−1)`-subsets (those under the same class root, which are fully
+    /// mined before deeper recursion) before intersecting. The paper
+    /// found this *"of little or no help"* with the vertical layout; the
+    /// toggle exists to reproduce that ablation (A3).
+    pub prune: bool,
+    /// Also report frequent 1-itemsets. The paper's Eclat skips them
+    /// (*"We don't count the support of single elements"*, §5.1); turning
+    /// this on adds a cheap piggybacked count during the first scan so
+    /// the output is a complete downward-closed set for rule generation.
+    pub include_singletons: bool,
+    /// Class-scheduling heuristic (cluster/hybrid/parallel variants).
+    pub heuristic: ScheduleHeuristic,
+    /// Transmit/receive buffer for the §6.3 exchange (cluster variant).
+    pub buffer_bytes: u64,
+}
+
+impl Default for EclatConfig {
+    fn default() -> Self {
+        EclatConfig {
+            short_circuit: true,
+            prune: false,
+            include_singletons: false,
+            heuristic: ScheduleHeuristic::GreedyPairs,
+            buffer_bytes: 2 * 1024 * 1024, // the paper's 2 MB buffers
+        }
+    }
+}
+
+impl EclatConfig {
+    /// Config that also emits frequent 1-itemsets.
+    pub fn with_singletons() -> Self {
+        EclatConfig {
+            include_singletons: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Mine everything derivable from one equivalence class.
+///
+/// The members of `class` itself must already be recorded in `out` by
+/// the caller.
+pub fn compute_frequent(
+    class: EquivalenceClass,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    // The A3 pruning state is scoped to the class subtree: a processor
+    // mining its own classes has no cross-class knowledge — exactly the
+    // locality limitation that makes pruning "of little or no help" for
+    // Eclat (§5.3).
+    let mut infrequent: FxHashSet<mining_types::Itemset> = FxHashSet::default();
+    compute_rec(class, minsup, cfg, meter, out, &mut infrequent);
+}
+
+fn compute_rec(
+    class: EquivalenceClass,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+    infrequent: &mut FxHashSet<mining_types::Itemset>,
+) {
+    if class.size() < 2 {
+        return;
+    }
+    let members = class.members;
+    let mut next: Vec<ClassMember> = Vec::new();
+    for i in 0..members.len() {
+        for j in i + 1..members.len() {
+            let candidate = members[i]
+                .itemset
+                .join(&members[j].itemset)
+                .expect("class members share a prefix and are ordered");
+            meter.cand_gen += 1;
+
+            if cfg.prune && !prune_ok(&candidate, infrequent, meter) {
+                infrequent.insert(candidate);
+                continue;
+            }
+
+            let result = if cfg.short_circuit {
+                members[i]
+                    .tids
+                    .intersect_bounded_metered(&members[j].tids, minsup, meter)
+            } else {
+                let full = members[i].tids.intersect_metered(&members[j].tids, meter);
+                if full.support() >= minsup {
+                    IntersectOutcome::Frequent(full)
+                } else {
+                    IntersectOutcome::Infrequent
+                }
+            };
+            match result {
+                IntersectOutcome::Frequent(tids) => {
+                    out.insert(candidate.clone(), tids.support());
+                    next.push(ClassMember {
+                        itemset: candidate,
+                        tids,
+                    });
+                }
+                IntersectOutcome::Infrequent => {
+                    if cfg.prune {
+                        infrequent.insert(candidate);
+                    }
+                }
+            }
+        }
+    }
+    // Parent tid-lists are no longer needed — free them before recursing
+    // (the §5.3 memory argument).
+    drop(members);
+
+    for sub in repartition(next) {
+        compute_rec(sub, minsup, cfg, meter, out, infrequent);
+    }
+}
+
+/// A3 pruning check: a candidate can be skipped when one of its
+/// `(k−1)`-subsets is *known* infrequent. Only subsets already rejected
+/// inside this class subtree are known — subsets in sibling or remote
+/// classes are unavailable in the DFS order, so the check rarely fires.
+fn prune_ok(
+    candidate: &mining_types::Itemset,
+    infrequent: &FxHashSet<mining_types::Itemset>,
+    meter: &mut OpMeter,
+) -> bool {
+    // The two subsets dropping the last / second-to-last item are the
+    // join parents — frequent by construction; skip them.
+    let k = candidate.len();
+    for idx in 0..k.saturating_sub(2) {
+        let sub = candidate.without_index(idx);
+        meter.hash_probe += 1;
+        if infrequent.contains(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mining_types::Itemset;
+    use tidlist::TidList;
+
+    fn member(raw: &[u32], tids: &[u32]) -> ClassMember {
+        ClassMember {
+            itemset: Itemset::of(raw),
+            tids: TidList::of(tids),
+        }
+    }
+
+    /// Class \[0\] where {0,1},{0,2} overlap heavily and {0,3} does not.
+    fn sample_class() -> EquivalenceClass {
+        EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: vec![
+                member(&[0, 1], &[1, 2, 3, 4]),
+                member(&[0, 2], &[1, 2, 3, 9]),
+                member(&[0, 3], &[7, 8]),
+            ],
+        }
+    }
+
+    #[test]
+    fn finds_three_itemsets_and_recurses() {
+        let mut out = FrequentSet::new();
+        let mut meter = OpMeter::new();
+        compute_frequent(
+            sample_class(),
+            2,
+            &EclatConfig::default(),
+            &mut meter,
+            &mut out,
+        );
+        // {0,1}∩{0,2} = {1,2,3} → support 3 ✓; {0,1}∩{0,3} = ∅; {0,2}∩{0,3} = ∅
+        assert_eq!(out.support_of(&Itemset::of(&[0, 1, 2])), Some(3));
+        assert_eq!(out.len(), 1);
+        assert!(meter.cand_gen == 3);
+        assert!(meter.tid_cmp > 0);
+    }
+
+    #[test]
+    fn deep_recursion_mines_all_levels() {
+        // Four members all sharing tids {1,2,3}: every superset up to
+        // {0,1,2,3,4} is frequent at minsup 3.
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: (1..=4)
+                .map(|b| member(&[0, b], &[1, 2, 3]))
+                .collect(),
+        };
+        let mut out = FrequentSet::new();
+        let mut meter = OpMeter::new();
+        compute_frequent(class, 3, &EclatConfig::default(), &mut meter, &mut out);
+        // sizes: C(4,2)=6 threes, C(4,3)=4 fours, C(4,4)=1 five
+        assert_eq!(out.counts_by_size(), vec![0, 0, 6, 4, 1]);
+        assert_eq!(out.support_of(&Itemset::of(&[0, 1, 2, 3, 4])), Some(3));
+    }
+
+    #[test]
+    fn short_circuit_and_plain_agree() {
+        for short_circuit in [true, false] {
+            let cfg = EclatConfig {
+                short_circuit,
+                ..Default::default()
+            };
+            let mut out = FrequentSet::new();
+            let mut meter = OpMeter::new();
+            compute_frequent(sample_class(), 2, &cfg, &mut meter, &mut out);
+            assert_eq!(out.support_of(&Itemset::of(&[0, 1, 2])), Some(3));
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn short_circuit_saves_comparisons() {
+        // Large disjoint lists: bounded intersection bails early.
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: vec![
+                member(&[0, 1], &(0..400).collect::<Vec<_>>()),
+                member(&[0, 2], &(1000..1400).collect::<Vec<_>>()),
+            ],
+        };
+        let run = |sc: bool| {
+            let mut out = FrequentSet::new();
+            let mut meter = OpMeter::new();
+            compute_frequent(
+                class.clone(),
+                399,
+                &EclatConfig {
+                    short_circuit: sc,
+                    ..Default::default()
+                },
+                &mut meter,
+                &mut out,
+            );
+            meter.tid_cmp
+        };
+        assert!(run(true) * 5 < run(false));
+    }
+
+    #[test]
+    fn prune_does_not_change_results() {
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: (1..=5)
+                .map(|b| member(&[0, b], &(1..=(b + 2)).collect::<Vec<_>>()))
+                .collect(),
+        };
+        let run = |prune: bool| {
+            let mut out = FrequentSet::new();
+            let mut meter = OpMeter::new();
+            compute_frequent(
+                class.clone(),
+                2,
+                &EclatConfig {
+                    prune,
+                    ..Default::default()
+                },
+                &mut meter,
+                &mut out,
+            );
+            (out, meter)
+        };
+        let (plain, m_plain) = run(false);
+        let (pruned, m_pruned) = run(true);
+        assert_eq!(plain, pruned, "pruning must never change the answer");
+        assert!(m_pruned.hash_probe > 0, "pruning costs probes");
+        assert_eq!(m_plain.hash_probe, 0);
+    }
+
+    #[test]
+    fn singleton_class_is_a_noop() {
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: vec![member(&[0, 1], &[1, 2])],
+        };
+        let mut out = FrequentSet::new();
+        let mut meter = OpMeter::new();
+        compute_frequent(class, 1, &EclatConfig::default(), &mut meter, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(meter.cand_gen, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! d-Eclat: the diffset variant of the recursive kernel.
+//!
+//! Extension of the paper's tid-list clustering (see
+//! [`tidlist::diffset`]): below the `L2` level, each itemset carries the
+//! *difference* from its prefix's tid-list instead of the tid-list
+//! itself. Joins become differences of sibling diffsets, which shrink
+//! rapidly with depth — the memory-utilization improvement the paper
+//! lists as ongoing work (§9). The `ablations` bench compares the two
+//! representations.
+
+use crate::compute::EclatConfig;
+use crate::equivalence::EquivalenceClass;
+use mining_types::{FrequentSet, Itemset, OpMeter};
+use tidlist::diffset::DiffSet;
+
+/// A class member in diffset form.
+#[derive(Clone, Debug)]
+struct DiffMember {
+    itemset: Itemset,
+    diff: DiffSet,
+}
+
+/// Mine one `L2` equivalence class with diffsets. Produces exactly the
+/// same frequent itemsets and supports as
+/// [`crate::compute::compute_frequent`] on the same class.
+///
+/// The class enters in tid-list form (that is what the transformation
+/// phase produces); members are converted to diffsets relative to their
+/// own tid-lists' union... no — relative to the *class prefix* is not
+/// available for `L2` (Eclat never builds 1-item tid-lists), so the root
+/// conversion uses the first member as the reference: `d(xy)` is derived
+/// pairwise during the first join level via plain tid-list differences,
+/// and diffsets take over below.
+pub fn compute_frequent_diff(
+    class: EquivalenceClass,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    if class.size() < 2 {
+        return;
+    }
+    let members = class.members;
+    // First join level: tid-list intersections produce the k=3 members,
+    // carried as diffsets d(I1 ∪ I2) = t(I1) − t(I1 ∪ I2).
+    let mut next: Vec<DiffMember> = Vec::new();
+    for i in 0..members.len() {
+        for j in i + 1..members.len() {
+            let candidate = members[i]
+                .itemset
+                .join(&members[j].itemset)
+                .expect("class members join");
+            meter.cand_gen += 1;
+            let diff = DiffSet::from_tidlists(&members[i].tids, &members[j].tids);
+            meter.tid_cmp += (members[i].tids.len() + members[j].tids.len()) as u64;
+            if diff.support >= minsup {
+                out.insert(candidate.clone(), diff.support);
+                next.push(DiffMember {
+                    itemset: candidate,
+                    diff,
+                });
+            }
+        }
+    }
+    drop(members);
+    recurse(next, minsup, cfg, meter, out);
+}
+
+fn recurse(
+    members: Vec<DiffMember>,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    // Partition by (k−1)-prefix, mirroring equivalence::repartition.
+    let mut classes: Vec<Vec<DiffMember>> = Vec::new();
+    for m in members {
+        let plen = m.itemset.len() - 1;
+        match classes.last_mut() {
+            Some(c) if c[0].itemset.items()[..plen] == m.itemset.items()[..plen] => c.push(m),
+            _ => classes.push(vec![m]),
+        }
+    }
+    for class in classes {
+        if class.len() < 2 {
+            continue;
+        }
+        let mut next: Vec<DiffMember> = Vec::new();
+        for i in 0..class.len() {
+            for j in i + 1..class.len() {
+                let candidate = class[i]
+                    .itemset
+                    .join(&class[j].itemset)
+                    .expect("members join");
+                meter.cand_gen += 1;
+                meter.tid_cmp +=
+                    (class[i].diff.diff.len() + class[j].diff.diff.len()) as u64;
+                let joined = if cfg.short_circuit {
+                    class[i].diff.join_bounded(&class[j].diff, minsup)
+                } else {
+                    let full = class[i].diff.join(&class[j].diff);
+                    (full.support >= minsup).then_some(full)
+                };
+                if let Some(d) = joined {
+                    out.insert(candidate.clone(), d.support);
+                    next.push(DiffMember {
+                        itemset: candidate,
+                        diff: d,
+                    });
+                }
+            }
+        }
+        recurse(next, minsup, cfg, meter, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::compute_frequent;
+    use crate::equivalence::classes_of_l2;
+    use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
+    use apriori::reference::random_db;
+    use mining_types::{ItemId, MinSupport};
+
+    /// Mine a whole database with the diffset kernel (test harness).
+    fn mine_diff(db: &dbstore::HorizontalDb, minsup: MinSupport) -> FrequentSet {
+        let threshold = minsup.count_threshold(db.num_transactions());
+        let n = db.num_transactions();
+        let mut meter = OpMeter::new();
+        let tri = count_pairs(db, 0..n, &mut meter);
+        let l2: Vec<(ItemId, ItemId)> = tri
+            .frequent_pairs(threshold)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let mut out = FrequentSet::new();
+        if l2.is_empty() {
+            return out;
+        }
+        let idx = index_pairs(&l2);
+        let lists = build_pair_tidlists(db, 0..n, &idx, &mut meter);
+        let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
+        for class in classes_of_l2(pairs) {
+            for m in &class.members {
+                out.insert(m.itemset.clone(), m.tids.support());
+            }
+            compute_frequent_diff(class, threshold, &EclatConfig::default(), &mut meter, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn diffsets_agree_with_tidlists() {
+        for seed in [0u64, 3, 8] {
+            let db = random_db(seed, 150, 12, 6);
+            for pct in [5.0, 12.0] {
+                let minsup = MinSupport::from_percent(pct);
+                let diff = mine_diff(&db, minsup);
+                let tid = crate::sequential::mine(&db, minsup);
+                assert_eq!(diff, tid, "seed {seed} pct {pct}");
+            }
+        }
+    }
+
+    #[test]
+    fn diffsets_shrink_relative_to_tidlists_on_dense_data() {
+        // Dense correlated data: every transaction shares a core pattern,
+        // so deep tid-lists stay long but diffsets stay near-empty.
+        let txns: Vec<Vec<ItemId>> = (0..100)
+            .map(|i| {
+                let mut t: Vec<ItemId> = (0..6u32).map(ItemId).collect();
+                if i % 10 == 0 {
+                    t.push(ItemId(6 + (i / 10) as u32 % 3));
+                }
+                t
+            })
+            .collect();
+        let db = dbstore::HorizontalDb::from_transactions(txns);
+        let minsup = MinSupport::from_percent(50.0);
+        let threshold = minsup.count_threshold(100);
+        let mut meter_t = OpMeter::new();
+        let mut meter_d = OpMeter::new();
+        let tri = count_pairs(&db, 0..100, &mut meter_t);
+        let l2: Vec<(ItemId, ItemId)> = tri
+            .frequent_pairs(threshold)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let idx = index_pairs(&l2);
+        let lists = build_pair_tidlists(&db, 0..100, &idx, &mut meter_t);
+        let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
+        let classes = classes_of_l2(pairs);
+        let mut out_t = FrequentSet::new();
+        let mut out_d = FrequentSet::new();
+        for class in classes {
+            for m in &class.members {
+                out_t.insert(m.itemset.clone(), m.tids.support());
+                out_d.insert(m.itemset.clone(), m.tids.support());
+            }
+            compute_frequent(
+                class.clone(),
+                threshold,
+                &EclatConfig::default(),
+                &mut meter_t,
+                &mut out_t,
+            );
+            compute_frequent_diff(
+                class,
+                threshold,
+                &EclatConfig::default(),
+                &mut meter_d,
+                &mut out_d,
+            );
+        }
+        assert_eq!(out_t, out_d);
+        assert!(
+            meter_d.tid_cmp < meter_t.tid_cmp,
+            "diffsets should touch fewer elements on dense data: {} vs {}",
+            meter_d.tid_cmp,
+            meter_t.tid_cmp
+        );
+    }
+
+    #[test]
+    fn empty_class() {
+        let mut out = FrequentSet::new();
+        let mut meter = OpMeter::new();
+        compute_frequent_diff(
+            crate::equivalence::EquivalenceClass {
+                prefix: Itemset::of(&[0]),
+                members: vec![],
+            },
+            1,
+            &EclatConfig::default(),
+            &mut meter,
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! **Eclat** — the paper's contribution: localized (parallel) association
+//! mining via equivalence-class clustering and vertical tid-list
+//! intersections.
+//!
+//! Four variants share one recursive kernel ([`compute::compute_frequent`],
+//! Figure 3 of the paper):
+//!
+//! * [`sequential`] — single-process Eclat: triangular `L2` counting on
+//!   the horizontal layout, vertical transformation, then depth-first
+//!   equivalence-class mining (§5, specialized to one processor);
+//! * [`parallel`] — shared-memory Eclat on rayon: classes are independent
+//!   (§4.1), so they become parallel tasks — the API a downstream user
+//!   wants on a modern multicore box;
+//! * [`cluster`] — the paper's distributed algorithm, phase for phase
+//!   (Figure 2: initialization / transformation / asynchronous / final
+//!   reduction), executed against the simulated DEC Memory Channel
+//!   cluster of the [`memchannel`] crate, producing both the mining
+//!   result and a virtual [`memchannel::Timeline`];
+//! * [`hybrid`] — the future-work extension of §8.1/§9: the database is
+//!   partitioned among *hosts* only and processors within a host share
+//!   the class queue, eliminating intra-host disk contention.
+//!
+//! Companion algorithms from the paper's reference \[18\]: [`clique`]
+//! (maximal-clique itemset clustering) and [`maximal`] (MaxEclat with
+//! look-ahead for maximal frequent itemsets).
+//!
+//! Supporting modules: [`equivalence`] (prefix-class partitioning, §4.1),
+//! [`schedule`] (greedy least-loaded class scheduling with `C(s,2)`
+//! weights, §5.2.1), [`transform`] (horizontal → vertical transformation
+//! with §6.3's offset placement), and [`diffset_mine`] (the d-Eclat
+//! diffset extension).
+
+pub mod clique;
+pub mod cluster;
+pub mod compute;
+pub mod diffset_mine;
+pub mod equivalence;
+pub mod hybrid;
+pub mod maximal;
+pub mod parallel;
+pub mod schedule;
+pub mod sequential;
+pub mod transform;
+
+pub use compute::EclatConfig;
+pub use schedule::ScheduleHeuristic;

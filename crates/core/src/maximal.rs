@@ -1,0 +1,253 @@
+//! MaxEclat — maximal frequent itemset mining with look-ahead, the
+//! hybrid search of the paper's reference \[18\].
+//!
+//! Instead of materializing every frequent itemset, MaxEclat hunts the
+//! *maximal* ones (those with no frequent superset). Within an
+//! equivalence class it first tries the **look-ahead** jump: intersect
+//! the current node with *all* remaining extensions at once; if that
+//! long itemset is frequent, the entire sub-lattice below it is frequent
+//! and is skipped in one step. Only on failure does it fall back to the
+//! one-extension-at-a-time recursion.
+//!
+//! Output: the maximal frequent itemsets of size ≥ 2 with their exact
+//! supports. Cross-checked against `FrequentSet::maximal()` of the full
+//! miner.
+
+use crate::compute::EclatConfig;
+use crate::equivalence::{ClassMember, EquivalenceClass};
+use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
+use dbstore::HorizontalDb;
+use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter};
+use tidlist::IntersectOutcome;
+
+/// Mine the maximal frequent itemsets (size ≥ 2).
+pub fn mine_maximal(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
+    let mut meter = OpMeter::new();
+    mine_maximal_with(db, minsup, &EclatConfig::default(), &mut meter)
+}
+
+/// [`mine_maximal`] with configuration and metering.
+pub fn mine_maximal_with(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> FrequentSet {
+    let threshold = minsup.count_threshold(db.num_transactions());
+    let n = db.num_transactions();
+    let tri = count_pairs(db, 0..n, meter);
+    let l2: Vec<(ItemId, ItemId)> = tri
+        .frequent_pairs(threshold)
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    if l2.is_empty() {
+        return FrequentSet::new();
+    }
+    let idx = index_pairs(&l2);
+    let lists = build_pair_tidlists(db, 0..n, &idx, meter);
+    let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
+
+    // Collect candidate-maximal itemsets from every class, then filter
+    // globally (a class's local maximal can be subsumed by another
+    // class's result only if it is a subset — prefix classes make that
+    // impossible for same-first-item sets, but e.g. {B,C} ∈ [B] is
+    // subsumed by {A,B,C} ∈ [A], so the global pass is required).
+    let mut candidates: Vec<(Itemset, u32)> = Vec::new();
+    for class in crate::equivalence::classes_of_l2(pairs) {
+        if class.size() == 1 {
+            // a lone 2-itemset is maximal within its class
+            let m = &class.members[0];
+            candidates.push((m.itemset.clone(), m.tids.support()));
+            continue;
+        }
+        max_search(class, threshold, cfg, meter, &mut candidates);
+    }
+
+    // Global maximality filter.
+    let mut out = FrequentSet::new();
+    for (i, (is, sup)) in candidates.iter().enumerate() {
+        let subsumed = candidates
+            .iter()
+            .enumerate()
+            .any(|(j, (other, _))| j != i && other.len() > is.len() && is.is_subset_of(other));
+        if !subsumed {
+            out.insert(is.clone(), *sup);
+        }
+    }
+    out
+}
+
+/// Recursive hybrid search over one class. Pushes locally-maximal
+/// frequent itemsets into `found`.
+fn max_search(
+    class: EquivalenceClass,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    found: &mut Vec<(Itemset, u32)>,
+) {
+    let members = class.members;
+    debug_assert!(members.len() >= 2);
+
+    // --- Look-ahead: intersect everything at once.
+    let mut all = members[0].tids.clone();
+    let mut alive = true;
+    for m in &members[1..] {
+        let r = if cfg.short_circuit {
+            all.intersect_bounded_metered(&m.tids, minsup, meter)
+        } else {
+            let full = all.intersect_metered(&m.tids, meter);
+            if full.support() >= minsup {
+                IntersectOutcome::Frequent(full)
+            } else {
+                IntersectOutcome::Infrequent
+            }
+        };
+        match r {
+            IntersectOutcome::Frequent(t) => all = t,
+            IntersectOutcome::Infrequent => {
+                alive = false;
+                break;
+            }
+        }
+    }
+    if alive {
+        // The whole class joins into one frequent itemset — maximal for
+        // this subtree; everything below is subsumed.
+        let mut union = members[0].itemset.clone();
+        for m in &members[1..] {
+            union = union.union(&m.itemset);
+        }
+        found.push((union, all.support()));
+        return;
+    }
+
+    // --- Fall back: one level of pairwise joins, then recurse per class.
+    let mut next: Vec<ClassMember> = Vec::new();
+    let mut extended = vec![false; members.len()];
+    for i in 0..members.len() {
+        for j in i + 1..members.len() {
+            let candidate = members[i]
+                .itemset
+                .join(&members[j].itemset)
+                .expect("class members join");
+            meter.cand_gen += 1;
+            let r = members[i]
+                .tids
+                .intersect_bounded_metered(&members[j].tids, minsup, meter);
+            if let IntersectOutcome::Frequent(tids) = r {
+                extended[i] = true;
+                extended[j] = true;
+                next.push(ClassMember {
+                    itemset: candidate,
+                    tids,
+                });
+            }
+        }
+    }
+    // Members that extended nowhere are locally maximal.
+    for (i, m) in members.iter().enumerate() {
+        if !extended[i] {
+            found.push((m.itemset.clone(), m.tids.support()));
+        }
+    }
+    drop(members);
+    for sub in crate::equivalence::repartition(next) {
+        if sub.size() == 1 {
+            let m = &sub.members[0];
+            found.push((m.itemset.clone(), m.tids.support()));
+        } else {
+            max_search(sub, minsup, cfg, meter, found);
+        }
+    }
+}
+
+/// Maximal elements of a full frequent set (test oracle; also generally
+/// useful to consumers who mined everything and want the frontier).
+pub fn maximal_of(fs: &FrequentSet) -> FrequentSet {
+    let all: Vec<(&Itemset, u32)> = fs.iter().collect();
+    let mut out = FrequentSet::new();
+    for &(is, sup) in &all {
+        if is.len() < 2 {
+            continue;
+        }
+        let subsumed = all
+            .iter()
+            .any(|&(other, _)| other.len() > is.len() && is.is_subset_of(other));
+        if !subsumed {
+            out.insert(is.clone(), sup);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apriori::reference::random_db;
+
+    #[test]
+    fn matches_maximal_of_full_mining() {
+        for seed in [1u64, 8, 30] {
+            let db = random_db(seed, 200, 12, 6);
+            for pct in [5.0, 10.0, 20.0] {
+                let minsup = MinSupport::from_percent(pct);
+                let max_direct = mine_maximal(&db, minsup);
+                let full = crate::sequential::mine(&db, minsup);
+                let max_oracle = maximal_of(&full);
+                assert_eq!(max_direct, max_oracle, "seed {seed} pct {pct}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_pays_on_dense_data() {
+        // All transactions share one long pattern: the look-ahead should
+        // jump straight to the top and do far fewer intersections.
+        let txns: Vec<Vec<ItemId>> = (0..200)
+            .map(|i| {
+                let mut t: Vec<ItemId> = (0..8u32).map(ItemId).collect();
+                t.push(ItemId(8 + (i % 7) as u32));
+                t
+            })
+            .collect();
+        let db = HorizontalDb::from_transactions(txns);
+        let minsup = MinSupport::from_percent(50.0);
+        let mut m_max = OpMeter::new();
+        let max = mine_maximal_with(&db, minsup, &EclatConfig::default(), &mut m_max);
+        // the 8-item core is the unique maximal set
+        assert_eq!(max.len(), 1);
+        let (top, sup) = max.iter().next().unwrap();
+        assert_eq!(top, &Itemset::of(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(sup, 200);
+        let mut m_full = OpMeter::new();
+        crate::sequential::mine_with(&db, minsup, &EclatConfig::default(), &mut m_full);
+        assert!(
+            m_max.tid_cmp * 5 < m_full.tid_cmp,
+            "lookahead {} vs full {}",
+            m_max.tid_cmp,
+            m_full.tid_cmp
+        );
+    }
+
+    #[test]
+    fn no_member_of_output_subsumes_another() {
+        let db = random_db(12, 300, 14, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let max = mine_maximal(&db, minsup);
+        let v: Vec<_> = max.iter().collect();
+        for (i, (a, _)) in v.iter().enumerate() {
+            for (j, (b, _)) in v.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset_of(b), "{a} ⊆ {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = HorizontalDb::of(&[]);
+        assert!(mine_maximal(&db, MinSupport::from_percent(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared-memory parallel Eclat on rayon.
+//!
+//! The paper's central observation — equivalence classes are independent
+//! (§4.1) — maps directly onto task parallelism: after the sequential
+//! initialization and transformation passes, every class is mined as its
+//! own rayon task and the per-task results are merged. This is the
+//! variant a downstream user runs on a modern multicore machine; the
+//! [`crate::cluster`] variant is the paper's 1997 message-passing
+//! algorithm under the simulated cost model.
+
+use crate::compute::{compute_frequent, EclatConfig};
+use crate::equivalence::classes_of_l2;
+use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
+use dbstore::HorizontalDb;
+use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter};
+use rayon::prelude::*;
+
+/// Mine frequent itemsets (size ≥ 2) using all rayon threads.
+pub fn mine(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
+    mine_with(db, minsup, &EclatConfig::default())
+}
+
+/// Mine with explicit configuration.
+///
+/// The initialization scan is itself parallelized as a map-reduce over
+/// transaction blocks (each task counts a block into a private triangular
+/// matrix, merged pairwise — the shared-memory analogue of the paper's
+/// per-processor partial counts plus sum-reduction).
+pub fn mine_with(db: &HorizontalDb, minsup: MinSupport, cfg: &EclatConfig) -> FrequentSet {
+    let threshold = minsup.count_threshold(db.num_transactions());
+    let n = db.num_transactions();
+    let mut out = FrequentSet::new();
+
+    // --- Initialization: parallel triangular counting over blocks.
+    let block = (n / rayon::current_num_threads().max(1)).max(1024).min(n.max(1));
+    let blocks: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(block)
+        .map(|s| s..(s + block).min(n))
+        .collect();
+    let tri = blocks
+        .par_iter()
+        .map(|r| {
+            let mut m = OpMeter::new();
+            count_pairs(db, r.clone(), &mut m)
+        })
+        .reduce_with(|mut a, b| {
+            a.merge_from(&b);
+            a
+        });
+    let Some(tri) = tri else {
+        return out; // empty database
+    };
+    let l2: Vec<(ItemId, ItemId)> = tri
+        .frequent_pairs(threshold)
+        .map(|(a, b, _)| (a, b))
+        .collect();
+
+    if cfg.include_singletons {
+        let mut m = OpMeter::new();
+        let counts = count_items(db, 0..n, &mut m);
+        for (i, &c) in counts.iter().enumerate() {
+            if c >= threshold {
+                out.insert(Itemset::single(ItemId(i as u32)), c);
+            }
+        }
+    }
+    if l2.is_empty() {
+        return out;
+    }
+
+    // --- Transformation (sequential scan; tid order must be preserved).
+    let idx = index_pairs(&l2);
+    let mut m = OpMeter::new();
+    let lists = build_pair_tidlists(db, 0..n, &idx, &mut m);
+
+    // --- Asynchronous phase: one rayon task per equivalence class.
+    let pairs_with_lists: Vec<(ItemId, ItemId, tidlist::TidList)> = l2
+        .iter()
+        .zip(lists)
+        .map(|(&(a, b), tl)| (a, b, tl))
+        .collect();
+    let classes = classes_of_l2(pairs_with_lists);
+    let partials: Vec<FrequentSet> = classes
+        .into_par_iter()
+        .map(|class| {
+            let mut local = FrequentSet::new();
+            let mut meter = OpMeter::new();
+            for mem in &class.members {
+                local.insert(mem.itemset.clone(), mem.tids.support());
+            }
+            compute_frequent(class, threshold, cfg, &mut meter, &mut local);
+            local
+        })
+        .collect();
+    for p in partials {
+        out.merge(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential;
+    use apriori::reference::random_db;
+
+    #[test]
+    fn matches_sequential_eclat() {
+        for seed in [1u64, 5, 9] {
+            let db = random_db(seed, 200, 14, 6);
+            for pct in [4.0, 10.0] {
+                let minsup = MinSupport::from_percent(pct);
+                assert_eq!(
+                    mine(&db, minsup),
+                    sequential::mine(&db, minsup),
+                    "seed {seed} pct {pct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_config_matches_sequential() {
+        let db = random_db(2, 120, 10, 5);
+        let minsup = MinSupport::from_percent(8.0);
+        let cfg = EclatConfig::with_singletons();
+        let mut meter = OpMeter::new();
+        assert_eq!(
+            mine_with(&db, minsup, &cfg),
+            sequential::mine_with(&db, minsup, &cfg, &mut meter)
+        );
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = HorizontalDb::of(&[]);
+        assert!(mine(&db, MinSupport::from_percent(1.0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let db = random_db(11, 300, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let a = mine(&db, minsup);
+        let b = mine(&db, minsup);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Greedy equivalence-class scheduling (§5.2.1).
+//!
+//! *"Each equivalence class is assigned a weighting factor based on the
+//! number of elements in the class … we assign the weight C(s,2) … we
+//! generate a schedule using a greedy heuristic. We sort the classes on
+//! the weights, and assign each class in turn to the least loaded
+//! processor … Ties are broken by selecting the processor with the
+//! smaller identifier."*
+
+use crate::equivalence::EquivalenceClass;
+
+/// Which class-weight heuristic to schedule with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleHeuristic {
+    /// The paper's default: weight `C(s, 2)` for a class of `s` members.
+    GreedyPairs,
+    /// Weight by the sum of member supports — the refinement the paper
+    /// floats as ongoing research.
+    SupportWeighted,
+    /// No balancing: class `i` to processor `i mod P` (ablation baseline).
+    RoundRobin,
+}
+
+/// The result of scheduling: `owner[c]` is the processor assigned class
+/// `c` (indices into the input class slice), plus the resulting loads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Owning processor per class index.
+    pub owner: Vec<usize>,
+    /// Total scheduled weight per processor.
+    pub load: Vec<u64>,
+}
+
+impl Assignment {
+    /// Class indices owned by processor `p`, ascending.
+    pub fn classes_of(&self, p: usize) -> Vec<usize> {
+        (0..self.owner.len()).filter(|&c| self.owner[c] == p).collect()
+    }
+
+    /// Load imbalance: `max load / mean load` (1.0 = perfect). Returns
+    /// 1.0 when total weight is zero.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.load.len() as f64;
+        let max = *self.load.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+/// Schedule `classes` onto `num_procs` processors.
+///
+/// # Panics
+/// Panics if `num_procs == 0`.
+pub fn schedule(
+    classes: &[EquivalenceClass],
+    num_procs: usize,
+    heuristic: ScheduleHeuristic,
+) -> Assignment {
+    let weights: Vec<u64> = classes
+        .iter()
+        .map(|c| match heuristic {
+            ScheduleHeuristic::GreedyPairs | ScheduleHeuristic::RoundRobin => c.weight(),
+            ScheduleHeuristic::SupportWeighted => c.support_weight(),
+        })
+        .collect();
+    schedule_weights(&weights, num_procs, heuristic)
+}
+
+/// Schedule by raw weights (exposed for property tests).
+pub fn schedule_weights(
+    weights: &[u64],
+    num_procs: usize,
+    heuristic: ScheduleHeuristic,
+) -> Assignment {
+    assert!(num_procs > 0, "need at least one processor");
+    let mut owner = vec![0usize; weights.len()];
+    let mut load = vec![0u64; num_procs];
+
+    match heuristic {
+        ScheduleHeuristic::RoundRobin => {
+            for (c, &w) in weights.iter().enumerate() {
+                let p = c % num_procs;
+                owner[c] = p;
+                load[p] += w;
+            }
+        }
+        ScheduleHeuristic::GreedyPairs | ScheduleHeuristic::SupportWeighted => {
+            // Sort class indices by descending weight (stable: ties keep
+            // class order, making the schedule deterministic).
+            let mut order: Vec<usize> = (0..weights.len()).collect();
+            order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+            for c in order {
+                // least-loaded processor; ties → smaller id (min_by picks
+                // the first minimum, i.e. the smaller identifier).
+                let p = (0..num_procs).min_by_key(|&p| (load[p], p)).unwrap();
+                owner[c] = p;
+                load[p] += weights[c];
+            }
+        }
+    }
+    Assignment { owner, load }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{classes_of_l2, ClassMember, EquivalenceClass};
+    use mining_types::{ItemId, Itemset};
+    use tidlist::TidList;
+
+    fn class_of_size(prefix: u32, s: usize) -> EquivalenceClass {
+        EquivalenceClass {
+            prefix: Itemset::single(ItemId(prefix)),
+            members: (0..s)
+                .map(|i| ClassMember {
+                    itemset: Itemset::pair(ItemId(prefix), ItemId(prefix + 1 + i as u32)),
+                    tids: TidList::of(&[i as u32]),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn greedy_assigns_largest_first_to_least_loaded() {
+        // weights: C(5,2)=10, C(4,2)=6, C(3,2)=3, C(3,2)=3 on 2 procs
+        // → p0: 10, p1: 6+3 = 9, then p1 gets... order 10,6,3,3:
+        // p0←10 (load 10), p1←6 (6), p1←3 (9), p1←3 (12)? No: least
+        // loaded after (10, 9) is p1 again → p1 = 12. Final (10, 12).
+        let classes = vec![
+            class_of_size(0, 5),
+            class_of_size(10, 4),
+            class_of_size(20, 3),
+            class_of_size(30, 3),
+        ];
+        let a = schedule(&classes, 2, ScheduleHeuristic::GreedyPairs);
+        assert_eq!(a.owner, vec![0, 1, 1, 1]);
+        assert_eq!(a.load, vec![10, 12]);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_processor() {
+        let classes = vec![class_of_size(0, 3), class_of_size(10, 3)];
+        let a = schedule(&classes, 3, ScheduleHeuristic::GreedyPairs);
+        assert_eq!(a.owner, vec![0, 1]);
+        assert_eq!(a.load, vec![3, 3, 0]);
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_skewed_weights() {
+        // Adversarial for round-robin: big classes land on one proc.
+        let classes: Vec<EquivalenceClass> = (0..8)
+            .map(|i| class_of_size(i * 10, if i % 2 == 0 { 8 } else { 2 }))
+            .collect();
+        let greedy = schedule(&classes, 2, ScheduleHeuristic::GreedyPairs);
+        let rr = schedule(&classes, 2, ScheduleHeuristic::RoundRobin);
+        assert!(greedy.imbalance() < rr.imbalance());
+        assert!(greedy.imbalance() < 1.05, "greedy ≈ balanced here");
+    }
+
+    #[test]
+    fn support_weighted_uses_tidlist_sizes() {
+        let l2 = vec![
+            (ItemId(0), ItemId(1), TidList::of(&[1, 2, 3, 4, 5])),
+            (ItemId(2), ItemId(3), TidList::of(&[1])),
+            (ItemId(4), ItemId(5), TidList::of(&[1, 2])),
+        ];
+        let classes = classes_of_l2(l2);
+        let a = schedule(&classes, 2, ScheduleHeuristic::SupportWeighted);
+        // weights 5,1,2 → greedy: p0←5, p1←2, p1←1
+        assert_eq!(a.load, vec![5, 3]);
+    }
+
+    #[test]
+    fn classes_of_returns_sorted_indices() {
+        let classes: Vec<EquivalenceClass> =
+            (0..5).map(|i| class_of_size(i * 10, 2)).collect();
+        let a = schedule(&classes, 2, ScheduleHeuristic::RoundRobin);
+        assert_eq!(a.classes_of(0), vec![0, 2, 4]);
+        assert_eq!(a.classes_of(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn all_work_is_assigned_exactly_once() {
+        let classes: Vec<EquivalenceClass> =
+            (0..13).map(|i| class_of_size(i * 10, (i as usize % 5) + 1)).collect();
+        for h in [
+            ScheduleHeuristic::GreedyPairs,
+            ScheduleHeuristic::SupportWeighted,
+            ScheduleHeuristic::RoundRobin,
+        ] {
+            let a = schedule(&classes, 4, h);
+            assert_eq!(a.owner.len(), classes.len());
+            assert!(a.owner.iter().all(|&p| p < 4));
+            let covered: usize = (0..4).map(|p| a.classes_of(p).len()).sum();
+            assert_eq!(covered, classes.len());
+        }
+    }
+
+    #[test]
+    fn single_processor_gets_everything() {
+        let classes: Vec<EquivalenceClass> = (0..4).map(|i| class_of_size(i * 10, 3)).collect();
+        let a = schedule(&classes, 1, ScheduleHeuristic::GreedyPairs);
+        assert!(a.owner.iter().all(|&p| p == 0));
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_or_zero_weight() {
+        let a = schedule_weights(&[], 3, ScheduleHeuristic::GreedyPairs);
+        assert_eq!(a.imbalance(), 1.0);
+        let b = schedule_weights(&[0, 0], 2, ScheduleHeuristic::GreedyPairs);
+        assert_eq!(b.imbalance(), 1.0);
+    }
+}

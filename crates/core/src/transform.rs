@@ -1,0 +1,161 @@
+//! Horizontal → vertical transformation helpers (§5.2.2 / §6.3).
+//!
+//! Two pieces: the triangular `L2` counting pass of the initialization
+//! phase (§5.1 — *"we use an upper triangular array … Each processor
+//! computes local support of each 2-itemset from its local database
+//! partition"*), and the construction of per-2-itemset tid-lists from a
+//! (block of a) horizontal database — born sorted because transactions
+//! are scanned in tid order.
+
+use dbstore::HorizontalDb;
+use mining_types::{FxHashMap, ItemId, OpMeter, TriangleMatrix};
+use std::ops::Range;
+use tidlist::TidList;
+
+/// Count all 2-itemsets of the block `range` into a triangular matrix.
+pub fn count_pairs(
+    db: &HorizontalDb,
+    range: Range<usize>,
+    meter: &mut OpMeter,
+) -> TriangleMatrix {
+    let mut tri = TriangleMatrix::new(db.num_items() as usize);
+    for (_tid, items) in db.iter_range(range) {
+        meter.record += 1;
+        meter.pair_incr += (items.len() * items.len().saturating_sub(1) / 2) as u64;
+        tri.count_transaction(items);
+    }
+    tri
+}
+
+/// Item counts of the block `range` (for the optional singleton output).
+pub fn count_items(db: &HorizontalDb, range: Range<usize>, meter: &mut OpMeter) -> Vec<u32> {
+    let mut counts = vec![0u32; db.num_items() as usize];
+    for (_tid, items) in db.iter_range(range) {
+        meter.record += 1;
+        for &it in items {
+            counts[it.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Build the partial tid-lists of the given frequent 2-itemsets over the
+/// block `range`. `pairs` maps `(a, b)` (with `a < b`) to an output slot;
+/// the result vector is aligned with those slots.
+///
+/// This is the second database scan of Eclat (§5.2.2 step one: *"each
+/// processor scans its local database and constructs partial tid-lists
+/// for all the frequent 2-itemsets"*).
+pub fn build_pair_tidlists(
+    db: &HorizontalDb,
+    range: Range<usize>,
+    pairs: &FxHashMap<(ItemId, ItemId), usize>,
+    meter: &mut OpMeter,
+) -> Vec<TidList> {
+    let num_slots = pairs.len();
+    let mut lists = vec![TidList::new(); num_slots];
+    for (tid, items) in db.iter_range(range) {
+        meter.record += 1;
+        for (i, &a) in items.iter().enumerate() {
+            for &b in &items[i + 1..] {
+                meter.pair_incr += 1;
+                if let Some(&slot) = pairs.get(&(a, b)) {
+                    meter.record += 1;
+                    lists[slot].push(tid);
+                }
+            }
+        }
+    }
+    lists
+}
+
+/// Index frequent pairs `(a, b) → slot` in ascending pair order.
+pub fn index_pairs(frequent_pairs: &[(ItemId, ItemId)]) -> FxHashMap<(ItemId, ItemId), usize> {
+    let mut map = FxHashMap::default();
+    for (slot, &(a, b)) in frequent_pairs.iter().enumerate() {
+        assert!(a < b, "pairs must be ordered");
+        let dup = map.insert((a, b), slot);
+        assert!(dup.is_none(), "duplicate pair ({a:?},{b:?})");
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HorizontalDb {
+        HorizontalDb::of(&[&[0, 1, 2], &[0, 1], &[1, 2], &[0, 2], &[0, 1, 2]])
+    }
+
+    #[test]
+    fn count_pairs_matches_hand_counts() {
+        let db = sample();
+        let mut m = OpMeter::new();
+        let tri = count_pairs(&db, 0..db.num_transactions(), &mut m);
+        assert_eq!(tri.get(ItemId(0), ItemId(1)), 3);
+        assert_eq!(tri.get(ItemId(0), ItemId(2)), 3);
+        assert_eq!(tri.get(ItemId(1), ItemId(2)), 3);
+        // ops: 2 triples (3 pairs each) + 3 pairs (1 each) = 9
+        assert_eq!(m.pair_incr, 9);
+        assert_eq!(m.record, 5);
+    }
+
+    #[test]
+    fn partial_counts_sum_to_global() {
+        let db = sample();
+        let mut m = OpMeter::new();
+        let mut left = count_pairs(&db, 0..2, &mut m);
+        let right = count_pairs(&db, 2..5, &mut m);
+        left.merge_from(&right);
+        assert_eq!(left, count_pairs(&db, 0..5, &mut m));
+    }
+
+    #[test]
+    fn tidlists_match_definition() {
+        let db = sample();
+        let pairs = vec![
+            (ItemId(0), ItemId(1)),
+            (ItemId(0), ItemId(2)),
+            (ItemId(1), ItemId(2)),
+        ];
+        let idx = index_pairs(&pairs);
+        let mut m = OpMeter::new();
+        let lists = build_pair_tidlists(&db, 0..5, &idx, &mut m);
+        assert_eq!(lists[0], TidList::of(&[0, 1, 4])); // {0,1}
+        assert_eq!(lists[1], TidList::of(&[0, 3, 4])); // {0,2}
+        assert_eq!(lists[2], TidList::of(&[0, 2, 4])); // {1,2}
+        // support == triangular count
+        let tri = count_pairs(&db, 0..5, &mut m);
+        for (slot, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(lists[slot].support(), tri.get(a, b));
+        }
+    }
+
+    #[test]
+    fn block_tidlists_concatenate_to_global() {
+        let db = sample();
+        let pairs = vec![(ItemId(0), ItemId(1))];
+        let idx = index_pairs(&pairs);
+        let mut m = OpMeter::new();
+        let mut left = build_pair_tidlists(&db, 0..2, &idx, &mut m);
+        let right = build_pair_tidlists(&db, 2..5, &idx, &mut m);
+        left[0].append_partial(&right[0]);
+        let global = build_pair_tidlists(&db, 0..5, &idx, &mut m);
+        assert_eq!(left[0], global[0]);
+    }
+
+    #[test]
+    fn count_items_basic() {
+        let db = sample();
+        let mut m = OpMeter::new();
+        let counts = count_items(&db, 0..5, &mut m);
+        assert_eq!(counts, vec![4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn index_pairs_rejects_unordered() {
+        index_pairs(&[(ItemId(2), ItemId(1))]);
+    }
+}

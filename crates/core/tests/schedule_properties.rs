@@ -1,0 +1,69 @@
+//! Property-based tests of the §5.2.1 class scheduler.
+
+use eclat::schedule::{schedule_weights, ScheduleHeuristic};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_class_assigned_and_loads_conserved(
+        weights in proptest::collection::vec(0u64..10_000, 0..200),
+        procs in 1usize..33,
+    ) {
+        for h in [ScheduleHeuristic::GreedyPairs, ScheduleHeuristic::RoundRobin, ScheduleHeuristic::SupportWeighted] {
+            let a = schedule_weights(&weights, procs, h);
+            prop_assert_eq!(a.owner.len(), weights.len());
+            prop_assert!(a.owner.iter().all(|&p| p < procs));
+            prop_assert_eq!(a.load.len(), procs);
+            let total: u64 = weights.iter().sum();
+            prop_assert_eq!(a.load.iter().sum::<u64>(), total, "load conservation");
+            // per-proc load equals the sum of its classes' weights
+            for p in 0..procs {
+                let mine: u64 = a.classes_of(p).iter().map(|&c| weights[c]).sum();
+                prop_assert_eq!(mine, a.load[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_respects_the_lpt_bound(
+        weights in proptest::collection::vec(1u64..10_000, 1..150),
+        procs in 1usize..17,
+    ) {
+        // Sorted-descending greedy is LPT: max load ≤ (4/3 − 1/(3m))·OPT,
+        // and OPT ≥ max(w_max, total/m).
+        let a = schedule_weights(&weights, procs, ScheduleHeuristic::GreedyPairs);
+        let total: u64 = weights.iter().sum();
+        let wmax = *weights.iter().max().unwrap();
+        let opt_lower = (total as f64 / procs as f64).max(wmax as f64);
+        let max_load = *a.load.iter().max().unwrap() as f64;
+        let bound = (4.0 / 3.0) * opt_lower + 1.0;
+        prop_assert!(
+            max_load <= bound,
+            "max load {max_load} exceeds LPT bound {bound} (opt_lower {opt_lower})"
+        );
+    }
+
+    #[test]
+    fn greedy_within_lpt_bound_of_round_robin(
+        weights in proptest::collection::vec(1u64..10_000, 2..100),
+        procs in 2usize..9,
+    ) {
+        // LPT is not *pointwise* better than round-robin (proptest found
+        // counterexamples), but LPT ≤ (4/3)·OPT and OPT ≤ rr-makespan,
+        // so the 4/3 bound relates the two unconditionally.
+        let g = schedule_weights(&weights, procs, ScheduleHeuristic::GreedyPairs);
+        let rr = schedule_weights(&weights, procs, ScheduleHeuristic::RoundRobin);
+        let gm = *g.load.iter().max().unwrap() as f64;
+        let rm = *rr.load.iter().max().unwrap() as f64;
+        prop_assert!(gm <= rm * (4.0 / 3.0) + 1.0, "greedy {gm} vs rr {rm}");
+    }
+
+    #[test]
+    fn deterministic(weights in proptest::collection::vec(0u64..1000, 0..80), procs in 1usize..9) {
+        let a = schedule_weights(&weights, procs, ScheduleHeuristic::GreedyPairs);
+        let b = schedule_weights(&weights, procs, ScheduleHeuristic::GreedyPairs);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,391 @@
+//! The Quest generation procedure: pattern table + transaction stream.
+
+use crate::params::QuestParams;
+use crate::sampler;
+use mining_types::{FxHashSet, ItemId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The table of maximal potentially frequent itemsets ("patterns") with
+/// their selection weights and corruption levels.
+#[derive(Clone, Debug)]
+pub struct PatternTable {
+    /// Sorted item lists, one per pattern.
+    patterns: Vec<Vec<ItemId>>,
+    /// Cumulative selection weights (last entry ≈ 1.0).
+    cumulative: Vec<f64>,
+    /// Per-pattern corruption level in `\[0, 1\]`.
+    corruption: Vec<f64>,
+}
+
+impl PatternTable {
+    /// Build the pattern table per the published procedure.
+    pub fn build(params: &QuestParams, rng: &mut StdRng) -> PatternTable {
+        assert!(params.num_items >= 1, "need at least one item");
+        assert!(params.num_patterns >= 1, "need at least one pattern");
+        let n = params.num_items;
+        let mut patterns: Vec<Vec<ItemId>> = Vec::with_capacity(params.num_patterns);
+        let mut weights: Vec<f64> = Vec::with_capacity(params.num_patterns);
+        let mut corruption: Vec<f64> = Vec::with_capacity(params.num_patterns);
+
+        for p in 0..params.num_patterns {
+            // Pattern length: Poisson(|I|), at least 1, at most N.
+            let len = sampler::poisson(rng, params.avg_pattern_len)
+                .max(1)
+                .min(n as u64) as usize;
+
+            let mut chosen: FxHashSet<ItemId> = FxHashSet::default();
+            if p > 0 {
+                // Correlation: an exponentially-distributed fraction
+                // (mean = correlation level, clamped to [0,1]) of the
+                // items come from the previous pattern.
+                let frac = sampler::exponential(rng, params.correlation).min(1.0);
+                let prev = &patterns[p - 1];
+                let from_prev = ((frac * len as f64).round() as usize).min(prev.len());
+                // Sample `from_prev` distinct indices of the previous
+                // pattern (Floyd's algorithm would be overkill at these
+                // sizes: rejection sampling over tiny sets).
+                while chosen.len() < from_prev {
+                    let idx = rng.random_range(0..prev.len());
+                    chosen.insert(prev[idx]);
+                }
+            }
+            // Fill the remainder with uniform random items.
+            while chosen.len() < len {
+                chosen.insert(ItemId(rng.random_range(0..n)));
+            }
+            let mut items: Vec<ItemId> = chosen.into_iter().collect();
+            items.sort_unstable();
+            patterns.push(items);
+
+            weights.push(sampler::exponential(rng, 1.0));
+            corruption.push(sampler::normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0));
+        }
+
+        // Normalize the weights into a cumulative table.
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+
+        PatternTable {
+            patterns,
+            cumulative,
+            corruption,
+        }
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when the table is empty (never after [`PatternTable::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The items of pattern `idx` (sorted).
+    pub fn pattern(&self, idx: usize) -> &[ItemId] {
+        &self.patterns[idx]
+    }
+
+    /// Corruption level of pattern `idx`.
+    pub fn corruption(&self, idx: usize) -> f64 {
+        self.corruption[idx]
+    }
+
+    /// Draw a pattern index according to the weights.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        sampler::weighted_index(rng, &self.cumulative)
+    }
+}
+
+/// Streaming transaction generator. Implements `Iterator`, yielding each
+/// transaction as a sorted, duplicate-free `Vec<ItemId>`.
+pub struct QuestGenerator {
+    params: QuestParams,
+    table: PatternTable,
+    rng: StdRng,
+    emitted: usize,
+    /// Pattern deferred from the previous transaction ("put aside for the
+    /// next transaction" rule), already corrupted.
+    pending: Option<Vec<ItemId>>,
+    scratch: Vec<ItemId>,
+}
+
+impl QuestGenerator {
+    /// Create a generator; builds the pattern table immediately.
+    pub fn new(params: QuestParams) -> QuestGenerator {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let table = PatternTable::build(&params, &mut rng);
+        QuestGenerator {
+            params,
+            table,
+            rng,
+            emitted: 0,
+            pending: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &QuestParams {
+        &self.params
+    }
+
+    /// The underlying pattern table (exposed for white-box tests).
+    pub fn table(&self) -> &PatternTable {
+        &self.table
+    }
+
+    /// Generate the whole database into memory.
+    pub fn generate_all(mut self) -> Vec<Vec<ItemId>> {
+        let mut out = Vec::with_capacity(self.params.num_transactions);
+        for txn in &mut self {
+            out.push(txn);
+        }
+        out
+    }
+
+    /// Corrupt a pattern: drop a random item while a uniform draw stays
+    /// below the corruption level.
+    fn corrupt(&mut self, idx: usize) -> Vec<ItemId> {
+        let mut items = self.table.patterns[idx].clone();
+        let c = self.table.corruption[idx];
+        while items.len() > 1 && self.rng.random::<f64>() < c {
+            let drop = self.rng.random_range(0..items.len());
+            items.swap_remove(drop);
+        }
+        items
+    }
+
+    fn next_transaction(&mut self) -> Vec<ItemId> {
+        let size = sampler::poisson(&mut self.rng, self.params.avg_transaction_len).max(1) as usize;
+        self.scratch.clear();
+
+        loop {
+            let corrupted = match self.pending.take() {
+                Some(p) => p,
+                None => {
+                    let idx = self.table.pick(&mut self.rng);
+                    self.corrupt(idx)
+                }
+            };
+            if self.scratch.len() + corrupted.len() <= size {
+                self.scratch.extend_from_slice(&corrupted);
+                if self.scratch.len() >= size {
+                    break;
+                }
+            } else {
+                // Doesn't fit: add anyway half the time, defer otherwise.
+                // A transaction must contain at least one pattern, so the
+                // first pattern is never deferred.
+                if self.scratch.is_empty() || self.rng.random::<bool>() {
+                    self.scratch.extend_from_slice(&corrupted);
+                } else {
+                    self.pending = Some(corrupted);
+                }
+                break;
+            }
+        }
+
+        let mut txn = std::mem::take(&mut self.scratch);
+        txn.sort_unstable();
+        txn.dedup();
+        self.scratch = Vec::new();
+        txn
+    }
+}
+
+impl Iterator for QuestGenerator {
+    type Item = Vec<ItemId>;
+
+    fn next(&mut self) -> Option<Vec<ItemId>> {
+        if self.emitted >= self.params.num_transactions {
+            return None;
+        }
+        self.emitted += 1;
+        Some(self.next_transaction())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.params.num_transactions - self.emitted;
+        (rem, Some(rem))
+    }
+}
+
+/// Summary statistics of a generated database (Table 1 columns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatabaseStats {
+    /// `|D|` — number of transactions.
+    pub num_transactions: usize,
+    /// Measured average transaction size.
+    pub avg_transaction_len: f64,
+    /// Largest transaction.
+    pub max_transaction_len: usize,
+    /// Number of distinct items that actually occur.
+    pub distinct_items: usize,
+    /// Horizontal-layout size in bytes (tid + items, 4 bytes per word).
+    pub horizontal_bytes: u64,
+}
+
+impl DatabaseStats {
+    /// Compute the stats of an in-memory database.
+    pub fn measure(db: &[Vec<ItemId>]) -> DatabaseStats {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+        for t in db {
+            total += t.len();
+            max = max.max(t.len());
+            seen.extend(t.iter().copied());
+        }
+        let n = db.len();
+        DatabaseStats {
+            num_transactions: n,
+            avg_transaction_len: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_transaction_len: max,
+            distinct_items: seen.len(),
+            horizontal_bytes: (n as u64 + total as u64) * 4,
+        }
+    }
+
+    /// Megabytes of the horizontal layout.
+    pub fn size_mb(&self) -> f64 {
+        self.horizontal_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> QuestParams {
+        QuestParams::tiny(2000, 11)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = QuestGenerator::new(small_params()).generate_all();
+        let b = QuestGenerator::new(small_params()).generate_all();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = QuestGenerator::new(small_params()).generate_all();
+        let b = QuestGenerator::new(small_params().with_seed(12)).generate_all();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transactions_are_sorted_unique_and_in_range() {
+        let p = small_params();
+        let n = p.num_items;
+        let db = QuestGenerator::new(p).generate_all();
+        assert_eq!(db.len(), 2000);
+        for t in &db {
+            assert!(!t.is_empty());
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted+unique: {t:?}");
+            assert!(t.iter().all(|i| i.0 < n));
+        }
+    }
+
+    #[test]
+    fn average_size_tracks_parameter() {
+        // |T| = 8 in tiny params; the pack-patterns process overshoots a
+        // little (patterns are added whole), so allow a generous band.
+        let db = QuestGenerator::new(small_params()).generate_all();
+        let stats = DatabaseStats::measure(&db);
+        assert!(
+            (5.0..13.0).contains(&stats.avg_transaction_len),
+            "avg len {}",
+            stats.avg_transaction_len
+        );
+        assert!(stats.distinct_items > 30, "items used: {}", stats.distinct_items);
+    }
+
+    #[test]
+    fn patterns_actually_recur() {
+        // The whole point of Quest data: planted patterns occur far more
+        // often than chance. Take a frequent-ish pattern of size >= 2 and
+        // check it appears as a subset in some transactions.
+        let gen = QuestGenerator::new(small_params());
+        let pat: Vec<ItemId> = (0..gen.table().len())
+            .map(|i| gen.table().pattern(i).to_vec())
+            .find(|p| p.len() >= 2 && p.len() <= 4)
+            .expect("some small pattern exists");
+        let db = QuestGenerator::new(small_params()).generate_all();
+        let hits = db
+            .iter()
+            .filter(|t| pat.iter().all(|i| t.binary_search(i).is_ok()))
+            .count();
+        // 2000 transactions, 50 patterns: a planted pattern should show up
+        // at least a handful of times (uniform-random chance would be
+        // ≈ (8/60)^2 * corr …  tiny).
+        assert!(hits >= 2, "pattern {pat:?} occurred {hits} times");
+    }
+
+    #[test]
+    fn table1_shape_for_t10_i6() {
+        // A scaled-down T10.I6: check the measured |T| is ≈ 10 and the
+        // byte size matches the (|T|+1)·|D|·4 formula used by Table 1.
+        let p = QuestParams::t10_i6(5_000).with_seed(3);
+        let db = QuestGenerator::new(p.clone()).generate_all();
+        let stats = DatabaseStats::measure(&db);
+        assert!(
+            (8.0..13.5).contains(&stats.avg_transaction_len),
+            "avg {}",
+            stats.avg_transaction_len
+        );
+        let predicted = p.approx_size_mb();
+        let measured = stats.size_mb();
+        assert!(
+            (measured - predicted).abs() / predicted < 0.35,
+            "predicted {predicted:.2} MB measured {measured:.2} MB"
+        );
+    }
+
+    #[test]
+    fn pattern_table_shapes() {
+        let p = QuestParams::t10_i6(10).with_seed(5);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let t = PatternTable::build(&p, &mut rng);
+        assert_eq!(t.len(), 2000);
+        assert!(!t.is_empty());
+        let mut total_len = 0usize;
+        for i in 0..t.len() {
+            let pat = t.pattern(i);
+            assert!(!pat.is_empty());
+            assert!(pat.windows(2).all(|w| w[0] < w[1]));
+            assert!((0.0..=1.0).contains(&t.corruption(i)));
+            total_len += pat.len();
+        }
+        let avg = total_len as f64 / t.len() as f64;
+        assert!((avg - 6.0).abs() < 0.6, "avg pattern len {avg}");
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut g = QuestGenerator::new(QuestParams::tiny(5, 1));
+        assert_eq!(g.size_hint(), (5, Some(5)));
+        g.next();
+        assert_eq!(g.size_hint(), (4, Some(4)));
+        assert_eq!(g.count(), 4);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = QuestGenerator::new(QuestParams::tiny(0, 1)).generate_all();
+        assert!(db.is_empty());
+        let stats = DatabaseStats::measure(&db);
+        assert_eq!(stats.num_transactions, 0);
+        assert_eq!(stats.avg_transaction_len, 0.0);
+    }
+}

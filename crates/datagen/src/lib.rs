@@ -1,0 +1,36 @@
+//! IBM Quest-style synthetic market-basket data generator.
+//!
+//! Re-implements the generation procedure of Agrawal & Srikant, *Fast
+//! Algorithms for Mining Association Rules* (VLDB 1994) — reference \[4\] of
+//! the paper — which produced the `T10.I6.Dx` benchmark families used in
+//! the paper's evaluation (Table 1): *"These have been used as benchmark
+//! databases for many association rules algorithms … they mimic the
+//! transactions in a retailing environment."*
+//!
+//! The procedure, as published:
+//!
+//! 1. A table of `|L|` *maximal potentially frequent itemsets* (patterns)
+//!    is built over `N` items. Pattern sizes are Poisson with mean `|I|`;
+//!    to model common shopping patterns, a fraction of each pattern's
+//!    items (exponentially distributed fraction, mean = the correlation
+//!    level) is copied from the previous pattern, the rest drawn at
+//!    random. Each pattern gets an exponentially distributed weight
+//!    (normalized to sum 1) and a *corruption level* drawn from a normal
+//!    distribution (mean 0.5, variance 0.1).
+//! 2. Each transaction draws a Poisson(`|T|`) size, then packs weighted-
+//!    random patterns into itself. Patterns are *corrupted* on insertion —
+//!    items are dropped while a uniform draw stays below the corruption
+//!    level — so that true patterns appear partially in many baskets.
+//!    A pattern that does not fit is added anyway half the time and
+//!    deferred to the next transaction otherwise.
+//!
+//! Everything is seeded and deterministic; the same [`QuestParams`] always
+//! produce byte-identical databases, which keeps every experiment in
+//! EXPERIMENTS.md reproducible.
+
+pub mod generator;
+pub mod params;
+pub mod sampler;
+
+pub use generator::{DatabaseStats, PatternTable, QuestGenerator};
+pub use params::QuestParams;

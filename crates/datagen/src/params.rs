@@ -1,0 +1,179 @@
+//! Parameters for the Quest generator, with the paper's presets.
+//!
+//! Table 1 of the paper names databases `T<|T|>.I<|I|>.D<|D|>`:
+//! average transaction size |T|, average maximal potentially frequent
+//! itemset size |I|, number of transactions |D|; with `|L| = 2000`
+//! patterns and `N = 1000` items throughout.
+
+/// Full parameter set for one synthetic database.
+///
+/// ```
+/// use questgen::QuestParams;
+/// let p = QuestParams::t10_i6(800_000);
+/// assert_eq!(p.name(), "T10.I6.D800K");
+/// assert!((p.approx_size_mb() - 33.6).abs() < 2.0); // Table 1's ~35 MB
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuestParams {
+    /// `|D|` — number of transactions.
+    pub num_transactions: usize,
+    /// `|T|` — average transaction size (Poisson mean).
+    pub avg_transaction_len: f64,
+    /// `|I|` — average size of the maximal potentially frequent itemsets.
+    pub avg_pattern_len: f64,
+    /// `|L|` — number of maximal potentially frequent itemsets (2000 in
+    /// the paper).
+    pub num_patterns: usize,
+    /// `N` — number of items (1000 in the paper).
+    pub num_items: u32,
+    /// Correlation level between consecutive patterns (0.25 in the
+    /// original Quest description).
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level (0.5).
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level (√0.1 ≈ 0.316, i.e.
+    /// variance 0.1 as published).
+    pub corruption_sd: f64,
+    /// RNG seed; same params + seed ⇒ identical database.
+    pub seed: u64,
+}
+
+impl QuestParams {
+    /// The `T10.I6` family of the paper with `d` transactions.
+    pub fn t10_i6(d: usize) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 6.0,
+            ..QuestParams::base()
+        }
+    }
+
+    /// The classic `T5.I2` family (small baskets).
+    pub fn t5_i2(d: usize) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 5.0,
+            avg_pattern_len: 2.0,
+            ..QuestParams::base()
+        }
+    }
+
+    /// The classic `T20.I4` family.
+    pub fn t20_i4(d: usize) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 20.0,
+            avg_pattern_len: 4.0,
+            ..QuestParams::base()
+        }
+    }
+
+    /// The classic `T20.I6` family (long baskets, long patterns).
+    pub fn t20_i6(d: usize) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 20.0,
+            avg_pattern_len: 6.0,
+            ..QuestParams::base()
+        }
+    }
+
+    fn base() -> Self {
+        QuestParams {
+            num_transactions: 0,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 6.0,
+            num_patterns: 2000,
+            num_items: 1000,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed: 0x5EED_u64,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scale for a small test database (fewer patterns/items keeps tiny
+    /// databases from being pure noise).
+    pub fn tiny(d: usize, seed: u64) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 8.0,
+            avg_pattern_len: 4.0,
+            num_patterns: 50,
+            num_items: 60,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed,
+        }
+    }
+
+    /// The paper's name for this database, e.g. `T10.I6.D800K`.
+    pub fn name(&self) -> String {
+        let d = self.num_transactions;
+        let dstr = if d >= 1000 && d % 1000 == 0 {
+            format!("{}K", d / 1000)
+        } else {
+            format!("{d}")
+        };
+        format!(
+            "T{}.I{}.D{}",
+            self.avg_transaction_len as u64, self.avg_pattern_len as u64, dstr
+        )
+    }
+
+    /// Size in megabytes of the horizontal binary layout: each transaction
+    /// stores its TID plus its items as 4-byte words. This is the figure
+    /// Table 1 reports (T10.I6.D1600K ⇒ ≈ 68 MB).
+    pub fn approx_size_mb(&self) -> f64 {
+        let words = self.num_transactions as f64 * (1.0 + self.avg_transaction_len);
+        words * 4.0 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(QuestParams::t10_i6(800_000).name(), "T10.I6.D800K");
+        assert_eq!(QuestParams::t10_i6(6_400_000).name(), "T10.I6.D6400K");
+        assert_eq!(QuestParams::t20_i4(100_000).name(), "T20.I4.D100K");
+        assert_eq!(QuestParams::t5_i2(1234).name(), "T5.I2.D1234");
+    }
+
+    #[test]
+    fn sizes_match_table1_approximately() {
+        // Table 1: T10.I6.D1600K = 68 MB, D3200K = 138 MB, D6400K = 274 MB.
+        let mb = QuestParams::t10_i6(1_600_000).approx_size_mb();
+        assert!((mb - 68.0).abs() < 4.0, "D1600K ≈ {mb:.1} MB");
+        let mb = QuestParams::t10_i6(3_200_000).approx_size_mb();
+        assert!((mb - 138.0).abs() < 5.0, "D3200K ≈ {mb:.1} MB");
+        let mb = QuestParams::t10_i6(6_400_000).approx_size_mb();
+        assert!((mb - 274.0).abs() < 7.0, "D6400K ≈ {mb:.1} MB");
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let p = QuestParams::t10_i6(800_000);
+        assert_eq!(p.num_patterns, 2000);
+        assert_eq!(p.num_items, 1000);
+        assert!((p.corruption_sd * p.corruption_sd - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = QuestParams::t10_i6(100);
+        let b = a.clone().with_seed(99);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.num_transactions, b.num_transactions);
+    }
+}

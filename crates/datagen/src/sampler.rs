@@ -1,0 +1,162 @@
+//! Small distribution samplers on top of `rand`'s uniform source.
+//!
+//! The offline dependency allow-list has `rand` but not `rand_distr`, so
+//! the three distributions the Quest procedure needs — Poisson,
+//! exponential, normal — are implemented here (Knuth's product method,
+//! inverse transform, and Box–Muller respectively). All take `&mut impl
+//! Rng` so the generator stays on one seeded stream.
+
+use rand::Rng;
+
+/// Poisson sample with the given mean, via Knuth's product-of-uniforms
+/// method. O(mean) per draw — fine for the means here (|T| ≤ 40,
+/// |I| ≤ 10).
+///
+/// # Panics
+/// Panics if `mean` is not finite and positive.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean > 0.0, "poisson mean must be > 0");
+    // For large means the product underflows f64; split into chunks of
+    // mean ≤ 500 (exp(-500) is representable) and sum.
+    let mut remaining = mean;
+    let mut total = 0u64;
+    while remaining > 0.0 {
+        let m = remaining.min(500.0);
+        remaining -= m;
+        let l = (-m).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                break;
+            }
+            k += 1;
+        }
+        total += k;
+    }
+    total
+}
+
+/// Exponential sample with the given mean (inverse transform).
+///
+/// # Panics
+/// Panics if `mean` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be > 0");
+    // random() is in [0,1); use 1-u to avoid ln(0).
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+/// Normal sample via Box–Muller.
+///
+/// # Panics
+/// Panics if `sd` is negative or either parameter is non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(mean.is_finite() && sd.is_finite() && sd >= 0.0);
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+/// Index sample from a cumulative-weight table (weights normalized so the
+/// last entry is 1.0). Binary search over the prefix sums.
+///
+/// # Panics
+/// Panics if the table is empty.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, cumulative: &[f64]) -> usize {
+    assert!(!cumulative.is_empty(), "weight table must be non-empty");
+    let u: f64 = rng.random::<f64>() * cumulative.last().unwrap();
+    // partition_point: first index with cumulative[idx] > u.
+    cumulative
+        .partition_point(|&c| c <= u)
+        .min(cumulative.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        for mean in [0.5f64, 3.0, 10.0] {
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
+            let est = sum as f64 / n as f64;
+            assert!(
+                (est - mean).abs() < 0.15 * mean.max(1.0),
+                "poisson({mean}) sample mean {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_large_mean_does_not_underflow() {
+        let mut r = rng();
+        let x = poisson(&mut r, 2000.0);
+        assert!((1500..2500).contains(&(x as i64)), "got {x}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 2.5)).sum();
+        let est = sum / n as f64;
+        assert!((est - 2.5).abs() < 0.2, "exp mean {est}");
+        // always non-negative
+        assert!((0..1000).all(|_| exponential(&mut r, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 0.5, 0.3)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "normal mean {mean}");
+        assert!((var - 0.09).abs() < 0.01, "normal var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        // weights 1:3 → cumulative [0.25, 1.0]
+        let cum = vec![0.25, 1.0];
+        let n = 40_000;
+        let ones = (0..n).filter(|_| weighted_index(&mut r, &cum) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "weighted frac {frac}");
+    }
+
+    #[test]
+    fn weighted_index_single_entry() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&mut r, &[1.0]), 0);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of rule generation against a naive enumerator,
+//! over arbitrary downward-closed frequent sets built from random
+//! databases (so supports are always realizable).
+
+use apriori::reference::{brute_force, random_db};
+use assoc_rules::generate;
+use mining_types::{FrequentSet, MinSupport};
+use proptest::prelude::*;
+
+fn naive(fs: &FrequentSet, min_conf: f64) -> Vec<(mining_types::Itemset, mining_types::Itemset)> {
+    let mut out = Vec::new();
+    for (x, xs) in fs.iter() {
+        if x.len() < 2 {
+            continue;
+        }
+        for k in 1..x.len() {
+            for y in x.k_subsets(k) {
+                let a = x.difference(&y);
+                let asup = fs.support_of(&a).unwrap();
+                if xs as f64 / asup as f64 >= min_conf {
+                    out.push((a, y));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn fast_generation_equals_naive_enumeration(
+        seed in 0u64..500,
+        pct in 8.0f64..40.0,
+        conf in 0.05f64..0.95,
+    ) {
+        let db = random_db(seed, 100, 10, 5);
+        let fs = brute_force(&db, MinSupport::from_percent(pct));
+        let fast: Vec<_> = generate(&fs, conf)
+            .into_iter()
+            .map(|r| (r.antecedent, r.consequent))
+            .collect();
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort();
+        prop_assert_eq!(fast_sorted, naive(&fs, conf));
+    }
+
+    #[test]
+    fn confidence_monotone_in_threshold(seed in 0u64..200, pct in 10.0f64..30.0) {
+        let db = random_db(seed, 80, 10, 5);
+        let fs = brute_force(&db, MinSupport::from_percent(pct));
+        let lo = generate(&fs, 0.2);
+        let hi = generate(&fs, 0.7);
+        prop_assert!(hi.len() <= lo.len());
+        for r in &hi {
+            prop_assert!(
+                lo.iter().any(|l| l.antecedent == r.antecedent && l.consequent == r.consequent),
+                "rule lost when lowering the threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_statistics_are_consistent(seed in 0u64..200, conf in 0.1f64..0.9) {
+        let db = random_db(seed, 120, 10, 5);
+        let n = db.num_transactions();
+        let fs = brute_force(&db, MinSupport::from_percent(10.0));
+        for r in generate(&fs, conf) {
+            prop_assert!(r.confidence() >= conf && r.confidence() <= 1.0 + 1e-12);
+            prop_assert!(r.support <= r.antecedent_support);
+            prop_assert!(r.support <= r.consequent_support);
+            prop_assert!(r.lift(n) > 0.0);
+            prop_assert!(r.support_fraction(n) <= 1.0);
+            prop_assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
+            // antecedent and consequent are disjoint
+            prop_assert!(r.antecedent.difference(&r.consequent) == r.antecedent);
+        }
+    }
+}

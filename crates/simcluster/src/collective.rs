@@ -1,0 +1,247 @@
+//! The paper's communication idioms, recorded as trace steps.
+//!
+//! * [`sum_reduce`] — §6.2: *"We allocate an array … on the shared Memory
+//!   Channel region. Each processor then accesses this shared array in a
+//!   mutually exclusive manner, and increments the current count by its
+//!   partial counts. It then waits at a barrier for the last processor to
+//!   update the shared array."* The mutual exclusion emerges from hub
+//!   FCFS serialization of the broadcast writes; the barrier makes the
+//!   global array visible; the final local read is a memory copy.
+//!
+//! * [`lockstep_exchange`] — §6.3: *"Each processor allocates a 2MB
+//!   buffer for a transmit region and a receive region … The
+//!   communication proceeds in a lock-step manner with alternating write
+//!   and read phases."* Per round every processor broadcasts up to one
+//!   buffer of its outgoing tid-lists, a barrier ends the write phase,
+//!   every processor scans the receive regions and copies out the bytes
+//!   addressed to it, and a barrier ends the read phase.
+
+use crate::trace::{TraceRecorder, BROADCAST};
+
+/// Dispenses globally increasing barrier ids.
+#[derive(Debug, Default)]
+pub struct BarrierSeq {
+    next: u64,
+}
+
+impl BarrierSeq {
+    /// Start at zero.
+    pub fn new() -> BarrierSeq {
+        BarrierSeq::default()
+    }
+
+    /// The next barrier id.
+    pub fn next(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+/// §6.2 sum-reduction: every processor contributes `bytes[p]` of partial
+/// counts to a shared region and afterwards reads the `result_bytes`
+/// global array locally.
+pub fn sum_reduce(
+    recorders: &mut [TraceRecorder],
+    bytes: &[u64],
+    result_bytes: u64,
+    barriers: &mut BarrierSeq,
+) {
+    assert_eq!(recorders.len(), bytes.len());
+    let id = barriers.next();
+    for (r, &b) in recorders.iter_mut().zip(bytes) {
+        if b > 0 {
+            r.send_tagged(BROADCAST, b, id);
+        }
+        r.barrier(id);
+        if result_bytes > 0 {
+            r.local_copy(result_bytes);
+        }
+    }
+}
+
+/// Broadcast without a reduction read-back (used for the partial-count
+/// announcements of §6.2's last paragraph and Candidate Distribution's
+/// asynchronous pruning information).
+pub fn broadcast_all(recorders: &mut [TraceRecorder], bytes: &[u64], barriers: &mut BarrierSeq) {
+    assert_eq!(recorders.len(), bytes.len());
+    let id = barriers.next();
+    for (r, &b) in recorders.iter_mut().zip(bytes) {
+        if b > 0 {
+            r.send_tagged(BROADCAST, b, id);
+        }
+        r.barrier(id);
+    }
+}
+
+/// §6.3 lock-step tid-list exchange. `outgoing[p][q]` is the number of
+/// bytes processor `p` must deliver to processor `q` (the diagonal is
+/// ignored — a processor's own tid-lists never travel). Returns the
+/// number of write/read rounds.
+///
+/// Per round each processor broadcasts up to `buffer_bytes` of its
+/// remaining outgoing data (destinations drained in processor order),
+/// then after a barrier copies the bytes addressed to it out of every
+/// receive region, then a second barrier closes the read phase.
+pub fn lockstep_exchange(
+    recorders: &mut [TraceRecorder],
+    outgoing: &[Vec<u64>],
+    buffer_bytes: u64,
+    barriers: &mut BarrierSeq,
+) -> usize {
+    let p = recorders.len();
+    assert!(buffer_bytes > 0, "buffer must be non-empty");
+    assert_eq!(outgoing.len(), p);
+    assert!(outgoing.iter().all(|row| row.len() == p));
+
+    // Remaining per (sender, destination), drained destination-major.
+    let mut remaining: Vec<Vec<u64>> = outgoing.to_vec();
+    for (s, row) in remaining.iter_mut().enumerate() {
+        row[s] = 0;
+    }
+
+    let mut rounds = 0usize;
+    loop {
+        let total_left: u64 = remaining.iter().flatten().sum();
+        if total_left == 0 {
+            break;
+        }
+        rounds += 1;
+        // Write phase: each sender fills one transmit buffer.
+        let mut sent_this_round: Vec<Vec<u64>> = vec![vec![0; p]; p];
+        let write_id = barriers.next();
+        for (s, r) in recorders.iter_mut().enumerate() {
+            let mut budget = buffer_bytes;
+            let mut chunk = 0u64;
+            for d in 0..p {
+                if budget == 0 {
+                    break;
+                }
+                let take = remaining[s][d].min(budget);
+                remaining[s][d] -= take;
+                sent_this_round[s][d] = take;
+                budget -= take;
+                chunk += take;
+            }
+            if chunk > 0 {
+                r.send_tagged(BROADCAST, chunk, write_id);
+            }
+            r.barrier(write_id);
+        }
+        // Read phase: each processor copies out the bytes addressed to it.
+        let read_id = barriers.next();
+        for (d, r) in recorders.iter_mut().enumerate() {
+            let incoming: u64 = (0..p).map(|s| sent_this_round[s][d]).sum();
+            if incoming > 0 {
+                r.local_copy(incoming);
+            }
+            r.barrier(read_id);
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, CostModel};
+    use crate::des::replay;
+    use crate::trace::Trace;
+
+    fn setup(cfg: &ClusterConfig) -> Vec<TraceRecorder> {
+        (0..cfg.total())
+            .map(|q| TraceRecorder::new(q, CostModel::dec_alpha_1997()))
+            .collect()
+    }
+
+    fn run(cfg: &ClusterConfig, recs: Vec<TraceRecorder>) -> crate::Timeline {
+        let traces: Vec<Trace> = recs.into_iter().map(|r| r.finish()).collect();
+        replay(cfg, &CostModel::dec_alpha_1997(), &traces)
+    }
+
+    #[test]
+    fn sum_reduce_replays_cleanly() {
+        let cfg = ClusterConfig::new(2, 2);
+        let mut recs = setup(&cfg);
+        let mut b = BarrierSeq::new();
+        sum_reduce(&mut recs, &[1000, 1000, 1000, 1000], 1000, &mut b);
+        let tl = run(&cfg, recs);
+        assert!(tl.total_ns() > 0.0);
+        // everyone blocked at the barrier at least a little or paid net
+        assert!(tl.per_proc.iter().all(|p| p.blocked_ns + p.net_ns > 0.0));
+    }
+
+    #[test]
+    fn sum_reduce_cost_grows_with_processors() {
+        let c2 = ClusterConfig::new(2, 1);
+        let mut r2 = setup(&c2);
+        let mut b = BarrierSeq::new();
+        sum_reduce(&mut r2, &[1 << 20, 1 << 20], 1 << 20, &mut b);
+        let t2 = run(&c2, r2).total_ns();
+
+        let c8 = ClusterConfig::new(8, 1);
+        let mut r8 = setup(&c8);
+        let mut b = BarrierSeq::new();
+        sum_reduce(&mut r8, &vec![1 << 20; 8], 1 << 20, &mut b);
+        let t8 = run(&c8, r8).total_ns();
+        assert!(
+            t8 > 2.0 * t2,
+            "O(P) mutually exclusive updates must serialize: {t2} vs {t8}"
+        );
+    }
+
+    #[test]
+    fn lockstep_exchange_rounds_and_replay() {
+        let cfg = ClusterConfig::new(2, 1);
+        let mut recs = setup(&cfg);
+        let mut b = BarrierSeq::new();
+        // p0 → p1: 5 MB; p1 → p0: 1 MB; 2 MB buffers → 3 rounds.
+        let outgoing = vec![vec![0, 5 << 20], vec![1 << 20, 0]];
+        let rounds = lockstep_exchange(&mut recs, &outgoing, 2 << 20, &mut b);
+        assert_eq!(rounds, 3);
+        let tl = run(&cfg, recs);
+        assert!(tl.total_ns() > 0.0);
+    }
+
+    #[test]
+    fn lockstep_exchange_ignores_diagonal_and_empty() {
+        let cfg = ClusterConfig::new(2, 1);
+        let mut recs = setup(&cfg);
+        let mut b = BarrierSeq::new();
+        // only self-traffic → zero rounds, no steps
+        let outgoing = vec![vec![7 << 20, 0], vec![0, 3 << 20]];
+        let rounds = lockstep_exchange(&mut recs, &outgoing, 2 << 20, &mut b);
+        assert_eq!(rounds, 0);
+        assert!(recs.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn lockstep_exchange_all_to_all_scales_with_hub() {
+        // 4 hosts all-to-all: total cross bytes dominate via the hub.
+        let cfg = ClusterConfig::new(4, 1);
+        let mut recs = setup(&cfg);
+        let mut b = BarrierSeq::new();
+        let mb = 1u64 << 20;
+        let outgoing: Vec<Vec<u64>> = (0..4)
+            .map(|s| (0..4).map(|d| if s == d { 0 } else { 4 * mb }).collect())
+            .collect();
+        let rounds = lockstep_exchange(&mut recs, &outgoing, 2 * mb, &mut b);
+        assert_eq!(rounds, 6, "12 MB per sender / 2 MB buffer");
+        let tl = run(&cfg, recs);
+        let cost = CostModel::dec_alpha_1997();
+        let total_bytes = 4.0 * 12.0 * mb as f64;
+        let hub_floor = total_bytes / cost.mc_hub_bw * 1e9;
+        assert!(
+            tl.total_ns() >= hub_floor,
+            "hub is the bottleneck: {} < {hub_floor}",
+            tl.total_ns()
+        );
+    }
+
+    #[test]
+    fn barrier_seq_increases() {
+        let mut b = BarrierSeq::new();
+        assert_eq!(b.next(), 0);
+        assert_eq!(b.next(), 1);
+    }
+}

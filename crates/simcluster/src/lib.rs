@@ -1,0 +1,37 @@
+//! A simulated DEC Memory Channel cluster.
+//!
+//! The paper's testbed — *"a 32-processor (8 nodes, 4 processors each) DEC
+//! Alpha cluster inter-connected by the Memory Channel network"* (§6.1) —
+//! is reproduced here as a deterministic **trace-replay discrete-event
+//! simulator**:
+//!
+//! 1. Each algorithm executes its *real* computation once per simulated
+//!    processor, logging a [`trace::Trace`] of abstract steps:
+//!    `Compute(ops)`, `DiskRead/Write(bytes)`, `Send{to,bytes}`,
+//!    `Recv{from}`, `Barrier`, plus phase markers.
+//! 2. The [`des`] engine replays all traces against resource models —
+//!    a per-host disk served FCFS (the local-disk contention of §8.1), a
+//!    per-host Memory Channel link plus the shared hub with its aggregate
+//!    bandwidth cap and 5.2 µs one-sided write latency (§6.1), and
+//!    max-arrival barriers — producing per-processor virtual timelines.
+//!
+//! Why this substitution is faithful: the paper's claims are about the
+//! *cost structure* of the algorithms (disk scans per iteration, barriers
+//! per iteration, bytes exchanged, operation counts per layout), all of
+//! which are captured exactly; only the constants are modeled, and those
+//! are calibrated from the hardware numbers the paper itself publishes.
+//! See DESIGN.md §4.
+//!
+//! [`collective`] implements the paper's communication idioms on top:
+//! the §6.2 mutually-exclusive shared-region sum-reduction and the §6.3
+//! lock-step alternating 2 MB-buffer tid-list exchange.
+
+pub mod collective;
+pub mod config;
+pub mod des;
+pub mod stats;
+pub mod trace;
+
+pub use config::{ClusterConfig, CostModel};
+pub use des::{ProcTimeline, Timeline};
+pub use trace::{Step, Trace, TraceRecorder, BROADCAST};

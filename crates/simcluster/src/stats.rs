@@ -1,0 +1,163 @@
+//! Timeline reporting: turn a replayed [`Timeline`] into human-readable
+//! summaries — per-phase tables, per-processor utilization, and a text
+//! Gantt strip. Used by the `cluster_simulation` example and the repro
+//! binaries' verbose modes.
+
+use crate::des::Timeline;
+
+/// Aggregated view of one timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineSummary {
+    /// Makespan in seconds.
+    pub total_secs: f64,
+    /// `(label, max-over-procs seconds, share of makespan)` per phase,
+    /// in first-seen order of processor 0.
+    pub phases: Vec<(&'static str, f64, f64)>,
+    /// Per-processor utilization = (compute+disk+net) / finish.
+    pub utilization: Vec<f64>,
+    /// Mean utilization across processors.
+    pub mean_utilization: f64,
+    /// Makespan / slowest-processor-busy-time — 1.0 means the critical
+    /// path is pure work, higher means waiting dominates.
+    pub wait_factor: f64,
+}
+
+/// Summarize a timeline.
+///
+/// # Panics
+/// Panics on an empty timeline.
+pub fn summarize(tl: &Timeline) -> TimelineSummary {
+    assert!(!tl.per_proc.is_empty(), "empty timeline");
+    let total = tl.total_ns();
+    let phases: Vec<(&'static str, f64, f64)> = tl.per_proc[0]
+        .phases
+        .iter()
+        .map(|(label, _)| {
+            let ns = tl.phase_ns(label);
+            (*label, ns / 1e9, if total > 0.0 { ns / total } else { 0.0 })
+        })
+        .collect();
+    let utilization: Vec<f64> = tl
+        .per_proc
+        .iter()
+        .map(|p| {
+            let busy = p.compute_ns + p.disk_ns + p.net_ns;
+            if p.finish_ns > 0.0 {
+                busy / p.finish_ns
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mean_utilization = utilization.iter().sum::<f64>() / utilization.len() as f64;
+    let max_busy = tl
+        .per_proc
+        .iter()
+        .map(|p| p.compute_ns + p.disk_ns + p.net_ns)
+        .fold(0.0f64, f64::max);
+    let wait_factor = if max_busy > 0.0 { total / max_busy } else { 1.0 };
+    TimelineSummary {
+        total_secs: total / 1e9,
+        phases,
+        utilization,
+        mean_utilization,
+        wait_factor,
+    }
+}
+
+/// Render a fixed-width text report.
+pub fn render(tl: &Timeline) -> String {
+    let s = summarize(tl);
+    let mut out = String::new();
+    out.push_str(&format!("total {:>10.2}s   mean utilization {:>5.1}%   wait factor {:.2}\n",
+        s.total_secs, s.mean_utilization * 100.0, s.wait_factor));
+    for (label, secs, share) in &s.phases {
+        out.push_str(&format!(
+            "  {label:>12}: {secs:>9.2}s  {:>5.1}%  {}\n",
+            share * 100.0,
+            bar(*share, 40)
+        ));
+    }
+    for (p, u) in s.utilization.iter().enumerate() {
+        out.push_str(&format!("  proc {p:>3} busy {:>5.1}%  {}\n", u * 100.0, bar(*u, 40)));
+    }
+    out
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, CostModel};
+    use crate::des::replay;
+    use crate::trace::TraceRecorder;
+
+    fn timeline() -> Timeline {
+        let cfg = ClusterConfig::new(1, 2);
+        let cost = CostModel::dec_alpha_1997();
+        let mut recs: Vec<TraceRecorder> =
+            (0..2).map(|p| TraceRecorder::new(p, cost.clone())).collect();
+        for (i, r) in recs.iter_mut().enumerate() {
+            r.phase("work");
+            r.compute_ns(1e9 * (i as f64 + 1.0));
+            r.barrier(0);
+            r.phase("tail");
+            r.compute_ns(0.5e9);
+        }
+        let traces: Vec<_> = recs.into_iter().map(|r| r.finish()).collect();
+        replay(&cfg, &cost, &traces)
+    }
+
+    #[test]
+    fn summary_shares_sum_to_about_one() {
+        let tl = timeline();
+        let s = summarize(&tl);
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phases[0].0, "work");
+        let share_sum: f64 = s.phases.iter().map(|(_, _, f)| f).sum();
+        assert!((share_sum - 1.0).abs() < 0.05, "shares sum {share_sum}");
+        assert!(s.total_secs > 2.4 && s.total_secs < 2.7);
+    }
+
+    #[test]
+    fn utilization_reflects_imbalance() {
+        let tl = timeline();
+        let s = summarize(&tl);
+        // proc 0 computed 1.5 s of 2.5 s; proc 1 computed 2.5 of 2.5
+        assert!(s.utilization[0] < s.utilization[1]);
+        assert!(s.utilization[1] > 0.95);
+        assert!(s.wait_factor >= 1.0);
+    }
+
+    #[test]
+    fn render_contains_phase_rows() {
+        let tl = timeline();
+        let text = render(&tl);
+        assert!(text.contains("work"), "{text}");
+        assert!(text.contains("tail"));
+        assert!(text.contains("proc   0"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(0.5, 4), "##..");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty timeline")]
+    fn empty_timeline_rejected() {
+        summarize(&Timeline { per_proc: vec![] });
+    }
+}

@@ -1,0 +1,276 @@
+//! Traces: the abstract step log each simulated processor records.
+
+use mining_types::OpMeter;
+
+/// Pseudo-destination meaning "all hosts" — a write to a Memory Channel
+/// region mapped for receive on every node (§6.1's hub multicast).
+/// Broadcast sends cost sender-link and hub time but are not received
+/// with [`Step::Recv`]; a subsequent barrier orders visibility, matching
+/// the shared-region usage in §6.2.
+pub const BROADCAST: usize = usize::MAX;
+
+/// One abstract step of a simulated processor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Step {
+    /// CPU work, pre-priced in virtual nanoseconds by the cost model at
+    /// record time (the recorder owns the [`crate::CostModel`] prices via
+    /// its caller — see [`TraceRecorder::compute`]).
+    Compute {
+        /// Virtual nanoseconds of CPU work.
+        ns: f64,
+    },
+    /// Sequential read of `bytes` from this processor's host disk.
+    DiskRead {
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// Sequential write of `bytes` to this processor's host disk.
+    DiskWrite {
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// One-sided Memory Channel write of `bytes` to processor `to`
+    /// (or [`BROADCAST`]). Non-blocking for the sender beyond the link
+    /// occupancy; delivered after hub transfer + latency.
+    Send {
+        /// Destination processor id or [`BROADCAST`].
+        to: usize,
+        /// Payload bytes.
+        bytes: u64,
+        /// Match tag (must be unique per (from, to) message in flight).
+        tag: u64,
+    },
+    /// Block until the matching [`Step::Send`] from `from` is delivered.
+    Recv {
+        /// Source processor id.
+        from: usize,
+        /// Match tag.
+        tag: u64,
+    },
+    /// Global barrier across all processors; id must increase.
+    Barrier {
+        /// Barrier sequence number.
+        id: u64,
+    },
+    /// Phase marker: subsequent elapsed time is attributed to this label.
+    Phase {
+        /// Phase label (e.g. `"init"`, `"transform"`, `"async"`).
+        label: &'static str,
+    },
+}
+
+/// A processor's full step log.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Steps in program order.
+    pub steps: Vec<Step>,
+}
+
+/// Records a [`Trace`] for one simulated processor.
+///
+/// Compute work can be logged either as pre-priced nanoseconds or by
+/// diffing an [`OpMeter`] against the cost model — algorithms meter their
+/// real work, then flush the delta.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    proc: usize,
+    steps: Vec<Step>,
+    cost: crate::CostModel,
+    next_auto_tag: u64,
+}
+
+impl TraceRecorder {
+    /// New recorder for processor `proc` with the given pricing.
+    pub fn new(proc: usize, cost: crate::CostModel) -> TraceRecorder {
+        TraceRecorder {
+            proc,
+            steps: Vec::new(),
+            cost,
+            next_auto_tag: 0,
+        }
+    }
+
+    /// The processor this recorder belongs to.
+    pub fn proc(&self) -> usize {
+        self.proc
+    }
+
+    /// The pricing model.
+    pub fn cost(&self) -> &crate::CostModel {
+        &self.cost
+    }
+
+    /// Mark the start of a named phase.
+    pub fn phase(&mut self, label: &'static str) {
+        self.steps.push(Step::Phase { label });
+    }
+
+    /// Record pre-priced CPU work. Zero-duration work is skipped.
+    pub fn compute_ns(&mut self, ns: f64) {
+        assert!(ns.is_finite() && ns >= 0.0, "negative compute time");
+        if ns > 0.0 {
+            // Coalesce with a preceding Compute to keep traces small.
+            if let Some(Step::Compute { ns: prev }) = self.steps.last_mut() {
+                *prev += ns;
+                return;
+            }
+            self.steps.push(Step::Compute { ns });
+        }
+    }
+
+    /// Record the work in `ops` at the model's prices.
+    pub fn compute(&mut self, ops: &OpMeter) {
+        let ns = self.cost.compute_ns(ops);
+        self.compute_ns(ns);
+    }
+
+    /// Record the delta `current − baseline` of a live meter, returning a
+    /// new baseline. Usage: `baseline = rec.compute_since(&meter, baseline)`.
+    pub fn compute_since(&mut self, meter: &OpMeter, baseline: OpMeter) -> OpMeter {
+        let delta = meter.since(&baseline);
+        self.compute(&delta);
+        *meter
+    }
+
+    /// Record a memory copy of `bytes` (write-doubling / region scan) at
+    /// the local copy bandwidth.
+    pub fn local_copy(&mut self, bytes: u64) {
+        let ns = bytes as f64 / self.cost.local_copy_bw * 1e9;
+        self.compute_ns(ns);
+    }
+
+    /// Record a sequential disk read.
+    pub fn disk_read(&mut self, bytes: u64) {
+        self.steps.push(Step::DiskRead { bytes });
+    }
+
+    /// Record a sequential disk write.
+    pub fn disk_write(&mut self, bytes: u64) {
+        self.steps.push(Step::DiskWrite { bytes });
+    }
+
+    /// Record a one-sided send with an explicit tag.
+    pub fn send_tagged(&mut self, to: usize, bytes: u64, tag: u64) {
+        assert!(to == BROADCAST || to != self.proc, "send to self is a local copy");
+        self.steps.push(Step::Send { to, bytes, tag });
+    }
+
+    /// Record a one-sided send with an auto-assigned per-recorder tag;
+    /// returns the tag (receiver must be told out-of-band, so prefer
+    /// [`TraceRecorder::send_tagged`] in protocols).
+    pub fn send(&mut self, to: usize, bytes: u64) -> u64 {
+        let tag = self.next_auto_tag;
+        self.next_auto_tag += 1;
+        self.send_tagged(to, bytes, tag);
+        tag
+    }
+
+    /// Record a blocking receive.
+    pub fn recv(&mut self, from: usize, tag: u64) {
+        assert_ne!(from, self.proc, "recv from self");
+        self.steps.push(Step::Recv { from, tag });
+    }
+
+    /// Record a barrier.
+    pub fn barrier(&mut self, id: u64) {
+        self.steps.push(Step::Barrier { id });
+    }
+
+    /// Finish recording.
+    pub fn finish(self) -> Trace {
+        Trace { steps: self.steps }
+    }
+
+    /// Number of steps so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    fn rec() -> TraceRecorder {
+        TraceRecorder::new(0, CostModel::dec_alpha_1997())
+    }
+
+    #[test]
+    fn compute_coalesces() {
+        let mut r = rec();
+        r.compute_ns(10.0);
+        r.compute_ns(5.0);
+        let t = r.finish();
+        assert_eq!(t.steps, vec![Step::Compute { ns: 15.0 }]);
+    }
+
+    #[test]
+    fn zero_compute_skipped() {
+        let mut r = rec();
+        r.compute_ns(0.0);
+        r.compute(&OpMeter::new());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn compute_since_prices_delta() {
+        let mut r = rec();
+        let mut meter = OpMeter::new();
+        meter.tid_cmp = 100;
+        let baseline = r.compute_since(&meter, OpMeter::new());
+        assert_eq!(baseline.tid_cmp, 100);
+        meter.tid_cmp = 150;
+        r.compute_since(&meter, baseline);
+        let t = r.finish();
+        // 100 * 40ns coalesced with 50 * 40ns
+        assert_eq!(t.steps, vec![Step::Compute { ns: 6000.0 }]);
+    }
+
+    #[test]
+    fn protocol_steps_recorded_in_order() {
+        let mut r = rec();
+        r.phase("init");
+        r.disk_read(100);
+        r.send_tagged(1, 64, 7);
+        r.recv(2, 9);
+        r.barrier(0);
+        r.disk_write(32);
+        let t = r.finish();
+        assert_eq!(t.steps.len(), 6);
+        assert_eq!(t.steps[0], Step::Phase { label: "init" });
+        assert_eq!(t.steps[2], Step::Send { to: 1, bytes: 64, tag: 7 });
+        assert_eq!(t.steps[3], Step::Recv { from: 2, tag: 9 });
+    }
+
+    #[test]
+    fn auto_tags_increment() {
+        let mut r = rec();
+        assert_eq!(r.send(1, 10), 0);
+        assert_eq!(r.send(1, 10), 1);
+        assert_eq!(r.send(2, 10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to self")]
+    fn send_to_self_rejected() {
+        rec().send(0, 10);
+    }
+
+    #[test]
+    fn local_copy_priced_by_bandwidth() {
+        let mut r = rec();
+        let bw = r.cost().local_copy_bw;
+        r.local_copy(bw as u64); // one second of copying
+        let t = r.finish();
+        match t.steps[0] {
+            Step::Compute { ns } => assert!((ns - 1e9).abs() / 1e9 < 0.01),
+            _ => panic!("expected compute"),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the discrete-event replay engine: for any
+//! well-formed set of traces, the replay must be deterministic, causally
+//! consistent, and conservative (no processor finishes before its own
+//! work could possibly complete).
+
+use memchannel::collective::{lockstep_exchange, sum_reduce, BarrierSeq};
+use memchannel::{ClusterConfig, CostModel, Trace, TraceRecorder};
+use proptest::prelude::*;
+
+/// A random but *well-formed* communication program: a sequence of
+/// rounds; each round every processor does some compute and disk work,
+/// then either (a) a barrier, or (b) a ring send/recv (proc p sends to
+/// p+1 mod T) — always matched, so no deadlock by construction.
+#[derive(Clone, Debug)]
+enum Round {
+    Work(Vec<(f64, u64)>),          // per-proc (compute ns, disk bytes)
+    Barrier,
+    Ring(Vec<u64>),                 // per-proc payload bytes
+}
+
+fn arb_rounds(t: usize) -> impl Strategy<Value = Vec<Round>> {
+    let round = prop_oneof![
+        proptest::collection::vec((0.0f64..1e7, 0u64..1_000_000), t..=t)
+            .prop_map(Round::Work),
+        Just(Round::Barrier),
+        proptest::collection::vec(1u64..500_000, t..=t).prop_map(Round::Ring),
+    ];
+    proptest::collection::vec(round, 1..8)
+}
+
+fn build_traces(cfg: &ClusterConfig, rounds: &[Round]) -> Vec<Trace> {
+    let t = cfg.total();
+    let cost = CostModel::dec_alpha_1997();
+    let mut recs: Vec<TraceRecorder> = (0..t)
+        .map(|p| TraceRecorder::new(p, cost.clone()))
+        .collect();
+    let mut barrier = 0u64;
+    let mut tag = 0u64;
+    for round in rounds {
+        match round {
+            Round::Work(work) => {
+                for (p, &(ns, bytes)) in work.iter().enumerate() {
+                    recs[p].compute_ns(ns);
+                    if bytes > 0 {
+                        recs[p].disk_read(bytes);
+                    }
+                }
+            }
+            Round::Barrier => {
+                for r in recs.iter_mut() {
+                    r.barrier(barrier);
+                }
+                barrier += 1;
+            }
+            Round::Ring(bytes) => {
+                if t == 1 {
+                    continue;
+                }
+                for (p, &b) in bytes.iter().enumerate() {
+                    let to = (p + 1) % t;
+                    recs[p].send_tagged(to, b, tag);
+                }
+                for (p, _) in bytes.iter().enumerate() {
+                    let from = (p + t - 1) % t;
+                    recs[p].recv(from, tag);
+                }
+                tag += 1;
+            }
+        }
+    }
+    recs.into_iter().map(|r| r.finish()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replay_is_deterministic_and_conservative(
+        hosts in 1usize..4,
+        ppn in 1usize..4,
+        rounds_seed in any::<u64>(),
+    ) {
+        let cfg = ClusterConfig::new(hosts, ppn);
+        let t = cfg.total();
+        // derive rounds from the seed via the strategy's value tree —
+        // simpler: regenerate with a fixed small program shaped by seed
+        let mut s = rounds_seed | 1;
+        let mut next = move || { s ^= s >> 12; s ^= s << 25; s ^= s >> 27; s.wrapping_mul(0x2545F4914F6CDD1D) };
+        let mut rounds = Vec::new();
+        for _ in 0..(1 + next() % 6) {
+            match next() % 3 {
+                0 => rounds.push(Round::Work(
+                    (0..t).map(|_| ((next() % 10_000_000) as f64, next() % 500_000)).collect())),
+                1 => rounds.push(Round::Barrier),
+                _ => rounds.push(Round::Ring((0..t).map(|_| 1 + next() % 200_000).collect())),
+            }
+        }
+        let cost = CostModel::dec_alpha_1997();
+        let t1 = memchannel::des::replay(&cfg, &cost, &build_traces(&cfg, &rounds));
+        let t2 = memchannel::des::replay(&cfg, &cost, &build_traces(&cfg, &rounds));
+        prop_assert_eq!(&t1, &t2, "determinism");
+
+        for p in &t1.per_proc {
+            // conservation: elapsed >= own busy time; busy components
+            // are non-negative; finish bounded by makespan
+            prop_assert!(p.compute_ns >= 0.0 && p.disk_ns >= 0.0 && p.net_ns >= 0.0);
+            let busy = p.compute_ns + p.disk_ns + p.net_ns;
+            prop_assert!(
+                p.finish_ns + 1e-6 >= busy,
+                "finish {} < busy {busy}", p.finish_ns
+            );
+            prop_assert!(p.finish_ns <= t1.total_ns() + 1e-6);
+            // phase attribution covers the whole elapsed time
+            let attributed: f64 = p.phases.iter().map(|(_, ns)| ns).sum();
+            prop_assert!(
+                (attributed - p.finish_ns).abs() < 1.0,
+                "attributed {attributed} vs finish {}", p.finish_ns
+            );
+        }
+    }
+
+    #[test]
+    fn collectives_never_deadlock(
+        hosts in 1usize..4,
+        ppn in 1usize..3,
+        tri_kb in 1u64..256,
+        out_kb in proptest::collection::vec(0u64..512, 1..10),
+    ) {
+        let cfg = ClusterConfig::new(hosts, ppn);
+        let t = cfg.total();
+        let cost = CostModel::dec_alpha_1997();
+        let mut recs: Vec<TraceRecorder> = (0..t)
+            .map(|p| TraceRecorder::new(p, cost.clone()))
+            .collect();
+        let mut b = BarrierSeq::new();
+        sum_reduce(&mut recs, &vec![tri_kb * 1024; t], tri_kb * 1024, &mut b);
+        // random outgoing matrix from the out_kb pool
+        let outgoing: Vec<Vec<u64>> = (0..t)
+            .map(|p| (0..t).map(|q| {
+                if p == q { 0 } else { out_kb[(p * t + q) % out_kb.len()] * 1024 }
+            }).collect())
+            .collect();
+        let rounds = lockstep_exchange(&mut recs, &outgoing, 64 * 1024, &mut b);
+        sum_reduce(&mut recs, &vec![1024; t], 1024, &mut b);
+        let traces: Vec<Trace> = recs.into_iter().map(|r| r.finish()).collect();
+        let tl = memchannel::des::replay(&cfg, &cost, &traces);
+        prop_assert!(tl.total_ns() >= 0.0);
+        let max_out: u64 = outgoing.iter().map(|row| row.iter().sum::<u64>()).max().unwrap();
+        prop_assert_eq!(rounds as u64, max_out.div_ceil(64 * 1024), "round count");
+    }
+
+    #[test]
+    fn barrier_time_is_at_least_slowest_processor(
+        work in proptest::collection::vec(0.0f64..1e8, 2..6),
+    ) {
+        let cfg = ClusterConfig::new(work.len(), 1);
+        let cost = CostModel::dec_alpha_1997();
+        let mut recs: Vec<TraceRecorder> = (0..work.len())
+            .map(|p| TraceRecorder::new(p, cost.clone()))
+            .collect();
+        for (r, &w) in recs.iter_mut().zip(&work) {
+            r.compute_ns(w);
+            r.barrier(0);
+        }
+        let traces: Vec<Trace> = recs.into_iter().map(|r| r.finish()).collect();
+        let tl = memchannel::des::replay(&cfg, &cost, &traces);
+        let slowest = work.iter().copied().fold(0.0, f64::max);
+        let expect = slowest + cost.barrier_ns;
+        for p in &tl.per_proc {
+            prop_assert!((p.finish_ns - expect).abs() < 1.0);
+        }
+    }
+}

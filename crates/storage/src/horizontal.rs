@@ -1,0 +1,194 @@
+//! The horizontal (row-oriented) database layout.
+
+use mining_types::{ItemId, Tid};
+
+/// An in-memory horizontal transaction database: transaction `t` is the
+/// sorted item list at index `t`; its TID is its index.
+///
+/// Tids being dense `0..n` in database order is what makes the block
+/// partitioning of §3 produce disjoint, monotonically increasing tid
+/// ranges per processor — the property §6.3 exploits to place incoming
+/// partial tid-lists at precomputed offsets with no sorting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HorizontalDb {
+    transactions: Vec<Vec<ItemId>>,
+    num_items: u32,
+}
+
+impl HorizontalDb {
+    /// Build from transaction item lists. Each transaction is sorted and
+    /// deduplicated; `num_items` is inferred as `max item + 1`.
+    pub fn from_transactions(mut transactions: Vec<Vec<ItemId>>) -> HorizontalDb {
+        let mut num_items = 0u32;
+        for t in &mut transactions {
+            t.sort_unstable();
+            t.dedup();
+            if let Some(&last) = t.last() {
+                num_items = num_items.max(last.0 + 1);
+            }
+        }
+        HorizontalDb {
+            transactions,
+            num_items,
+        }
+    }
+
+    /// Build from raw `u32` item lists (test/example convenience).
+    pub fn of(raw: &[&[u32]]) -> HorizontalDb {
+        Self::from_transactions(
+            raw.iter()
+                .map(|t| t.iter().copied().map(ItemId).collect())
+                .collect(),
+        )
+    }
+
+    /// Declare a larger item universe than the inferred one (items that
+    /// never occur). Needed when partitions of one database must agree on
+    /// the universe size for the triangular-count sum-reduction.
+    pub fn with_num_items(mut self, num_items: u32) -> HorizontalDb {
+        assert!(
+            num_items >= self.num_items,
+            "cannot shrink the item universe below the max occurring item"
+        );
+        self.num_items = num_items;
+        self
+    }
+
+    /// `|D|` — number of transactions.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Size of the item universe (`N`).
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The sorted items of transaction `tid`.
+    #[inline]
+    pub fn transaction(&self, tid: Tid) -> &[ItemId] {
+        &self.transactions[tid.index()]
+    }
+
+    /// Iterate `(tid, items)` in tid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, &[ItemId])> {
+        self.transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Tid(i as u32), t.as_slice()))
+    }
+
+    /// Iterate `(tid, items)` for tids in `range` (a partition block).
+    pub fn iter_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (Tid, &[ItemId])> {
+        self.transactions[range.clone()]
+            .iter()
+            .zip(range)
+            .map(|(t, i)| (Tid(i as u32), t.as_slice()))
+    }
+
+    /// Total number of item occurrences (sum of transaction lengths).
+    pub fn total_items(&self) -> u64 {
+        self.transactions.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// Bytes of the binary horizontal layout: per transaction a length
+    /// word plus one word per item (4 bytes each). This is the quantity a
+    /// full database scan costs in the I/O model — and matches the MB
+    /// figures of Table 1.
+    pub fn byte_size(&self) -> u64 {
+        (self.num_transactions() as u64 + self.total_items()) * 4
+    }
+
+    /// Bytes of the block `range` of the layout (a partition's scan cost).
+    pub fn byte_size_range(&self, range: std::ops::Range<usize>) -> u64 {
+        let items: u64 = self.transactions[range.clone()]
+            .iter()
+            .map(|t| t.len() as u64)
+            .sum();
+        (range.len() as u64 + items) * 4
+    }
+
+    /// Average transaction length.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.total_items() as f64 / self.num_transactions() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HorizontalDb {
+        HorizontalDb::of(&[&[1, 3, 5], &[0, 1], &[5], &[2, 3, 4, 5]])
+    }
+
+    #[test]
+    fn construction_sorts_and_infers_universe() {
+        let db = HorizontalDb::of(&[&[5, 3, 1, 3]]);
+        assert_eq!(db.transaction(Tid(0)), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert_eq!(db.num_items(), 6);
+    }
+
+    #[test]
+    fn iter_yields_dense_tids() {
+        let db = sample();
+        let tids: Vec<u32> = db.iter().map(|(t, _)| t.0).collect();
+        assert_eq!(tids, vec![0, 1, 2, 3]);
+        assert_eq!(db.num_transactions(), 4);
+    }
+
+    #[test]
+    fn iter_range_is_a_block_view() {
+        let db = sample();
+        let block: Vec<(u32, usize)> = db.iter_range(1..3).map(|(t, i)| (t.0, i.len())).collect();
+        assert_eq!(block, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn byte_size_formula() {
+        let db = sample();
+        // 4 transactions, 10 item occurrences → (4 + 10) * 4 = 56 bytes
+        assert_eq!(db.total_items(), 10);
+        assert_eq!(db.byte_size(), 56);
+        assert_eq!(db.byte_size_range(0..4), 56);
+        assert_eq!(
+            db.byte_size_range(0..2) + db.byte_size_range(2..4),
+            db.byte_size()
+        );
+    }
+
+    #[test]
+    fn with_num_items_extends_universe() {
+        let db = sample().with_num_items(100);
+        assert_eq!(db.num_items(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn with_num_items_rejects_shrink() {
+        sample().with_num_items(2);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = HorizontalDb::of(&[]);
+        assert_eq!(db.num_transactions(), 0);
+        assert_eq!(db.num_items(), 0);
+        assert_eq!(db.byte_size(), 0);
+        assert_eq!(db.avg_transaction_len(), 0.0);
+    }
+
+    #[test]
+    fn avg_len() {
+        assert!((sample().avg_transaction_len() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! Database layouts and storage for association mining.
+//!
+//! §4.2 of the paper contrasts the **horizontal** layout (each TID followed
+//! by its items — what Apriori and Count Distribution scan every
+//! iteration) with the **vertical** / inverted layout (each item followed
+//! by its tid-list — what Eclat switches to after `L2`). This crate
+//! provides both, the equal-sized **block partitioning** of §3 ("the
+//! database is partitioned among all the processors in equal-sized blocks,
+//! which reside on the local disk of each processor"), and a binary
+//! on-disk format whose byte counts drive the simulated-cluster I/O model.
+
+pub mod binfmt;
+pub mod disk;
+pub mod horizontal;
+pub mod partition;
+pub mod vertical;
+
+pub use disk::PartitionStore;
+pub use horizontal::HorizontalDb;
+pub use partition::BlockPartition;
+pub use vertical::VerticalDb;

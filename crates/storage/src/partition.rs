@@ -1,0 +1,159 @@
+//! Equal-sized block partitioning of the database across processors.
+//!
+//! §3: *"All the parallel algorithms assume that the database is
+//! partitioned among all the processors in equal-sized blocks, which
+//! reside on the local disk of each processor."* Block boundaries are by
+//! transaction count; processor `p` owns the contiguous tid range
+//! `[start(p), start(p+1))`, and ranges increase with `p` — the property
+//! the tid-list offset placement of §6.3 depends on.
+
+use mining_types::Tid;
+use std::ops::Range;
+
+/// A block partition of `n` transactions over `p` processors.
+///
+/// ```
+/// use dbstore::BlockPartition;
+/// use mining_types::Tid;
+/// let p = BlockPartition::equal_blocks(10, 3);
+/// assert_eq!(p.block(0), 0..4);
+/// assert_eq!(p.owner(Tid(7)), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    /// `starts[p]..starts[p+1]` is processor `p`'s block; length `p + 1`.
+    starts: Vec<usize>,
+}
+
+impl BlockPartition {
+    /// Split `num_transactions` into `num_processors` blocks whose sizes
+    /// differ by at most one (the first `n mod p` blocks get the extra
+    /// transaction).
+    ///
+    /// # Panics
+    /// Panics if `num_processors == 0`.
+    pub fn equal_blocks(num_transactions: usize, num_processors: usize) -> BlockPartition {
+        assert!(num_processors > 0, "need at least one processor");
+        let base = num_transactions / num_processors;
+        let extra = num_transactions % num_processors;
+        let mut starts = Vec::with_capacity(num_processors + 1);
+        let mut acc = 0usize;
+        starts.push(0);
+        for p in 0..num_processors {
+            acc += base + usize::from(p < extra);
+            starts.push(acc);
+        }
+        debug_assert_eq!(acc, num_transactions);
+        BlockPartition { starts }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of transactions.
+    #[inline]
+    pub fn num_transactions(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Processor `p`'s tid range.
+    #[inline]
+    pub fn block(&self, p: usize) -> Range<usize> {
+        self.starts[p]..self.starts[p + 1]
+    }
+
+    /// Number of transactions in processor `p`'s block.
+    #[inline]
+    pub fn block_len(&self, p: usize) -> usize {
+        self.starts[p + 1] - self.starts[p]
+    }
+
+    /// Which processor owns `tid`.
+    ///
+    /// # Panics
+    /// Panics if `tid` is out of range.
+    pub fn owner(&self, tid: Tid) -> usize {
+        let t = tid.index();
+        assert!(t < self.num_transactions(), "tid {t} out of range");
+        // first start strictly greater than t, minus one
+        self.starts.partition_point(|&s| s <= t) - 1
+    }
+
+    /// Iterate `(processor, range)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Range<usize>)> + '_ {
+        (0..self.num_processors()).map(move |p| (p, self.block(p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = BlockPartition::equal_blocks(100, 4);
+        assert_eq!(p.num_processors(), 4);
+        assert_eq!(p.block(0), 0..25);
+        assert_eq!(p.block(3), 75..100);
+        assert!((0..4).all(|i| p.block_len(i) == 25));
+    }
+
+    #[test]
+    fn uneven_split_differs_by_at_most_one() {
+        let p = BlockPartition::equal_blocks(10, 3);
+        assert_eq!(p.block(0), 0..4);
+        assert_eq!(p.block(1), 4..7);
+        assert_eq!(p.block(2), 7..10);
+        let lens: Vec<usize> = (0..3).map(|i| p.block_len(i)).collect();
+        assert_eq!(lens.iter().max().unwrap() - lens.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn blocks_cover_everything_disjointly() {
+        for (n, procs) in [(0usize, 3usize), (1, 5), (17, 4), (1000, 7)] {
+            let p = BlockPartition::equal_blocks(n, procs);
+            let mut covered = 0usize;
+            let mut last_end = 0usize;
+            for (i, r) in p.iter() {
+                assert_eq!(r.start, last_end, "block {i} contiguous");
+                covered += r.len();
+                last_end = r.end;
+            }
+            assert_eq!(covered, n);
+            assert_eq!(p.num_transactions(), n);
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_blocks() {
+        let p = BlockPartition::equal_blocks(10, 3);
+        for proc in 0..3 {
+            for t in p.block(proc) {
+                assert_eq!(p.owner(Tid(t as u32)), proc);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_rejects_out_of_range() {
+        BlockPartition::equal_blocks(10, 2).owner(Tid(10));
+    }
+
+    #[test]
+    fn more_processors_than_transactions() {
+        let p = BlockPartition::equal_blocks(2, 5);
+        let lens: Vec<usize> = (0..5).map(|i| p.block_len(i)).collect();
+        assert_eq!(lens, vec![1, 1, 0, 0, 0]);
+        assert_eq!(p.owner(Tid(1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        BlockPartition::equal_blocks(10, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The vertical (inverted) database layout: item → tid-list.
+
+use crate::horizontal::HorizontalDb;
+use mining_types::ItemId;
+use tidlist::TidList;
+
+/// A vertical database: one tid-list per item of the universe.
+///
+/// §4.2: *"The vertical layout … consists of a list of items, with each
+/// item followed by its tid-list."* Items that never occur have empty
+/// lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerticalDb {
+    lists: Vec<TidList>,
+}
+
+impl VerticalDb {
+    /// Invert a horizontal database (or one partition block of it).
+    ///
+    /// Scanning in tid order appends tids in increasing order, so every
+    /// list is born sorted — the free sortedness §6.3 relies on.
+    pub fn from_horizontal(db: &HorizontalDb) -> VerticalDb {
+        Self::from_horizontal_range(db, 0..db.num_transactions())
+    }
+
+    /// Invert only the block `range` (a processor's local partition).
+    pub fn from_horizontal_range(db: &HorizontalDb, range: std::ops::Range<usize>) -> VerticalDb {
+        let mut lists = vec![TidList::new(); db.num_items() as usize];
+        for (tid, items) in db.iter_range(range) {
+            for &it in items {
+                lists[it.index()].push(tid);
+            }
+        }
+        VerticalDb { lists }
+    }
+
+    /// Build directly from per-item lists.
+    pub fn from_lists(lists: Vec<TidList>) -> VerticalDb {
+        VerticalDb { lists }
+    }
+
+    /// The tid-list of `item`.
+    #[inline]
+    pub fn tidlist(&self, item: ItemId) -> &TidList {
+        &self.lists[item.index()]
+    }
+
+    /// Size of the item universe.
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.lists.len() as u32
+    }
+
+    /// Iterate `(item, tid-list)` over items with non-empty lists.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &TidList)> {
+        self.lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, l)| (ItemId(i as u32), l))
+    }
+
+    /// Support (occurrence count) of a single item.
+    pub fn item_support(&self, item: ItemId) -> u32 {
+        self.lists[item.index()].support()
+    }
+
+    /// Bytes of the binary vertical layout: per item a length word plus
+    /// one word per tid.
+    pub fn byte_size(&self) -> u64 {
+        self.lists
+            .iter()
+            .map(|l| 4 + l.byte_size())
+            .sum()
+    }
+
+    /// Reconstruct the horizontal layout (inverse transform; used to
+    /// verify the transformation round-trips).
+    pub fn to_horizontal(&self, num_transactions: usize) -> HorizontalDb {
+        let mut txns: Vec<Vec<ItemId>> = vec![Vec::new(); num_transactions];
+        for (item, list) in self.iter() {
+            for &tid in list.tids() {
+                txns[tid.index()].push(item);
+            }
+        }
+        // Items were appended in ascending item order, so each transaction
+        // is already sorted.
+        HorizontalDb::from_transactions(txns).with_num_items(self.num_items())
+    }
+}
+
+/// Merge per-partition vertical databases (disjoint ascending tid ranges,
+/// in partition order) into the global vertical database — the §6.3
+/// offset-placement concatenation.
+pub fn merge_partitions(parts: &[VerticalDb]) -> VerticalDb {
+    assert!(!parts.is_empty(), "need at least one partition");
+    let num_items = parts[0].num_items();
+    assert!(
+        parts.iter().all(|p| p.num_items() == num_items),
+        "all partitions must share the item universe"
+    );
+    let mut lists = vec![TidList::new(); num_items as usize];
+    for part in parts {
+        for (i, list) in lists.iter_mut().enumerate() {
+            list.append_partial(part.tidlist(ItemId(i as u32)));
+        }
+    }
+    VerticalDb { lists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HorizontalDb {
+        HorizontalDb::of(&[&[1, 3], &[0, 1], &[1, 3], &[2]])
+    }
+
+    #[test]
+    fn inversion_matches_hand_computation() {
+        let v = VerticalDb::from_horizontal(&sample());
+        assert_eq!(v.tidlist(ItemId(0)), &TidList::of(&[1]));
+        assert_eq!(v.tidlist(ItemId(1)), &TidList::of(&[0, 1, 2]));
+        assert_eq!(v.tidlist(ItemId(2)), &TidList::of(&[3]));
+        assert_eq!(v.tidlist(ItemId(3)), &TidList::of(&[0, 2]));
+        assert_eq!(v.item_support(ItemId(1)), 3);
+    }
+
+    #[test]
+    fn round_trip_horizontal_vertical_horizontal() {
+        let h = sample();
+        let v = VerticalDb::from_horizontal(&h);
+        let h2 = v.to_horizontal(h.num_transactions());
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn range_inversion_covers_only_the_block() {
+        let h = sample();
+        let v = VerticalDb::from_horizontal_range(&h, 1..3);
+        assert_eq!(v.tidlist(ItemId(1)), &TidList::of(&[1, 2]));
+        assert_eq!(v.tidlist(ItemId(2)), &TidList::new());
+    }
+
+    #[test]
+    fn merge_partitions_equals_whole_inversion() {
+        let h = sample();
+        let p0 = VerticalDb::from_horizontal_range(&h, 0..2);
+        let p1 = VerticalDb::from_horizontal_range(&h, 2..4);
+        let merged = merge_partitions(&[p0, p1]);
+        assert_eq!(merged, VerticalDb::from_horizontal(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "share the item universe")]
+    fn merge_rejects_mismatched_universe() {
+        let a = VerticalDb::from_lists(vec![TidList::new()]);
+        let b = VerticalDb::from_lists(vec![TidList::new(), TidList::new()]);
+        merge_partitions(&[a, b]);
+    }
+
+    #[test]
+    fn iter_skips_empty_lists() {
+        let h = HorizontalDb::of(&[&[0, 5]]);
+        let v = VerticalDb::from_horizontal(&h);
+        let present: Vec<u32> = v.iter().map(|(i, _)| i.0).collect();
+        assert_eq!(present, vec![0, 5]);
+    }
+
+    #[test]
+    fn byte_size_counts_headers_and_tids() {
+        let h = HorizontalDb::of(&[&[0], &[0, 1]]);
+        let v = VerticalDb::from_horizontal(&h);
+        // item 0: 4 + 8; item 1: 4 + 4 → 20
+        assert_eq!(v.byte_size(), 20);
+    }
+}

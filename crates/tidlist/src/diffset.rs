@@ -1,0 +1,164 @@
+//! Diffsets — the d-Eclat extension of the paper's tid-list clustering.
+//!
+//! Zaki's follow-up work ("Fast Vertical Mining Using Diffsets", KDD 2003)
+//! keeps, for an itemset `P ∪ {x}`, the *difference* `d(Px) = t(P) − t(x)`
+//! instead of the intersection `t(Px)`. Supports then obey
+//!
+//! ```text
+//! support(Pxy) = support(Px) − |d(Pxy)|,   d(Pxy) = d(Py) − d(Px)
+//! ```
+//!
+//! Deep in the lattice diffsets shrink much faster than tid-lists, cutting
+//! memory and intersection cost. The paper lists better memory utilization
+//! as ongoing work (§5.3, §9); this module implements that extension and
+//! the `ablation` bench compares both representations.
+
+use crate::TidList;
+
+/// An itemset's vertical representation in diffset form: the support count
+/// plus the tids of the *prefix* that do **not** contain the itemset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffSet {
+    /// `d(P x)` — tids in `t(P)` but not in `t(P x)`.
+    pub diff: TidList,
+    /// Absolute support of the itemset this diffset represents.
+    pub support: u32,
+}
+
+impl DiffSet {
+    /// Root conversion: a 2-itemset's diffset relative to its first item.
+    ///
+    /// `d(xy) = t(x) − t(y)`; `support(xy)` is supplied by the caller (the
+    /// initialization phase's triangular counts) or derived as
+    /// `|t(x)| − |d(xy)|`.
+    pub fn from_tidlists(t_prefix: &TidList, t_ext: &TidList) -> DiffSet {
+        let diff = t_prefix.difference(t_ext);
+        let support = t_prefix.support() - diff.support();
+        DiffSet { diff, support }
+    }
+
+    /// Join two diffsets sharing the same prefix `P`: given `d(Px)` (self)
+    /// and `d(Py)` (other) with `x < y`, produce `d(Pxy) = d(Py) − d(Px)`
+    /// and `support(Pxy) = support(Px) − |d(Pxy)|`.
+    pub fn join(&self, other: &DiffSet) -> DiffSet {
+        let diff = other.diff.difference(&self.diff);
+        let support = self.support - diff.support();
+        DiffSet { diff, support }
+    }
+
+    /// Join with a short-circuit: `None` when `support(Pxy) < minsup`.
+    ///
+    /// Because `support(Pxy) = support(Px) − |d(Pxy)|`, the join can stop
+    /// as soon as the diffset grows past `support(Px) − minsup`.
+    pub fn join_bounded(&self, other: &DiffSet, minsup: u32) -> Option<DiffSet> {
+        if self.support < minsup {
+            return None;
+        }
+        let budget = (self.support - minsup) as usize;
+        // Early-exit difference: abandon once the output exceeds budget.
+        let out = bounded_difference(&other.diff, &self.diff, budget);
+        match out {
+            Some(diff) => {
+                let support = self.support - diff.support();
+                debug_assert!(support >= minsup);
+                Some(DiffSet { diff, support })
+            }
+            None => None,
+        }
+    }
+}
+
+/// `a − b`, abandoning with `None` as soon as the output would exceed
+/// `budget` elements.
+fn bounded_difference(a: &TidList, b: &TidList, budget: usize) -> Option<TidList> {
+    let mut out = TidList::with_capacity(budget.min(a.len()));
+    let bt = b.tids();
+    let mut j = 0usize;
+    let mut n = 0usize;
+    for &x in a.tids() {
+        while j < bt.len() && bt[j] < x {
+            j += 1;
+        }
+        if j >= bt.len() || bt[j] != x {
+            n += 1;
+            if n > budget {
+                return None;
+            }
+            out.push(x);
+        }
+    }
+    Some(out)
+}
+
+/// Cross-check helper: reconstruct `t(Px)` from `t(P)` and `d(Px)`.
+pub fn reconstruct_tidlist(t_prefix: &TidList, d: &DiffSet) -> TidList {
+    t_prefix.difference(&d.diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tidlists_basic() {
+        let tx = TidList::of(&[1, 2, 3, 4, 5]);
+        let ty = TidList::of(&[2, 4, 6]);
+        let d = DiffSet::from_tidlists(&tx, &ty);
+        assert_eq!(d.diff, TidList::of(&[1, 3, 5]));
+        assert_eq!(d.support, 2); // {2,4}
+        assert_eq!(reconstruct_tidlist(&tx, &d), TidList::of(&[2, 4]));
+    }
+
+    #[test]
+    fn join_matches_tidlist_semantics() {
+        // Prefix P = A. t(A)=1..10, t(B)={1,2,3,4,5,7}, t(C)={2,4,5,8,9}
+        let ta = TidList::of(&(1..=10).collect::<Vec<_>>());
+        let tb = TidList::of(&[1, 2, 3, 4, 5, 7]);
+        let tc = TidList::of(&[2, 4, 5, 8, 9]);
+        let dab = DiffSet::from_tidlists(&ta, &tb);
+        let dac = DiffSet::from_tidlists(&ta, &tc);
+        let dabc = dab.join(&dac);
+        // Ground truth via tid-lists:
+        let tab = ta.intersect(&tb);
+        let tabc = tab.intersect(&tc);
+        assert_eq!(dabc.support, tabc.support());
+        assert_eq!(reconstruct_tidlist(&tab, &dabc), tabc);
+    }
+
+    #[test]
+    fn join_bounded_agrees_with_join() {
+        let ta = TidList::of(&(0..50).collect::<Vec<_>>());
+        let tb = TidList::of(&(0..50).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let tc = TidList::of(&(0..50).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        let dab = DiffSet::from_tidlists(&ta, &tb);
+        let dac = DiffSet::from_tidlists(&ta, &tc);
+        let full = dab.join(&dac);
+        for minsup in 1..=full.support {
+            let bounded = dab.join_bounded(&dac, minsup).expect("frequent");
+            assert_eq!(bounded, full, "minsup {minsup}");
+        }
+        assert_eq!(dab.join_bounded(&dac, full.support + 1), None);
+    }
+
+    #[test]
+    fn join_bounded_short_circuits_below_prefix_support() {
+        let d = DiffSet {
+            diff: TidList::new(),
+            support: 5,
+        };
+        let other = DiffSet {
+            diff: TidList::of(&(0..100).collect::<Vec<_>>()),
+            support: 5,
+        };
+        assert_eq!(d.join_bounded(&other, 6), None, "prefix support below minsup");
+    }
+
+    #[test]
+    fn bounded_difference_budget() {
+        let a = TidList::of(&[1, 2, 3, 4]);
+        let b = TidList::of(&[2]);
+        assert_eq!(bounded_difference(&a, &b, 3), Some(TidList::of(&[1, 3, 4])));
+        assert_eq!(bounded_difference(&a, &b, 2), None);
+        assert_eq!(bounded_difference(&a, &a, 0), Some(TidList::new()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Sorted transaction-id lists (tid-lists) and their intersection kernels.
+//!
+//! §4.2 of the paper: *"The vertical (or inverted) layout … consists of a
+//! list of items, with each item followed by its tid-list — the list of all
+//! the transaction identifiers containing the item. … if the tid-list is
+//! sorted in increasing order, then the support of a candidate k-itemset
+//! can be computed by simply intersecting the tid-lists of any two (k−1)-
+//! subsets."*
+//!
+//! This crate provides the [`TidList`] type plus every intersection
+//! variant the reproduction needs:
+//!
+//! * [`TidList::intersect`] — plain two-pointer merge;
+//! * [`TidList::intersect_bounded`] — the paper's **short-circuited**
+//!   intersection (§5.3): stop as soon as the upper bound on the result
+//!   cardinality drops below the minimum support;
+//! * [`TidList::gallop_intersect`] — galloping (exponential-search)
+//!   kernel for size-skewed operands;
+//! * [`TidList::difference`] — set difference, used by the d-Eclat
+//!   *diffset* extension;
+//! * `_metered` variants of the hot kernels that report the element
+//!   comparisons performed, feeding the simulated-cluster cost model.
+
+pub mod diffset;
+mod list;
+
+pub use list::{IntersectOutcome, TidList};

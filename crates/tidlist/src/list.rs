@@ -1,0 +1,583 @@
+//! The [`TidList`] type and intersection kernels.
+
+use mining_types::{OpMeter, Tid};
+use std::fmt;
+
+/// A sorted, duplicate-free list of transaction identifiers.
+///
+/// The cardinality of an itemset's tid-list *is* its support count — "We
+/// can immediately determine the support by counting the number of elements
+/// in the tid-list" (§4.2).
+///
+/// ```
+/// use tidlist::TidList;
+/// // the paper's §4.2 example: T(AB) ∩ T(AC) = T(ABC)
+/// let ab = TidList::of(&[1, 5, 7, 10, 50]);
+/// let ac = TidList::of(&[1, 4, 7, 10, 11]);
+/// let abc = ab.intersect(&ac);
+/// assert_eq!(abc, TidList::of(&[1, 7, 10]));
+/// assert_eq!(abc.support(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct TidList {
+    tids: Vec<Tid>,
+}
+
+/// Result of a short-circuited intersection (§5.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntersectOutcome {
+    /// The full intersection was computed and met the minimum support.
+    Frequent(TidList),
+    /// The kernel proved the result cannot reach the minimum support and
+    /// stopped early. No (complete) list is materialized.
+    Infrequent,
+}
+
+impl IntersectOutcome {
+    /// The tid-list if frequent.
+    pub fn into_frequent(self) -> Option<TidList> {
+        match self {
+            IntersectOutcome::Frequent(t) => Some(t),
+            IntersectOutcome::Infrequent => None,
+        }
+    }
+
+    /// Whether the join met the support threshold.
+    pub fn is_frequent(&self) -> bool {
+        matches!(self, IntersectOutcome::Frequent(_))
+    }
+}
+
+impl TidList {
+    /// The empty tid-list.
+    pub fn new() -> Self {
+        TidList { tids: Vec::new() }
+    }
+
+    /// Empty tid-list with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        TidList {
+            tids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build from a vector that is already sorted strictly ascending.
+    ///
+    /// # Panics
+    /// Panics if the invariant does not hold.
+    pub fn from_sorted(tids: Vec<Tid>) -> Self {
+        assert!(
+            tids.windows(2).all(|w| w[0] < w[1]),
+            "tid-list must be strictly ascending"
+        );
+        TidList { tids }
+    }
+
+    /// Build from raw `u32` tids, sorting and deduplicating as needed.
+    pub fn from_unsorted<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut tids: Vec<Tid> = iter.into_iter().map(Tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        TidList { tids }
+    }
+
+    /// Convenience constructor from raw tids (used pervasively in tests).
+    pub fn of(raw: &[u32]) -> Self {
+        Self::from_unsorted(raw.iter().copied())
+    }
+
+    /// Append a tid that must exceed the current maximum — the natural way
+    /// the vertical transformation builds lists while scanning transactions
+    /// in tid order (§6.3's "monotonically increasing" ranges).
+    ///
+    /// # Panics
+    /// Panics if `tid` is not strictly greater than the last element.
+    #[inline]
+    pub fn push(&mut self, tid: Tid) {
+        if let Some(&last) = self.tids.last() {
+            assert!(tid > last, "tids must be appended in increasing order");
+        }
+        self.tids.push(tid);
+    }
+
+    /// Concatenate another tid-list whose smallest tid exceeds our largest.
+    ///
+    /// This is the §6.3 offset-placement trick: because the database is
+    /// block-partitioned with disjoint, monotonically increasing tid
+    /// ranges, the global tid-list of an itemset is the concatenation of
+    /// the per-processor partial lists in processor order — no sorting.
+    ///
+    /// # Panics
+    /// Panics if the ranges are not disjoint-and-ordered.
+    pub fn append_partial(&mut self, other: &TidList) {
+        if let (Some(&last), Some(&first)) = (self.tids.last(), other.tids.first()) {
+            assert!(
+                first > last,
+                "partial tid-lists must arrive in ascending tid-range order"
+            );
+        }
+        self.tids.extend_from_slice(&other.tids);
+    }
+
+    /// Support count = number of tids.
+    #[inline]
+    pub fn support(&self) -> u32 {
+        self.tids.len() as u32
+    }
+
+    /// Number of tids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True if no transactions contain the itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// The sorted tids.
+    #[inline]
+    pub fn tids(&self) -> &[Tid] {
+        &self.tids
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.tids.binary_search(&tid).is_ok()
+    }
+
+    /// Size in bytes when serialized as raw little-endian `u32`s — the
+    /// quantity the Memory Channel exchange and disk cost models price.
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        (self.tids.len() as u64) * 4
+    }
+
+    /// Plain two-pointer sorted intersection.
+    pub fn intersect(&self, other: &TidList) -> TidList {
+        let (r, _) = intersect_inner(&self.tids, &other.tids, None);
+        r.expect("unbounded intersection always completes")
+    }
+
+    /// Number of common tids without materializing the intersection.
+    pub fn intersect_count(&self, other: &TidList) -> u32 {
+        // Count-only two-pointer walk: no output allocation at all.
+        let (a, b) = (&self.tids, &other.tids);
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0u32);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Short-circuited intersection against a minimum support (§5.3).
+    ///
+    /// The paper's example: *"assume that the minimum support is 100, and
+    /// we are intersecting two itemsets AB with support 119 and AC with
+    /// support 200. We can stop the intersection the moment we have 20
+    /// mismatches in AB."* The kernel tracks, for each operand, how many
+    /// of its elements have already failed to match; when
+    /// `remaining_possible = min(|A| − missesA, |B| − missesB)` falls below
+    /// `minsup`, the result cannot be frequent and we bail out.
+    pub fn intersect_bounded(&self, other: &TidList, minsup: u32) -> IntersectOutcome {
+        let (r, _) = intersect_inner(&self.tids, &other.tids, Some(minsup));
+        match r {
+            Some(list) if list.support() >= minsup => IntersectOutcome::Frequent(list),
+            _ => IntersectOutcome::Infrequent,
+        }
+    }
+
+    /// [`TidList::intersect_bounded`] plus comparison metering.
+    pub fn intersect_bounded_metered(
+        &self,
+        other: &TidList,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> IntersectOutcome {
+        let (r, ops) = intersect_inner(&self.tids, &other.tids, Some(minsup));
+        meter.tid_cmp += ops;
+        match r {
+            Some(list) if list.support() >= minsup => IntersectOutcome::Frequent(list),
+            _ => IntersectOutcome::Infrequent,
+        }
+    }
+
+    /// [`TidList::intersect`] plus comparison metering.
+    pub fn intersect_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        let (r, ops) = intersect_inner(&self.tids, &other.tids, None);
+        meter.tid_cmp += ops;
+        r.expect("unbounded intersection always completes")
+    }
+
+    /// Galloping intersection: binary-search advances through the longer
+    /// list. Asymptotically better when `|A| ≪ |B|`; used adaptively.
+    pub fn gallop_intersect(&self, other: &TidList) -> TidList {
+        let (short, long) = if self.len() <= other.len() {
+            (&self.tids, &other.tids)
+        } else {
+            (&other.tids, &self.tids)
+        };
+        let mut out = Vec::with_capacity(short.len());
+        let mut base = 0usize;
+        for &x in short {
+            if base >= long.len() {
+                break;
+            }
+            // Exponential search: find a window end such that
+            // long[end-1] >= x (or end == len), doubling the stride.
+            let mut stride = 1usize;
+            while base + stride < long.len() && long[base + stride] < x {
+                stride <<= 1;
+            }
+            let end = (base + stride + 1).min(long.len());
+            // First position in [base, end) with long[pos] >= x.
+            let pos = base + long[base..end].partition_point(|&v| v < x);
+            if pos < long.len() && long[pos] == x {
+                out.push(x);
+                base = pos + 1;
+            } else {
+                base = pos;
+            }
+        }
+        TidList { tids: out }
+    }
+
+    /// Adaptive intersection: galloping when the lengths are skewed by more
+    /// than 16×, two-pointer otherwise. The cutover matches the classic
+    /// merge-vs-search tradeoff; the ablation bench measures it.
+    pub fn intersect_adaptive(&self, other: &TidList) -> TidList {
+        let (a, b) = (self.len().max(1), other.len().max(1));
+        if a * 16 < b || b * 16 < a {
+            self.gallop_intersect(other)
+        } else {
+            self.intersect(other)
+        }
+    }
+
+    /// Sorted union.
+    pub fn union(&self, other: &TidList) -> TidList {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (a, b) = (&self.tids, &other.tids);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        TidList { tids: out }
+    }
+
+    /// Sorted difference `self − other` — the d-Eclat *diffset* kernel.
+    pub fn difference(&self, other: &TidList) -> TidList {
+        let mut out = Vec::with_capacity(self.len());
+        let (a, b) = (&self.tids, &other.tids);
+        let mut j = 0usize;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                out.push(x);
+            }
+        }
+        TidList { tids: out }
+    }
+
+    /// [`TidList::difference`] plus comparison metering.
+    pub fn difference_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        meter.tid_cmp += (self.len() + other.len()) as u64;
+        self.difference(other)
+    }
+
+    /// Split into the tids `< bound` and the tids `>= bound` — used when
+    /// re-partitioning a global list back into block ranges.
+    pub fn split_at_tid(&self, bound: Tid) -> (TidList, TidList) {
+        let pos = self.tids.partition_point(|&t| t < bound);
+        (
+            TidList {
+                tids: self.tids[..pos].to_vec(),
+            },
+            TidList {
+                tids: self.tids[pos..].to_vec(),
+            },
+        )
+    }
+
+    /// Consume into the raw tid vector.
+    pub fn into_vec(self) -> Vec<Tid> {
+        self.tids
+    }
+}
+
+/// Shared two-pointer kernel. With `minsup = Some(s)`, applies the §5.3
+/// short-circuit and returns `None` on early exit. Always returns the
+/// number of element comparisons performed.
+fn intersect_inner(a: &[Tid], b: &[Tid], minsup: Option<u32>) -> (Option<TidList>, u64) {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ops = 0u64;
+    while i < a.len() && j < b.len() {
+        ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        if let Some(s) = minsup {
+            // Upper bound on achievable matches: already matched plus
+            // whatever remains of the *shorter* residue.
+            let remaining = (a.len() - i).min(b.len() - j);
+            if (out.len() + remaining) < s as usize {
+                return (None, ops);
+            }
+        }
+    }
+    (Some(TidList { tids: out }), ops)
+}
+
+impl fmt::Debug for TidList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[")?;
+        for (n, t) in self.tids.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", t.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Tid> for TidList {
+    fn from_iter<I: IntoIterator<Item = Tid>>(iter: I) -> Self {
+        let mut tids: Vec<Tid> = iter.into_iter().collect();
+        tids.sort_unstable();
+        tids.dedup();
+        TidList { tids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_abc() {
+        // §4.2: T(AB) = {1,5,7,10,50}, T(AC) = {1,4,7,10,11}
+        // → T(ABC) = {1,7,10}
+        let ab = TidList::of(&[1, 5, 7, 10, 50]);
+        let ac = TidList::of(&[1, 4, 7, 10, 11]);
+        let abc = ab.intersect(&ac);
+        assert_eq!(abc, TidList::of(&[1, 7, 10]));
+        assert_eq!(abc.support(), 3);
+        assert_eq!(ab.intersect_count(&ac), 3);
+    }
+
+    #[test]
+    fn from_sorted_enforces_invariant() {
+        TidList::from_sorted(vec![Tid(1), Tid(2), Tid(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_duplicates() {
+        TidList::from_sorted(vec![Tid(1), Tid(1)]);
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut t = TidList::new();
+        t.push(Tid(3));
+        t.push(Tid(7));
+        assert_eq!(t, TidList::of(&[3, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn push_rejects_regression() {
+        let mut t = TidList::of(&[5]);
+        t.push(Tid(5));
+    }
+
+    #[test]
+    fn append_partial_concatenates_block_ranges() {
+        let mut global = TidList::of(&[0, 3, 9]);
+        global.append_partial(&TidList::of(&[10, 11, 40]));
+        assert_eq!(global, TidList::of(&[0, 3, 9, 10, 11, 40]));
+        // appending an empty partial is fine
+        global.append_partial(&TidList::new());
+        assert_eq!(global.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending tid-range order")]
+    fn append_partial_rejects_overlap() {
+        let mut global = TidList::of(&[0, 3, 9]);
+        global.append_partial(&TidList::of(&[9, 10]));
+    }
+
+    #[test]
+    fn short_circuit_matches_paper_narrative() {
+        // minsup 100, |AB| = 119, |AC| = 200: after 20 mismatches on AB
+        // the intersection cannot reach 100.
+        // Construct AB so its first 20 elements miss AC entirely.
+        let ab: Vec<u32> = (0..20).map(|i| i * 2 + 1).chain(1000..1099).collect();
+        let ac: Vec<u32> = (0..20)
+            .map(|i| i * 2)
+            .chain(1000..1099)
+            .chain(5000..5081)
+            .collect();
+        let ab = TidList::of(&ab);
+        let ac = TidList::of(&ac);
+        assert_eq!(ab.support(), 119);
+        assert_eq!(ac.support(), 200);
+        // True intersection has 99 elements — below minsup 100.
+        assert_eq!(ab.intersect(&ac).support(), 99);
+        assert_eq!(ab.intersect_bounded(&ac, 100), IntersectOutcome::Infrequent);
+        // With minsup 99 it is frequent and fully materialized.
+        let out = ab.intersect_bounded(&ac, 99);
+        assert_eq!(out.into_frequent().unwrap().support(), 99);
+    }
+
+    #[test]
+    fn bounded_agrees_with_unbounded_on_frequent_results() {
+        let a = TidList::of(&[1, 2, 3, 5, 8, 13, 21]);
+        let b = TidList::of(&[2, 3, 5, 7, 11, 13]);
+        let full = a.intersect(&b);
+        assert_eq!(full, TidList::of(&[2, 3, 5, 13]));
+        for minsup in 1..=4 {
+            assert_eq!(
+                a.intersect_bounded(&b, minsup),
+                IntersectOutcome::Frequent(full.clone()),
+                "minsup {minsup}"
+            );
+        }
+        assert_eq!(a.intersect_bounded(&b, 5), IntersectOutcome::Infrequent);
+    }
+
+    #[test]
+    fn bounded_saves_comparisons() {
+        // Disjoint ranges: full intersection walks both lists, but with a
+        // high minsup the bound trips almost immediately.
+        let a = TidList::of(&(0..1000).collect::<Vec<_>>());
+        let b = TidList::of(&(10_000..11_000).collect::<Vec<_>>());
+        let mut m_full = OpMeter::new();
+        let mut m_bounded = OpMeter::new();
+        a.intersect_metered(&b, &mut m_full);
+        let out = a.intersect_bounded_metered(&b, 999, &mut m_bounded);
+        assert_eq!(out, IntersectOutcome::Infrequent);
+        assert!(
+            m_bounded.tid_cmp * 10 < m_full.tid_cmp,
+            "short-circuit should cut comparisons by >10x here: {} vs {}",
+            m_bounded.tid_cmp,
+            m_full.tid_cmp
+        );
+    }
+
+    #[test]
+    fn gallop_matches_two_pointer() {
+        let a = TidList::of(&[5, 100, 250, 251, 90_000]);
+        let b = TidList::of(&(0..100_000).step_by(5).collect::<Vec<_>>());
+        assert_eq!(a.gallop_intersect(&b), a.intersect(&b));
+        assert_eq!(b.gallop_intersect(&a), a.intersect(&b));
+        assert_eq!(a.intersect_adaptive(&b), a.intersect(&b));
+    }
+
+    #[test]
+    fn gallop_edge_cases() {
+        let e = TidList::new();
+        let a = TidList::of(&[1, 2, 3]);
+        assert_eq!(e.gallop_intersect(&a), TidList::new());
+        assert_eq!(a.gallop_intersect(&e), TidList::new());
+        assert_eq!(a.gallop_intersect(&a), a);
+        // single elements at boundaries
+        let first = TidList::of(&[1]);
+        let last = TidList::of(&[3]);
+        assert_eq!(first.gallop_intersect(&a), first);
+        assert_eq!(last.gallop_intersect(&a), last);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = TidList::of(&[1, 3, 5, 7]);
+        let b = TidList::of(&[3, 4, 7, 8]);
+        assert_eq!(a.union(&b), TidList::of(&[1, 3, 4, 5, 7, 8]));
+        assert_eq!(a.difference(&b), TidList::of(&[1, 5]));
+        assert_eq!(b.difference(&a), TidList::of(&[4, 8]));
+        assert_eq!(a.difference(&a), TidList::new());
+        assert_eq!(a.union(&TidList::new()), a);
+        assert_eq!(a.difference(&TidList::new()), a);
+        assert_eq!(TidList::new().difference(&a), TidList::new());
+    }
+
+    #[test]
+    fn split_at_tid() {
+        let a = TidList::of(&[1, 3, 5, 7]);
+        let (lo, hi) = a.split_at_tid(Tid(5));
+        assert_eq!(lo, TidList::of(&[1, 3]));
+        assert_eq!(hi, TidList::of(&[5, 7]));
+        let (lo, hi) = a.split_at_tid(Tid(0));
+        assert_eq!(lo, TidList::new());
+        assert_eq!(hi, a);
+        let (lo, hi) = a.split_at_tid(Tid(100));
+        assert_eq!(lo, a);
+        assert_eq!(hi, TidList::new());
+    }
+
+    #[test]
+    fn byte_size_counts_u32s() {
+        assert_eq!(TidList::of(&[1, 2, 3]).byte_size(), 12);
+        assert_eq!(TidList::new().byte_size(), 0);
+    }
+
+    #[test]
+    fn contains_and_from_iterator() {
+        let t: TidList = [Tid(9), Tid(1), Tid(9), Tid(4)].into_iter().collect();
+        assert_eq!(t, TidList::of(&[1, 4, 9]));
+        assert!(t.contains(Tid(4)));
+        assert!(!t.contains(Tid(5)));
+    }
+
+    #[test]
+    fn intersect_bounded_zero_minsup_is_frequent_even_when_empty() {
+        let a = TidList::of(&[1]);
+        let b = TidList::of(&[2]);
+        // minsup 0 is degenerate but must not panic: empty ∩ counts as
+        // frequent (0 >= 0).
+        assert!(a.intersect_bounded(&b, 0).is_frequent());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", TidList::of(&[1, 2])), "T[1,2]");
+        assert_eq!(format!("{:?}", TidList::new()), "T[]");
+    }
+}

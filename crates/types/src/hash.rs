@@ -1,0 +1,152 @@
+//! A fast, deterministic multiplicative hasher (an `FxHash` workalike).
+//!
+//! The Rust performance guide recommends `rustc-hash`'s `FxHashMap` when
+//! hashing small integer keys is hot and HashDoS is not a concern — exactly
+//! our situation (item ids, itemset prefixes). `rustc-hash` is not on the
+//! offline dependency allow-list, so we re-implement the ~30-line algorithm
+//! here. Being fully deterministic (no per-process random state) also keeps
+//! the simulated-cluster runs bit-for-bit reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplication constant (same as rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hashing state: `hash = (hash.rotl(5) ^ word) * SEED` per word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (deterministic: no random seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` to a well-mixed `u64` (for hash-tree bucket choice
+/// and the generator's deterministic sub-streams).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test — just a sanity check that consecutive
+        // integers don't collide and spread across high bits.
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "collisions among 1000 consecutive ints");
+        let high_bits_used = hashes.iter().filter(|&&h| h >> 63 == 1).count();
+        assert!(high_bits_used > 300 && high_bits_used < 700);
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Streams differing only in a short tail must hash differently.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 3, 0]));
+        assert_ne!(hash_of(&[0u8; 7].as_slice()), hash_of(&[0u8; 8].as_slice()));
+        assert_ne!(hash_of(b"abcdefgh1".as_slice()), hash_of(b"abcdefgh2".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m[&1], "a");
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn hash_u64_mixes() {
+        assert_ne!(hash_u64(0), hash_u64(1));
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_eq!(hash_u64(42), hash_u64(42));
+    }
+}

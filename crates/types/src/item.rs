@@ -1,0 +1,146 @@
+//! Item and transaction identifiers.
+//!
+//! The paper's databases have at most a few thousand distinct items and a
+//! few million transactions, so `u32` is ample for both. Newtypes keep the
+//! two id spaces from being confused at compile time; both are `repr
+//! (transparent)` so slices of them can be reinterpreted as raw `u32`
+//! buffers by the binary storage layer.
+
+use std::fmt;
+
+/// Identifier of an item (an attribute of the universe `I` in §1.1).
+///
+/// Items are densely numbered `0..num_items`; itemsets are ordered by this
+/// numbering, which stands in for the lexicographic item order the paper
+/// assumes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct ItemId(pub u32);
+
+/// Identifier of a transaction (the `TID` of §1.1).
+///
+/// Tids are densely numbered `0..num_transactions` in database order; the
+/// block partitioning of §3 hands each processor a contiguous, monotonically
+/// increasing tid range, which is what lets the transformation phase place
+/// incoming partial tid-lists at precomputed offsets (§6.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Tid(pub u32);
+
+impl ItemId {
+    /// The raw index, widened for use as a slice index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Tid {
+    /// The raw index, widened for use as a slice index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<u32> for Tid {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Tid(v)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Reinterpret a slice of [`ItemId`] as its underlying `u32`s.
+///
+/// Sound because `ItemId` is `#[repr(transparent)]` over `u32`.
+#[inline]
+pub fn items_as_u32(items: &[ItemId]) -> &[u32] {
+    // SAFETY: ItemId is repr(transparent) over u32, so layout and
+    // alignment are identical.
+    unsafe { std::slice::from_raw_parts(items.as_ptr().cast::<u32>(), items.len()) }
+}
+
+/// Reinterpret a slice of [`Tid`] as its underlying `u32`s.
+///
+/// Sound because `Tid` is `#[repr(transparent)]` over `u32`.
+#[inline]
+pub fn tids_as_u32(tids: &[Tid]) -> &[u32] {
+    // SAFETY: Tid is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(tids.as_ptr().cast::<u32>(), tids.len()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_ordering_follows_raw_value() {
+        assert!(ItemId(3) < ItemId(7));
+        assert!(Tid(0) < Tid(1));
+        let mut v = vec![ItemId(5), ItemId(1), ItemId(3)];
+        v.sort();
+        assert_eq!(v, vec![ItemId(1), ItemId(3), ItemId(5)]);
+    }
+
+    #[test]
+    fn display_and_debug_formats() {
+        assert_eq!(format!("{}", ItemId(42)), "42");
+        assert_eq!(format!("{:?}", ItemId(42)), "i42");
+        assert_eq!(format!("{}", Tid(7)), "7");
+        assert_eq!(format!("{:?}", Tid(7)), "t7");
+    }
+
+    #[test]
+    fn transparent_reinterpretation_roundtrips() {
+        let items = vec![ItemId(1), ItemId(2), ItemId(9)];
+        assert_eq!(items_as_u32(&items), &[1, 2, 9]);
+        let tids = vec![Tid(10), Tid(20)];
+        assert_eq!(tids_as_u32(&tids), &[10, 20]);
+        assert_eq!(items_as_u32(&[]), &[] as &[u32]);
+    }
+
+    #[test]
+    fn index_widens() {
+        assert_eq!(ItemId(u32::MAX).index(), u32::MAX as usize);
+        assert_eq!(Tid(0).index(), 0);
+    }
+
+    #[test]
+    fn from_u32_conversions() {
+        let i: ItemId = 5u32.into();
+        assert_eq!(i, ItemId(5));
+        let t: Tid = 9u32.into();
+        assert_eq!(t, Tid(9));
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimum-support conversion between fractions and absolute counts.
+//!
+//! The paper specifies support as a percentage of `|D|` ("All the
+//! experiments were performed with a minimum support value of 0.1%"). The
+//! algorithms compare tid-list cardinalities against an **absolute** count,
+//! so the conversion — and its rounding rule — must be pinned down once:
+//! an itemset is frequent iff `count ≥ ceil(fraction · |D|)`, with a floor
+//! of 1 so that an empty database yields no frequent itemsets.
+
+/// A minimum-support threshold, stored as a fraction of the database size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinSupport {
+    fraction: f64,
+}
+
+impl MinSupport {
+    /// From a fraction in `\[0, 1\]` (e.g. `0.001` for the paper's 0.1 %).
+    ///
+    /// # Panics
+    /// Panics if the fraction is not a finite value in `\[0, 1\]`.
+    pub fn from_fraction(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "support fraction must be in [0,1], got {fraction}"
+        );
+        MinSupport { fraction }
+    }
+
+    /// From a percentage (e.g. `0.1` for the paper's 0.1 %).
+    pub fn from_percent(pct: f64) -> Self {
+        Self::from_fraction(pct / 100.0)
+    }
+
+    /// The stored fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Absolute count threshold for a database of `num_transactions`:
+    /// `max(1, ceil(fraction · |D|))`.
+    ///
+    /// An itemset is frequent iff its support count `≥` this value.
+    pub fn count_threshold(&self, num_transactions: usize) -> u32 {
+        let raw = (self.fraction * num_transactions as f64).ceil();
+        // Guard against f64 artifacts like 3.0000000000000004 → already
+        // handled by ceil on the product; clamp to at least 1.
+        (raw as u64).max(1).min(u32::MAX as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setting_on_paper_sizes() {
+        let s = MinSupport::from_percent(0.1);
+        assert_eq!(s.count_threshold(800_000), 800);
+        assert_eq!(s.count_threshold(1_600_000), 1600);
+        assert_eq!(s.count_threshold(6_400_000), 6400);
+    }
+
+    #[test]
+    fn ceil_rounding() {
+        let s = MinSupport::from_fraction(0.001);
+        assert_eq!(s.count_threshold(1001), 2, "0.001*1001 = 1.001 → ceil 2");
+        assert_eq!(s.count_threshold(1000), 1);
+        assert_eq!(s.count_threshold(999), 1);
+    }
+
+    #[test]
+    fn floor_of_one() {
+        let s = MinSupport::from_fraction(0.0);
+        assert_eq!(s.count_threshold(0), 1);
+        assert_eq!(s.count_threshold(10), 1);
+    }
+
+    #[test]
+    fn full_support() {
+        let s = MinSupport::from_fraction(1.0);
+        assert_eq!(s.count_threshold(12345), 12345);
+    }
+
+    #[test]
+    fn percent_and_fraction_agree() {
+        assert_eq!(
+            MinSupport::from_percent(25.0).count_threshold(400),
+            MinSupport::from_fraction(0.25).count_threshold(400)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_out_of_range() {
+        MinSupport::from_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_nan() {
+        MinSupport::from_fraction(f64::NAN);
+    }
+}

@@ -1,0 +1,138 @@
+//! The workspace's golden invariant: **every** miner produces the
+//! identical frequent itemsets with identical supports on the same input.
+//!
+//! Algorithms covered: sequential Apriori, sequential Eclat, d-Eclat
+//! (diffsets), rayon-parallel Eclat, cluster Eclat, hybrid Eclat, Count
+//! Distribution, and Candidate Distribution — on realistic Quest data,
+//! not just toy matrices.
+
+use dbstore::HorizontalDb;
+use eclat::EclatConfig;
+use memchannel::{ClusterConfig, CostModel};
+use mining_types::{FrequentSet, MinSupport, OpMeter};
+use questgen::{QuestGenerator, QuestParams};
+
+fn quest_db(d: usize, seed: u64) -> HorizontalDb {
+    HorizontalDb::from_transactions(
+        QuestGenerator::new(QuestParams::tiny(d, seed)).generate_all(),
+    )
+}
+
+fn strip_singletons(fs: &FrequentSet) -> FrequentSet {
+    fs.iter()
+        .filter(|(is, _)| is.len() >= 2)
+        .map(|(is, s)| (is.clone(), s))
+        .collect()
+}
+
+#[test]
+fn all_miners_agree_on_quest_data() {
+    let db = quest_db(3_000, 99);
+    let minsup = MinSupport::from_percent(1.0);
+    let cost = CostModel::dec_alpha_1997();
+    let topo = ClusterConfig::new(2, 2);
+
+    let apriori_full = apriori::mine(&db, minsup);
+    assert!(
+        apriori_full.max_size() >= 3,
+        "test input should produce itemsets beyond pairs, got max size {}",
+        apriori_full.max_size()
+    );
+    let reference = strip_singletons(&apriori_full);
+
+    let eclat_seq = eclat::sequential::mine(&db, minsup);
+    assert_eq!(eclat_seq, reference, "sequential Eclat");
+
+    let eclat_par = eclat::parallel::mine(&db, minsup);
+    assert_eq!(eclat_par, reference, "rayon Eclat");
+
+    let cluster = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &Default::default());
+    assert_eq!(cluster.frequent, reference, "cluster Eclat");
+
+    let hybrid = eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &Default::default());
+    assert_eq!(hybrid.frequent, reference, "hybrid Eclat");
+
+    let cd = parbase::mine_count_dist(&db, minsup, &topo, &cost, &Default::default());
+    assert_eq!(cd.frequent, apriori_full, "Count Distribution");
+
+    let cand = parbase::mine_candidate_dist(&db, minsup, &topo, &cost, &Default::default());
+    assert_eq!(cand.frequent, apriori_full, "Candidate Distribution");
+}
+
+#[test]
+fn all_miners_agree_across_supports_and_seeds() {
+    for seed in [3u64, 17] {
+        let db = quest_db(1_500, seed);
+        for pct in [0.8, 2.0, 5.0] {
+            let minsup = MinSupport::from_percent(pct);
+            let reference = eclat::sequential::mine(&db, minsup);
+            assert_eq!(
+                eclat::parallel::mine(&db, minsup),
+                reference,
+                "seed {seed} pct {pct}"
+            );
+            assert_eq!(
+                strip_singletons(&apriori::mine(&db, minsup)),
+                reference,
+                "seed {seed} pct {pct}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_topology_and_heuristic_agrees() {
+    let db = quest_db(2_000, 5);
+    let minsup = MinSupport::from_percent(1.5);
+    let cost = CostModel::dec_alpha_1997();
+    let reference = eclat::sequential::mine(&db, minsup);
+    for topo in [
+        ClusterConfig::new(1, 1),
+        ClusterConfig::new(3, 1),
+        ClusterConfig::new(2, 3),
+        ClusterConfig::new(5, 2),
+    ] {
+        for heuristic in [
+            eclat::ScheduleHeuristic::GreedyPairs,
+            eclat::ScheduleHeuristic::SupportWeighted,
+            eclat::ScheduleHeuristic::RoundRobin,
+        ] {
+            let cfg = EclatConfig {
+                heuristic,
+                ..Default::default()
+            };
+            let rep = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg);
+            assert_eq!(rep.frequent, reference, "{} {:?}", topo.label(), heuristic);
+        }
+    }
+}
+
+#[test]
+fn downward_closure_on_quest_output() {
+    let db = quest_db(2_500, 1);
+    let minsup = MinSupport::from_percent(1.0);
+    let mut meter = OpMeter::new();
+    let fs = eclat::sequential::mine_with(
+        &db,
+        minsup,
+        &EclatConfig::with_singletons(),
+        &mut meter,
+    );
+    assert_eq!(fs.closure_violation(), None);
+}
+
+#[test]
+fn supports_match_direct_counting() {
+    // Every reported support must equal a from-scratch scan count.
+    let db = quest_db(1_000, 8);
+    let minsup = MinSupport::from_percent(2.0);
+    let fs = eclat::sequential::mine(&db, minsup);
+    assert!(!fs.is_empty());
+    for (is, sup) in fs.iter() {
+        let direct = db
+            .iter()
+            .filter(|(_, t)| is.is_subset_of_sorted(t))
+            .count() as u32;
+        assert_eq!(direct, sup, "{is}");
+    }
+}
