@@ -61,7 +61,11 @@ pub fn join_step(lk1: &[Itemset], meter: &mut OpMeter) -> Vec<Itemset> {
 }
 
 /// The pruning step: drop candidates with an infrequent `(k-1)`-subset.
-pub fn prune_candidates(candidates: Vec<Itemset>, lk1: &[Itemset], meter: &mut OpMeter) -> Vec<Itemset> {
+pub fn prune_candidates(
+    candidates: Vec<Itemset>,
+    lk1: &[Itemset],
+    meter: &mut OpMeter,
+) -> Vec<Itemset> {
     let frequent: FxHashSet<&Itemset> = lk1.iter().collect();
     candidates
         .into_iter()

@@ -98,7 +98,12 @@ impl HashTree {
     /// # Panics
     /// Panics if the itemset size differs from `k` or it is a duplicate.
     pub fn insert(&mut self, candidate: Itemset) {
-        assert_eq!(candidate.len(), self.k, "candidate size must be k={}", self.k);
+        assert_eq!(
+            candidate.len(),
+            self.k,
+            "candidate size must be k={}",
+            self.k
+        );
         let (fanout, threshold, k) = (self.fanout, self.leaf_threshold, self.k);
         let mut node = &mut self.root;
         let mut depth = 0usize;
@@ -326,9 +331,7 @@ fn descend(
             for e in entries {
                 meter.hash_probe += 1;
                 let items = e.items.items();
-                if items[..d] == chosen[..]
-                    && is_subset_sorted(&items[d..], &txn[pos..])
-                {
+                if items[..d] == chosen[..] && is_subset_sorted(&items[d..], &txn[pos..]) {
                     meter.subsets_gen += 1;
                     e.count.fetch_add(1, Ordering::Relaxed);
                 }
@@ -531,10 +534,7 @@ mod tests {
         b.increment(&items(&[1, 2]), &mut m);
         b.increment(&items(&[3, 4]), &mut m);
         a.merge_counts(&b);
-        assert_eq!(
-            a.all_counts(),
-            vec![(iset(&[1, 2]), 2), (iset(&[3, 4]), 1)]
-        );
+        assert_eq!(a.all_counts(), vec![(iset(&[1, 2]), 2), (iset(&[3, 4]), 1)]);
     }
 
     #[test]

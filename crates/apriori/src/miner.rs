@@ -91,8 +91,7 @@ pub fn mine_with(
         } else {
             let candidates = generate_candidates(&l_prev, meter);
             if !candidates.is_empty() {
-                let mut tree =
-                    HashTree::with_params(k, cfg.fanout, cfg.leaf_threshold);
+                let mut tree = HashTree::with_params(k, cfg.fanout, cfg.leaf_threshold);
                 for c in candidates {
                     tree.insert(c);
                 }
@@ -125,14 +124,7 @@ mod tests {
 
     /// Small hand-checkable database.
     fn toy() -> HorizontalDb {
-        HorizontalDb::of(&[
-            &[0, 1, 2],
-            &[0, 1],
-            &[0, 2],
-            &[1, 2],
-            &[0, 1, 2],
-            &[3],
-        ])
+        HorizontalDb::of(&[&[0, 1, 2], &[0, 1], &[0, 2], &[1, 2], &[0, 1, 2], &[3]])
     }
 
     #[test]
@@ -194,7 +186,10 @@ mod tests {
         let db = reference::random_db(9, 100, 12, 6);
         let fs = mine(&db, MinSupport::from_percent(8.0));
         assert_eq!(fs.closure_violation(), None);
-        assert!(fs.max_size() >= 2, "the test db should have some 2-itemsets");
+        assert!(
+            fs.max_size() >= 2,
+            "the test db should have some 2-itemsets"
+        );
     }
 
     #[test]

@@ -64,10 +64,8 @@ pub fn mine_partition(
         }
         // Build a view of the partition as its own database. Tids are
         // re-based implicitly; only itemset identities matter here.
-        let local: Vec<Vec<mining_types::ItemId>> = db
-            .iter_range(range)
-            .map(|(_, t)| t.to_vec())
-            .collect();
+        let local: Vec<Vec<mining_types::ItemId>> =
+            db.iter_range(range).map(|(_, t)| t.to_vec()).collect();
         let local_db = HorizontalDb::from_transactions(local).with_num_items(db.num_items());
         let mut meter = OpMeter::new();
         let local_frequent = local_pass(&local_db, minsup, &mut meter);
@@ -88,9 +86,7 @@ pub fn mine_partition(
             if k == 1 {
                 want_singles[c.items()[0].index()] = true;
             } else {
-                trees[k]
-                    .get_or_insert_with(|| HashTree::new(k))
-                    .insert(c);
+                trees[k].get_or_insert_with(|| HashTree::new(k)).insert(c);
             }
         }
         let mut meter = OpMeter::new();
@@ -104,10 +100,7 @@ pub fn mine_partition(
         }
         for (i, (&c, &want)) in single_counts.iter().zip(&want_singles).enumerate() {
             if want && c >= threshold {
-                result.insert(
-                    Itemset::single(mining_types::ItemId(i as u32)),
-                    c,
-                );
+                result.insert(Itemset::single(mining_types::ItemId(i as u32)), c);
             }
         }
         for tree in trees.iter().flatten() {

@@ -26,9 +26,15 @@ pub fn brute_force(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
 
     let mut out = FrequentSet::new();
     for candidate in 1u32..(1u32 << n) {
-        let support = masks.iter().filter(|&&m| m & candidate == candidate).count() as u32;
+        let support = masks
+            .iter()
+            .filter(|&&m| m & candidate == candidate)
+            .count() as u32;
         if support >= threshold {
-            let items: Vec<ItemId> = (0..n).filter(|b| candidate & (1 << b) != 0).map(ItemId).collect();
+            let items: Vec<ItemId> = (0..n)
+                .filter(|b| candidate & (1 << b) != 0)
+                .map(ItemId)
+                .collect();
             out.insert(Itemset::from_sorted(items), support);
         }
     }

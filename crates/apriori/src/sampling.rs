@@ -142,9 +142,7 @@ pub fn mine_with_sampling(
     // negative border (Toivonen's completeness certificate: if no border
     // itemset verifies frequent, nothing beyond it can be frequent
     // either, so the answer is provably complete).
-    let lowered = MinSupport::from_fraction(
-        (minsup.fraction() * cfg.support_lowering).min(1.0),
-    );
+    let lowered = MinSupport::from_fraction((minsup.fraction() * cfg.support_lowering).min(1.0));
     let mut meter = OpMeter::new();
     let sample_frequent = mine_with(&sample_db, lowered, &AprioriConfig::default(), &mut meter);
     let border: Vec<Itemset> = negative_border(&sample_frequent, db.num_items());
@@ -191,9 +189,7 @@ pub fn mine_with_sampling(
         }
     }
 
-    let possibly_incomplete = result
-        .iter()
-        .any(|(is, _)| border_set.contains(is));
+    let possibly_incomplete = result.iter().any(|(is, _)| border_set.contains(is));
     let report = SamplingReport {
         sample_size,
         candidates: candidates.len(),
@@ -266,12 +262,13 @@ mod tests {
                 seed: 2,
             },
         );
-        let recovered = truth
-            .iter()
-            .filter(|(is, _)| fs.contains(is))
-            .count();
+        let recovered = truth.iter().filter(|(is, _)| fs.contains(is)).count();
         let recall = recovered as f64 / truth.len() as f64;
-        assert!(recall > 0.9, "recall {recall:.2} ({recovered}/{})", truth.len());
+        assert!(
+            recall > 0.9,
+            "recall {recall:.2} ({recovered}/{})",
+            truth.len()
+        );
     }
 
     #[test]

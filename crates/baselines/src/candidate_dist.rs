@@ -75,8 +75,7 @@ pub fn mine_candidate_dist(
 
     // ---- Iteration 1 (as Count Distribution).
     let mut item_counts = vec![0u32; db.num_items() as usize];
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         rec.phase(phase_label(1));
         let block = partition.block(p);
         rec.disk_read(db.byte_size_range(block.clone()));
@@ -92,7 +91,12 @@ pub fn mine_candidate_dist(
         rec.compute(&meter);
     }
     let count_bytes = (db.num_items() as u64) * 4;
-    sum_reduce(&mut recorders, &vec![count_bytes; t], count_bytes, &mut barriers);
+    sum_reduce(
+        &mut recorders,
+        &vec![count_bytes; t],
+        count_bytes,
+        &mut barriers,
+    );
 
     let mut l_prev: Vec<Itemset> = Vec::new();
     for (i, &c) in item_counts.iter().enumerate() {
@@ -116,8 +120,7 @@ pub fn mine_candidate_dist(
                 tree.insert(c);
             }
             let depth = tree.depth() as u64;
-            for p in 0..t {
-                let rec = &mut recorders[p];
+            for (p, rec) in recorders.iter_mut().enumerate() {
                 rec.phase(phase_label(k));
                 let mut meter = gen_meter;
                 meter.hash_probe += num_candidates as u64 * (depth + 1);
@@ -177,8 +180,7 @@ pub fn mine_candidate_dist(
     // databases.
     let mut replicated: Vec<Vec<Vec<ItemId>>> = vec![Vec::new(); t];
     let mut outgoing: Vec<Vec<u64>> = vec![vec![0u64; t]; t];
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         rec.phase(phase_label(k));
         let block = partition.block(p);
         rec.disk_read(db.byte_size_range(block.clone()));
@@ -225,8 +227,7 @@ pub fn mine_candidate_dist(
         })
         .collect();
     let mut max_k = k;
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         let mut kk = k;
         let db_p = &replicated[p];
         while !per_proc_l[p].is_empty() {
@@ -268,7 +269,13 @@ pub fn mine_candidate_dist(
     // Asynchronous pruning-information broadcast (modelled once per
     // remaining level: local frequent sets travel to everyone).
     let bytes: Vec<u64> = (0..t)
-        .map(|p| per_proc_l[p].iter().map(|is| is.len() as u64 * 4).sum::<u64>() + 64)
+        .map(|p| {
+            per_proc_l[p]
+                .iter()
+                .map(|is| is.len() as u64 * 4)
+                .sum::<u64>()
+                + 64
+        })
         .collect();
     broadcast_all(&mut recorders, &bytes, &mut barriers);
 
@@ -335,13 +342,8 @@ mod tests {
         let minsup = MinSupport::from_percent(3.0);
         let topo = ClusterConfig::new(4, 1);
         let cd = mine_count_dist(&db, minsup, &topo, &cost(), &CountDistConfig::default());
-        let cand = mine_candidate_dist(
-            &db,
-            minsup,
-            &topo,
-            &cost(),
-            &CandidateDistConfig::default(),
-        );
+        let cand =
+            mine_candidate_dist(&db, minsup, &topo, &cost(), &CandidateDistConfig::default());
         assert_eq!(cd.frequent, cand.frequent);
         assert!(
             cand.total_secs() > cd.total_secs() * 0.8,

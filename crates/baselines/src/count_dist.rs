@@ -91,8 +91,7 @@ pub fn mine_count_dist(
 
     // ---- Iteration 1: count single items.
     let mut item_counts = vec![0u32; db.num_items() as usize];
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         rec.phase(phase_label(1));
         let block = partition.block(p);
         rec.disk_read(db.byte_size_range(block.clone()));
@@ -107,7 +106,12 @@ pub fn mine_count_dist(
         rec.compute(&meter);
     }
     let count_bytes = (db.num_items() as u64) * 4;
-    sum_reduce(&mut recorders, &vec![count_bytes; t], count_bytes, &mut barriers);
+    sum_reduce(
+        &mut recorders,
+        &vec![count_bytes; t],
+        count_bytes,
+        &mut barriers,
+    );
 
     let mut l_prev: Vec<Itemset> = Vec::new();
     for (i, &c) in item_counts.iter().enumerate() {
@@ -125,11 +129,9 @@ pub fn mine_count_dist(
 
         if k == 2 && cfg.triangle_l2 {
             // CCPD-style triangular counting for C2.
-            let frequent_item: Vec<bool> =
-                item_counts.iter().map(|&c| c >= threshold).collect();
+            let frequent_item: Vec<bool> = item_counts.iter().map(|&c| c >= threshold).collect();
             let mut tri = TriangleMatrix::new(db.num_items() as usize);
-            for p in 0..t {
-                let rec = &mut recorders[p];
+            for (p, rec) in recorders.iter_mut().enumerate() {
                 rec.phase(phase);
                 let block = partition.block(p);
                 rec.disk_read(db.byte_size_range(block.clone()));
@@ -138,17 +140,19 @@ pub fn mine_count_dist(
                 for (_tid, items) in db.iter_range(block) {
                     meter.record += 1;
                     scratch.clear();
-                    scratch.extend(
-                        items.iter().copied().filter(|i| frequent_item[i.index()]),
-                    );
-                    meter.pair_incr +=
-                        (scratch.len() * scratch.len().saturating_sub(1) / 2) as u64;
+                    scratch.extend(items.iter().copied().filter(|i| frequent_item[i.index()]));
+                    meter.pair_incr += (scratch.len() * scratch.len().saturating_sub(1) / 2) as u64;
                     tri.count_transaction(&scratch);
                 }
                 rec.compute(&meter);
             }
             let tri_bytes = (tri.cells() as u64) * 4;
-            sum_reduce(&mut recorders, &vec![tri_bytes; t], tri_bytes, &mut barriers);
+            sum_reduce(
+                &mut recorders,
+                &vec![tri_bytes; t],
+                tri_bytes,
+                &mut barriers,
+            );
             l_cur = tri
                 .frequent_pairs(threshold)
                 .map(|(a, b, c)| (Itemset::pair(a, b), c))
@@ -166,8 +170,7 @@ pub fn mine_count_dist(
                     tree.insert(c);
                 }
                 let depth = tree.depth();
-                for p in 0..t {
-                    let rec = &mut recorders[p];
+                for (p, rec) in recorders.iter_mut().enumerate() {
                     rec.phase(phase);
                     let mut meter = gen_meter;
                     meter_tree_build(&mut meter, num_candidates, depth);
@@ -267,8 +270,7 @@ mod tests {
         // Disk time must be ≈ iterations × (block scan); with contention
         // it can only be more. Lower-bound check:
         let block_bytes = db.byte_size() / 2;
-        let per_scan =
-            cost().disk_seek_ns + block_bytes as f64 / cost().disk_bw * 1e9;
+        let per_scan = cost().disk_seek_ns + block_bytes as f64 / cost().disk_bw * 1e9;
         let disk_ns = report.timeline.per_proc[0].disk_ns;
         // The final iteration may generate no candidates and skip its
         // scan, so allow one missing scan.

@@ -23,4 +23,4 @@ pub mod count_dist;
 
 pub use candidate_dist::{mine_candidate_dist, CandidateDistConfig};
 pub use ccpd_shm::{mine_ccpd_shm, CcpdShmConfig};
-pub use count_dist::{mine_count_dist, CountDistConfig, CdReport};
+pub use count_dist::{mine_count_dist, CdReport, CountDistConfig};

@@ -76,7 +76,10 @@ fn count_dist_time_grows_with_iterations_not_with_processors_alone() {
     );
     assert_eq!(seq.frequent, par.frequent);
     assert_eq!(seq.iterations, par.iterations);
-    assert!(par.total_secs() < seq.total_secs(), "CD parallelizes somewhat");
+    assert!(
+        par.total_secs() < seq.total_secs(),
+        "CD parallelizes somewhat"
+    );
     // but sublinearly: candidate generation is replicated per §3.1
     let speedup = seq.total_secs() / par.total_secs();
     assert!(speedup < 4.0, "CD speedup {speedup:.2} should be sublinear");

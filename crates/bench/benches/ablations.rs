@@ -7,15 +7,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbstore::HorizontalDb;
-use eclat::EclatConfig;
+use eclat::{EclatConfig, Representation};
 use mining_types::{MinSupport, OpMeter};
 use questgen::{QuestGenerator, QuestParams};
 use std::hint::black_box;
 
 fn db() -> HorizontalDb {
-    HorizontalDb::from_transactions(
-        QuestGenerator::new(QuestParams::t10_i6(20_000)).generate_all(),
-    )
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::t10_i6(20_000)).generate_all())
 }
 
 fn bench_ablations(c: &mut Criterion) {
@@ -52,6 +50,22 @@ fn bench_ablations(c: &mut Criterion) {
             black_box(eclat::sequential::mine_with(&db, minsup, &cfg, &mut m).len())
         })
     });
+    for (label, repr) in [
+        ("repr_tidlist", Representation::TidList),
+        ("repr_diffset", Representation::Diffset),
+        (
+            "repr_autoswitch_d2",
+            Representation::AutoSwitch { depth: 2 },
+        ),
+    ] {
+        let cfg = EclatConfig::with_representation(repr);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = OpMeter::new();
+                black_box(eclat::sequential::mine_with(&db, minsup, &cfg, &mut m).len())
+            })
+        });
+    }
     group.bench_function("clique_clustering", |b| {
         b.iter(|| {
             let mut m = OpMeter::new();

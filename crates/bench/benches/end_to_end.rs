@@ -11,9 +11,7 @@ use questgen::{QuestGenerator, QuestParams};
 use std::hint::black_box;
 
 fn db() -> HorizontalDb {
-    HorizontalDb::from_transactions(
-        QuestGenerator::new(QuestParams::t10_i6(20_000)).generate_all(),
-    )
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::t10_i6(20_000)).generate_all())
 }
 
 fn bench_miners(c: &mut Criterion) {

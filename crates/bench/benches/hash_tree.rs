@@ -45,7 +45,6 @@ fn bench_count_transaction(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let cands = candidates(&mut rng, 10_000, 3, 500);
     let tree = HashTree::from_candidates(3, cands);
-    let tree = tree;
     let mut group = c.benchmark_group("hash_tree/count_transaction");
     for txn_len in [10usize, 20, 40] {
         let txn: Vec<ItemId> = {
@@ -57,13 +56,17 @@ fn bench_count_transaction(c: &mut Criterion) {
             v.truncate(txn_len);
             v.into_iter().map(ItemId).collect()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(txn_len), &txn_len, |bench, _| {
-            bench.iter(|| {
-                let mut m = OpMeter::new();
-                tree.count_transaction(&txn, &mut m);
-                black_box(m.subsets_gen)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(txn_len),
+            &txn_len,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut m = OpMeter::new();
+                    tree.count_transaction(&txn, &mut m);
+                    black_box(m.subsets_gen)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -91,10 +91,9 @@ fn main() {
         println!("A3  candidate pruning in Eclat (§5.3: 'little or no help')");
         println!(
             "    intersections avoided: {} of {} candidates",
-            m_off.cand_gen.saturating_sub(
-                m_on.cand_gen
-                    .min(m_off.cand_gen)
-            ),
+            m_off
+                .cand_gen
+                .saturating_sub(m_on.cand_gen.min(m_off.cand_gen)),
             m_off.cand_gen
         );
         println!(
@@ -103,9 +102,7 @@ fn main() {
         );
         let cost_off = cost.compute_ns(&m_off) / 1e9;
         let cost_on = cost.compute_ns(&m_on) / 1e9;
-        println!(
-            "    modeled CPU seconds: {cost_off:.2} (off) vs {cost_on:.2} (on)\n"
-        );
+        println!("    modeled CPU seconds: {cost_off:.2} (off) vs {cost_on:.2} (on)\n");
     }
 
     // ---------- A4: L2 layout — horizontal triangle vs vertical 1-item intersections (§4.2) ----------
@@ -125,7 +122,10 @@ fn main() {
             }
         }
         println!("A4  L2 counting layout (§4.2's 4.5·10^7 vs 10^9 argument)");
-        println!("    horizontal triangular increments: {:>14}", m_h.pair_incr);
+        println!(
+            "    horizontal triangular increments: {:>14}",
+            m_h.pair_incr
+        );
         println!("    vertical pairwise-intersection ops: {vertical_ops:>12}");
         println!(
             "    vertical/horizontal ratio: {:.1}x  (frequent pairs found: {n_l2})\n",
@@ -161,8 +161,11 @@ fn main() {
     // ---------- A6: hybrid parallelization (§8.1/§9) ----------
     {
         println!("A6  hybrid host-level parallelization (§8.1/§9 future work)");
-        for topo in [ClusterConfig::new(2, 4), ClusterConfig::new(4, 2), ClusterConfig::new(8, 1)]
-        {
+        for topo in [
+            ClusterConfig::new(2, 4),
+            ClusterConfig::new(4, 2),
+            ClusterConfig::new(8, 1),
+        ] {
             let flat = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &Default::default());
             let hy = eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &Default::default());
             assert_eq!(flat.frequent, hy.frequent);
@@ -177,46 +180,39 @@ fn main() {
         println!();
     }
 
-    // ---------- bonus: diffset extension ----------
+    // ---------- bonus: vertical representation axis ----------
     {
-        println!("EXT diffsets (d-Eclat) vs tid-lists — element touches in the");
-        println!("    recursive phase on this database:");
-        let threshold = minsup.count_threshold(db.num_transactions());
-        let mut m_tid = OpMeter::new();
-        let mut m_diff = OpMeter::new();
-        let n = db.num_transactions();
-        let tri = eclat::transform::count_pairs(&db, 0..n, &mut OpMeter::new());
-        let l2: Vec<_> = tri.frequent_pairs(threshold).map(|(a, b, _)| (a, b)).collect();
-        let idx = eclat::transform::index_pairs(&l2);
-        let lists = eclat::transform::build_pair_tidlists(&db, 0..n, &idx, &mut OpMeter::new());
-        let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
-        let classes = eclat::equivalence::classes_of_l2(pairs);
-        let mut out_t = mining_types::FrequentSet::new();
-        let mut out_d = mining_types::FrequentSet::new();
-        for class in classes {
-            for m in &class.members {
-                out_t.insert(m.itemset.clone(), m.tids.support());
-                out_d.insert(m.itemset.clone(), m.tids.support());
-            }
-            eclat::compute::compute_frequent(
-                class.clone(),
-                threshold,
-                &Default::default(),
-                &mut m_tid,
-                &mut out_t,
-            );
-            eclat::diffset_mine::compute_frequent_diff(
-                class,
-                threshold,
-                &Default::default(),
-                &mut m_diff,
-                &mut out_d,
-            );
-        }
-        assert_eq!(out_t, out_d);
+        println!("EXT vertical representation — tid-lists vs diffsets vs mid-recursion");
+        println!("    auto-switch; element touches in the recursive phase:");
+        let run = |repr| {
+            let cfg = eclat::EclatConfig::with_representation(repr);
+            let mut m = OpMeter::new();
+            let fs = eclat::sequential::mine_with(&db, minsup, &cfg, &mut m);
+            (fs, m)
+        };
+        let (fs_ref, m_ref) = run(eclat::Representation::TidList);
         println!(
-            "    tid-lists: {:>14} element comparisons\n    diffsets:  {:>14} element comparisons",
-            m_tid.tid_cmp, m_diff.tid_cmp
+            "    {:<18} {:>14} element comparisons",
+            "tid-lists:", m_ref.tid_cmp
         );
+        for (label, repr) in [
+            ("diffsets:", eclat::Representation::Diffset),
+            (
+                "auto-switch(d=1):",
+                eclat::Representation::AutoSwitch { depth: 1 },
+            ),
+            (
+                "auto-switch(d=2):",
+                eclat::Representation::AutoSwitch { depth: 2 },
+            ),
+            (
+                "auto-switch(d=3):",
+                eclat::Representation::AutoSwitch { depth: 3 },
+            ),
+        ] {
+            let (fs, m) = run(repr);
+            assert_eq!(fs, fs_ref);
+            println!("    {label:<18} {:>14} element comparisons", m.tid_cmp);
+        }
     }
 }

@@ -34,13 +34,8 @@ fn main() {
         let txns = QuestGenerator::new(params).generate_all();
         let db = HorizontalDb::from_transactions(txns);
 
-        let seq = eclat::cluster::mine_cluster(
-            &db,
-            minsup,
-            &ClusterConfig::sequential(),
-            &cost,
-            &cfg,
-        );
+        let seq =
+            eclat::cluster::mine_cluster(&db, minsup, &ClusterConfig::sequential(), &cost, &cfg);
         let t_seq = seq.total_secs();
         println!("{name}  (sequential: {t_seq:.1}s simulated)");
         let mut widths = vec![14usize, 4, 10, 9];
@@ -51,7 +46,10 @@ fn main() {
         }
         println!(
             "{}",
-            row(&header.into_iter().map(String::from).collect::<Vec<_>>(), &widths)
+            row(
+                &header.into_iter().map(String::from).collect::<Vec<_>>(),
+                &widths
+            )
         );
         for c in &configs {
             let rep = eclat::cluster::mine_cluster(&db, minsup, c, &cost, &cfg);

@@ -20,9 +20,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Database", "|T|", "|D|", "|I|", "Size(MB)", "meas.|T|"]
-                .map(String::from)
-                .to_vec(),
+            &["Database", "|T|", "|D|", "|I|", "Size(MB)", "meas.|T|"].map(String::from),
             &widths
         )
     );

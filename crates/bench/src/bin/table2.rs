@@ -39,12 +39,8 @@ fn main() {
     let with_cand = args.has("with-candidate-dist");
     let configs = table2_configs(args.has("large-configs"));
 
-    println!(
-        "Table 2: Total Execution Time — Eclat (E) vs Count Distribution (CD)"
-    );
-    println!(
-        "scale {scale:?}, support {support}%, schedule {heuristic:?}, simulated seconds\n"
-    );
+    println!("Table 2: Total Execution Time — Eclat (E) vs Count Distribution (CD)");
+    println!("scale {scale:?}, support {support}%, schedule {heuristic:?}, simulated seconds\n");
     let mut widths = vec![14usize, 4, 4, 4, 10, 10, 10, 8];
     let mut header = vec![
         "Database", "P", "H", "T", "CD Total", "E Total", "E Setup", "CD/E",

@@ -107,11 +107,11 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args` (skipping the binary name).
     pub fn from_env() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parse from any iterator of tokens.
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut flags = Vec::new();
         for tok in iter {
             let tok = tok.trim_start_matches('-').to_string();
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn args_parsing() {
-        let a = Args::from_iter(
+        let a = Args::from_tokens(
             ["--scale=tiny", "--support=0.5", "--hybrid"]
                 .iter()
                 .map(|s| s.to_string()),
@@ -201,7 +201,7 @@ mod tests {
         assert!(a.has("hybrid"));
         assert!(!a.has("paper"));
         // default support follows scale
-        let b = Args::from_iter(std::iter::empty());
+        let b = Args::from_tokens(std::iter::empty());
         assert_eq!(b.support_percent(), 0.1);
     }
 

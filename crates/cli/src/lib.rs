@@ -6,10 +6,12 @@
 //! eclat generate --out data.ech --family t10i6 --transactions 100000 [--seed N]
 //! eclat stats    --input data.ech
 //! eclat mine     --input data.ech --support 0.1 [--algorithm eclat|parallel|apriori|clique]
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
 //!                [--maximal] [--min-size K] [--top N]
 //! eclat rules    --input data.ech --support 0.5 --confidence 0.8 [--top N]
 //! eclat simulate --input data.ech --support 0.1 --hosts 8 --procs 4
 //!                [--algorithm eclat|hybrid|countdist]
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
 //! ```
 //!
 //! Databases are the workspace's binary horizontal format
@@ -53,10 +55,12 @@ pub fn usage() -> String {
        generate --out FILE --transactions N [--family t10i6|t5i2|t20i4|t20i6] [--seed N]\n\
        stats    --input FILE\n\
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
                 [--maximal] [--min-size K] [--top N]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
-                [--algorithm eclat|hybrid|countdist]\n"
+                [--algorithm eclat|hybrid|countdist]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n"
         .to_string()
 }
 
@@ -75,7 +79,8 @@ impl Flags {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     fn has(&self, key: &str) -> bool {
@@ -186,17 +191,49 @@ fn cmd_stats(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parse `--representation tidlist|diffset|autoswitch[:DEPTH]`.
+fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
+    let Some(raw) = flags.get("representation") else {
+        return Ok(eclat::Representation::default());
+    };
+    match raw.split_once(':') {
+        None => match raw {
+            "tidlist" => Ok(eclat::Representation::TidList),
+            "diffset" => Ok(eclat::Representation::Diffset),
+            "autoswitch" => Ok(eclat::Representation::AutoSwitch { depth: 2 }),
+            other => Err(format!(
+                "unknown representation '{other}' (tidlist|diffset|autoswitch[:DEPTH])"
+            )),
+        },
+        Some(("autoswitch", d)) => {
+            let depth: u32 = d
+                .parse()
+                .map_err(|_| format!("bad autoswitch depth '{d}'"))?;
+            Ok(eclat::Representation::AutoSwitch { depth })
+        }
+        Some((other, _)) => Err(format!(
+            "unknown representation '{other}' (only autoswitch takes a :DEPTH)"
+        )),
+    }
+}
+
 fn mine_by_algorithm(
     db: &HorizontalDb,
     minsup: MinSupport,
     algorithm: &str,
+    representation: eclat::Representation,
 ) -> Result<FrequentSet, String> {
     let mut meter = OpMeter::new();
-    let cfg = eclat::EclatConfig::default();
+    let cfg = eclat::EclatConfig::with_representation(representation);
     Ok(match algorithm {
         "eclat" => eclat::sequential::mine_with(db, minsup, &cfg, &mut meter),
-        "parallel" => eclat::parallel::mine_with(db, minsup, &cfg),
-        "apriori" => apriori::mine(db, minsup),
+        "parallel" => eclat::parallel::mine_with(db, minsup, &cfg, &mut meter),
+        "apriori" => {
+            if representation != eclat::Representation::default() {
+                return Err("--representation applies to the eclat variants only".to_string());
+            }
+            apriori::mine(db, minsup)
+        }
         "clique" => eclat::clique::mine_with(db, minsup, &cfg, &mut meter),
         other => return Err(format!("unknown algorithm '{other}'")),
     })
@@ -206,19 +243,27 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let db = load_db(flags)?;
     let minsup = support_of(flags)?;
     let algorithm = flags.get("algorithm").unwrap_or("eclat");
+    let representation = representation_of(flags)?;
     let min_size: usize = flags.parse("min-size", 2usize)?;
     let top: usize = flags.parse("top", 20usize)?;
 
     let t0 = std::time::Instant::now();
     let fs = if flags.has("maximal") {
+        if representation != eclat::Representation::default() {
+            return Err("--maximal mines on tid-lists; drop --representation".to_string());
+        }
         eclat::maximal::mine_maximal(&db, minsup)
     } else {
-        mine_by_algorithm(&db, minsup, algorithm)?
+        mine_by_algorithm(&db, minsup, algorithm, representation)?
     };
     let dt = t0.elapsed().as_secs_f64();
 
     let mut out = String::new();
-    let kind = if flags.has("maximal") { "maximal frequent" } else { "frequent" };
+    let kind = if flags.has("maximal") {
+        "maximal frequent"
+    } else {
+        "frequent"
+    };
     let _ = writeln!(
         out,
         "{} {kind} itemsets in {dt:.2}s ({algorithm})",
@@ -294,13 +339,14 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     let topo = ClusterConfig::new(hosts, procs);
     let cost = CostModel::dec_alpha_1997();
     let algorithm = flags.get("algorithm").unwrap_or("eclat");
+    let cfg = eclat::EclatConfig::with_representation(representation_of(flags)?);
     let mut out = String::new();
     match algorithm {
         "eclat" | "hybrid" => {
             let rep = if algorithm == "hybrid" {
-                eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &Default::default())
+                eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &cfg)
             } else {
-                eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &Default::default())
+                eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg)
             };
             let _ = writeln!(
                 out,
@@ -377,7 +423,13 @@ mod tests {
         assert!(stats.contains("length histogram"));
 
         let mined = run(&argv(&[
-            "mine", "--input", &path, "--support", "0.5", "--top", "5",
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--top",
+            "5",
         ]))
         .unwrap();
         assert!(mined.contains("frequent itemsets"), "{mined}");
@@ -396,7 +448,15 @@ mod tests {
         assert!(rules.contains("rules at confidence"), "{rules}");
 
         let sim = run(&argv(&[
-            "simulate", "--input", &path, "--support", "0.5", "--hosts", "2", "--procs", "2",
+            "simulate",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--hosts",
+            "2",
+            "--procs",
+            "2",
         ]))
         .unwrap();
         assert!(sim.contains("simulated"), "{sim}");
@@ -412,7 +472,13 @@ mod tests {
         let base = run(&argv(&["mine", "--input", &path, "--support", "0.5"])).unwrap();
         for algo in ["parallel", "apriori", "clique"] {
             let out = run(&argv(&[
-                "mine", "--input", &path, "--support", "0.5", "--algorithm", algo,
+                "mine",
+                "--input",
+                &path,
+                "--support",
+                "0.5",
+                "--algorithm",
+                algo,
             ]))
             .unwrap();
             // same per-size breakdown lines (apriori adds size-1 row)
@@ -421,7 +487,12 @@ mod tests {
             }
         }
         let maximal = run(&argv(&[
-            "mine", "--input", &path, "--support", "0.5", "--maximal",
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--maximal",
         ]))
         .unwrap();
         assert!(maximal.contains("maximal frequent"), "{maximal}");
@@ -430,21 +501,48 @@ mod tests {
 
     #[test]
     fn error_paths() {
-        assert!(run(&argv(&["mine", "--support", "1"])).unwrap_err().contains("--input"));
-        assert!(run(&argv(&["mine", "--input", "/nonexistent", "--support", "1"]))
+        assert!(run(&argv(&["mine", "--support", "1"]))
             .unwrap_err()
-            .contains("open"));
+            .contains("--input"));
+        assert!(run(&argv(&[
+            "mine",
+            "--input",
+            "/nonexistent",
+            "--support",
+            "1"
+        ]))
+        .unwrap_err()
+        .contains("open"));
         let path = tempfile("err");
         generate(&path, 100);
         assert!(run(&argv(&["mine", "--input", &path, "--support", "200"]))
             .unwrap_err()
             .contains("[0, 100]"));
-        assert!(run(&argv(&["mine", "--input", &path, "--support", "1",
-            "--algorithm", "bogus"])).unwrap_err().contains("unknown algorithm"));
-        assert!(run(&argv(&["generate", "--out", "/tmp/x.ech"])).unwrap_err()
+        assert!(run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--algorithm",
+            "bogus"
+        ]))
+        .unwrap_err()
+        .contains("unknown algorithm"));
+        assert!(run(&argv(&["generate", "--out", "/tmp/x.ech"]))
+            .unwrap_err()
             .contains("--transactions"));
-        assert!(run(&argv(&["simulate", "--input", &path, "--support", "1",
-            "--hosts", "0"])).unwrap_err().contains("must be > 0"));
+        assert!(run(&argv(&[
+            "simulate",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--hosts",
+            "0"
+        ]))
+        .unwrap_err()
+        .contains("must be > 0"));
         std::fs::remove_file(&path).unwrap();
     }
 

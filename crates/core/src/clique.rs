@@ -18,8 +18,9 @@
 //! [`mine_class_cliques`] mines each clique with the ordinary recursive
 //! kernel, deduplicating overlaps through the shared [`FrequentSet`].
 
-use crate::compute::{compute_frequent, EclatConfig};
+use crate::compute::EclatConfig;
 use crate::equivalence::{ClassMember, EquivalenceClass};
+use crate::pipeline::{self, ExecutionPolicy, Serial};
 use mining_types::{FrequentSet, FxHashMap, FxHashSet, ItemId, OpMeter};
 
 /// The `L2` adjacency relation restricted to one prefix class.
@@ -37,9 +38,8 @@ impl ClassGraph {
             .map(|m| *m.itemset.items().last().expect("non-empty member"))
             .collect();
         let mut adj = vec![FxHashSet::default(); vertices.len()];
-        for i in 0..vertices.len() {
-            for j in i + 1..vertices.len() {
-                let (a, b) = (vertices[i], vertices[j]);
+        for (i, &a) in vertices.iter().enumerate() {
+            for (j, &b) in vertices.iter().enumerate().skip(i + 1) {
                 let key = if a < b { (a, b) } else { (b, a) };
                 if edges.contains(&key) {
                     adj[i].insert(j);
@@ -144,7 +144,7 @@ pub fn mine_class_cliques(
     let mut scratch: FxHashMap<mining_types::Itemset, u32> = FxHashMap::default();
     for sub in clique_clusters(&class, edges) {
         let mut local = FrequentSet::new();
-        compute_frequent(sub, minsup, cfg, meter, &mut local);
+        pipeline::compute_class(sub, minsup, cfg, meter, &mut local);
         for (is, sup) in local.iter() {
             scratch.insert(is.clone(), sup);
         }
@@ -169,23 +169,18 @@ pub fn mine_with(
     cfg: &EclatConfig,
     meter: &mut OpMeter,
 ) -> FrequentSet {
-    use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
     let threshold = minsup.count_threshold(db.num_transactions());
-    let n = db.num_transactions();
     let mut out = FrequentSet::new();
-    let tri = count_pairs(db, 0..n, meter);
-    let l2: Vec<(ItemId, ItemId)> = tri
-        .frequent_pairs(threshold)
-        .map(|(a, b, _)| (a, b))
-        .collect();
+    let tri = Serial.count_pairs(db, meter);
+    let l2 = pipeline::frequent_l2(&tri, threshold);
+    if cfg.include_singletons {
+        pipeline::insert_frequent_singletons(db, threshold, meter, &mut out);
+    }
     if l2.is_empty() {
         return out;
     }
     let edges: FxHashSet<(ItemId, ItemId)> = l2.iter().copied().collect();
-    let idx = index_pairs(&l2);
-    let lists = build_pair_tidlists(db, 0..n, &idx, meter);
-    let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
-    for class in crate::equivalence::classes_of_l2(pairs) {
+    for class in pipeline::vertical_classes(db, &l2, meter) {
         for m in &class.members {
             out.insert(m.itemset.clone(), m.tids.support());
         }
@@ -304,12 +299,7 @@ mod tests {
         let mut m_clique = OpMeter::new();
         let mut m_prefix = OpMeter::new();
         let a = mine_with(&db, minsup, &EclatConfig::default(), &mut m_clique);
-        let b = crate::sequential::mine_with(
-            &db,
-            minsup,
-            &EclatConfig::default(),
-            &mut m_prefix,
-        );
+        let b = crate::sequential::mine_with(&db, minsup, &EclatConfig::default(), &mut m_prefix);
         assert_eq!(a, b);
         assert!(
             m_clique.cand_gen <= m_prefix.cand_gen,

@@ -21,14 +21,15 @@
 //! the recorded traces replay against the cost model to produce the
 //! virtual [`Timeline`] reported in Table 2 / Figure 7.
 
-use crate::compute::{compute_frequent, EclatConfig};
-use crate::equivalence::{classes_of_l2, EquivalenceClass};
+use crate::compute::EclatConfig;
+use crate::equivalence::classes_of_l2;
+use crate::pipeline;
 use crate::schedule::{schedule_weights, Assignment};
 use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
 use dbstore::{BlockPartition, HorizontalDb};
 use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
 use memchannel::{ClusterConfig, CostModel, Timeline, TraceRecorder};
-use mining_types::{FrequentSet, ItemId, Itemset, OpMeter, MinSupport};
+use mining_types::{FrequentSet, ItemId, MinSupport, OpMeter};
 use tidlist::TidList;
 
 /// Phase labels used in the recorded traces.
@@ -93,8 +94,7 @@ pub fn mine_cluster(
 
     // ---------------- Initialization phase ----------------
     let mut global_tri: Option<mining_types::TriangleMatrix> = None;
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         rec.phase(PHASE_INIT);
         let block = partition.block(p);
         rec.disk_read(db.byte_size_range(block.clone()));
@@ -114,21 +114,20 @@ pub fn mine_cluster(
     let global_tri = global_tri.expect("at least one processor");
     // §6.2 sum-reduction of the triangular arrays.
     let tri_bytes = (global_tri.cells() as u64) * 4;
-    sum_reduce(&mut recorders, &vec![tri_bytes; t], tri_bytes, &mut barriers);
+    sum_reduce(
+        &mut recorders,
+        &vec![tri_bytes; t],
+        tri_bytes,
+        &mut barriers,
+    );
 
     if cfg.include_singletons {
-        let mut m = OpMeter::new();
-        let counts = count_items(db, 0..n, &mut m);
-        for (i, &c) in counts.iter().enumerate() {
-            if c >= threshold {
-                out.insert(Itemset::single(ItemId(i as u32)), c);
-            }
-        }
+        // The per-block cost was already metered above; the assembled
+        // global counts are not charged twice.
+        pipeline::insert_frequent_singletons(db, threshold, &mut OpMeter::new(), &mut out);
     }
 
-    let l2: Vec<(ItemId, ItemId, u32)> = global_tri
-        .frequent_pairs(threshold)
-        .collect();
+    let l2: Vec<(ItemId, ItemId, u32)> = global_tri.frequent_pairs(threshold).collect();
     let num_l2 = l2.len();
 
     if l2.is_empty() {
@@ -188,8 +187,7 @@ pub fn mine_cluster(
     let idx = index_pairs(&pairs_only);
     // Per-processor partial tid-lists, and the trace of the second scan.
     let mut partials: Vec<Vec<TidList>> = Vec::with_capacity(t);
-    for p in 0..t {
-        let rec = &mut recorders[p];
+    for (p, rec) in recorders.iter_mut().enumerate() {
         rec.phase(PHASE_TRANSFORM);
         let block = partition.block(p);
         rec.disk_read(db.byte_size_range(block.clone()));
@@ -255,7 +253,6 @@ pub fn mine_cluster(
             rec.disk_read(bytes);
         }
         let mut meter = OpMeter::new();
-        let mut local = FrequentSet::new();
         // owned slots grouped into complete classes (scheduling is
         // class-granular, so a class's slots share one owner)
         let slots = std::mem::take(&mut owned_lists[p]);
@@ -263,12 +260,8 @@ pub fn mine_cluster(
             .into_iter()
             .map(|(s, l)| (pairs_only[s].0, pairs_only[s].1, l))
             .collect();
-        for class in classes_of_l2(pairs_with_lists) {
-            for m in &class.members {
-                local.insert(m.itemset.clone(), m.tids.support());
-            }
-            compute_frequent(class, threshold, cfg, &mut meter, &mut local);
-        }
+        let local =
+            pipeline::mine_classes(classes_of_l2(pairs_with_lists), threshold, cfg, &mut meter);
         rec.compute(&meter);
         local_results.push(local);
     }
@@ -293,24 +286,6 @@ pub fn mine_cluster(
         exchange_rounds,
         num_l2,
     }
-}
-
-/// Convenience: run a class of `EquivalenceClass` values through the
-/// kernel, returning the local result (used by the hybrid variant).
-pub(crate) fn mine_classes(
-    classes: Vec<EquivalenceClass>,
-    threshold: u32,
-    cfg: &EclatConfig,
-    meter: &mut OpMeter,
-) -> FrequentSet {
-    let mut local = FrequentSet::new();
-    for class in classes {
-        for m in &class.members {
-            local.insert(m.itemset.clone(), m.tids.support());
-        }
-        compute_frequent(class, threshold, cfg, meter, &mut local);
-    }
-    local
 }
 
 #[cfg(test)]
@@ -416,6 +391,27 @@ mod tests {
         );
         assert!(report.frequent.is_empty());
         assert_eq!(report.num_l2, 0);
+    }
+
+    #[test]
+    fn representations_agree_on_the_cluster() {
+        use crate::compute::Representation;
+        let db = random_db(8, 180, 12, 6);
+        let minsup = MinSupport::from_percent(6.0);
+        let expect = sequential::mine(&db, minsup);
+        for repr in [
+            Representation::Diffset,
+            Representation::AutoSwitch { depth: 2 },
+        ] {
+            let report = mine_cluster(
+                &db,
+                minsup,
+                &ClusterConfig::new(2, 2),
+                &cost(),
+                &EclatConfig::with_representation(repr),
+            );
+            assert_eq!(report.frequent, expect, "{repr:?}");
+        }
     }
 
     #[test]

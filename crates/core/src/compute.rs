@@ -11,6 +11,12 @@
 //! End
 //! ```
 //!
+//! The kernel is generic over the members' vertical representation
+//! ([`TidSet`]): the same recursion mines tid-lists, d-Eclat diffsets,
+//! or the mid-recursion [`tidlist::AdaptiveSet`] switcher. All pairwise
+//! candidate generation in this crate funnels through [`join_level`] —
+//! the one place the `I1 × I2` loop exists.
+//!
 //! Once a level's members are joined, the parent tid-lists are dropped
 //! before recursing — *"once L_k has been determined, we can delete
 //! L_{k-1}; we thus need main memory space only for the itemsets in
@@ -18,8 +24,32 @@
 
 use crate::equivalence::{repartition, ClassMember, EquivalenceClass};
 use crate::schedule::ScheduleHeuristic;
-use mining_types::{FrequentSet, FxHashSet, OpMeter};
-use tidlist::IntersectOutcome;
+use mining_types::{FrequentSet, FxHashSet, Itemset, OpMeter};
+use tidlist::TidSet;
+
+/// Which vertical representation the per-class recursion runs on (S17).
+///
+/// Every variant's driver builds `L2` classes as tid-lists (that is what
+/// the vertical transform produces); this knob decides what happens below
+/// `L2`. See `pipeline::compute_class` for the dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Representation {
+    /// Plain sorted tid-lists — the paper's §4.2 layout.
+    #[default]
+    TidList,
+    /// d-Eclat diffsets: the very first join below `L2` converts
+    /// `d(xy·z) = t(xy) − t(xz)` and the subtree continues on diffsets.
+    Diffset,
+    /// Start on tid-lists and convert each branch to diffsets after
+    /// `depth` further join levels. `depth = 0` is exactly [`Diffset`];
+    /// a depth deeper than the lattice never switches (pure tid-lists).
+    ///
+    /// [`Diffset`]: Representation::Diffset
+    AutoSwitch {
+        /// Tid-list join levels below `L2` before the switch.
+        depth: u32,
+    },
+}
 
 /// Tuning switches for Eclat (all variants).
 #[derive(Clone, Debug)]
@@ -38,6 +68,9 @@ pub struct EclatConfig {
     /// this on adds a cheap piggybacked count during the first scan so
     /// the output is a complete downward-closed set for rule generation.
     pub include_singletons: bool,
+    /// Vertical representation used below `L2` (tid-lists, diffsets, or
+    /// the depth-triggered switch).
+    pub representation: Representation,
     /// Class-scheduling heuristic (cluster/hybrid/parallel variants).
     pub heuristic: ScheduleHeuristic,
     /// Transmit/receive buffer for the §6.3 exchange (cluster variant).
@@ -50,6 +83,7 @@ impl Default for EclatConfig {
             short_circuit: true,
             prune: false,
             include_singletons: false,
+            representation: Representation::TidList,
             heuristic: ScheduleHeuristic::GreedyPairs,
             buffer_bytes: 2 * 1024 * 1024, // the paper's 2 MB buffers
         }
@@ -64,14 +98,79 @@ impl EclatConfig {
             ..Default::default()
         }
     }
+
+    /// Config mining on the given representation, rest default.
+    pub fn with_representation(representation: Representation) -> Self {
+        EclatConfig {
+            representation,
+            ..Default::default()
+        }
+    }
 }
 
-/// Mine everything derivable from one equivalence class.
+/// What a [`join_level`] caller does with each candidate: an optional
+/// pre-join filter (the A3 pruning hook) and the outcome sink. One trait
+/// instead of two closures because both hooks typically borrow the same
+/// caller state mutably.
+pub(crate) trait JoinHandler<S> {
+    /// Called before the join; returning `false` skips the candidate
+    /// entirely (no intersection is performed).
+    fn accept(&mut self, _candidate: &Itemset, _meter: &mut OpMeter) -> bool {
+        true
+    }
+
+    /// Outcome of joining members `i` and `j`: `Some` with the candidate's
+    /// vertical data when frequent, `None` when below `minsup`.
+    fn on_result(&mut self, i: usize, j: usize, candidate: Itemset, joined: Option<S>);
+}
+
+/// One level of Figure 3's `for all itemsets I1 and I2` loop: join every
+/// ordered member pair of a class, honoring `cfg.short_circuit`, and
+/// report each outcome to the handler.
+///
+/// This is the **only** pairwise-join loop in the crate — the recursive
+/// kernel, the maximal-clique variant, and the d-Eclat wrapper all route
+/// through it, so candidate and comparison metering is identical across
+/// variants.
+pub(crate) fn join_level<S: TidSet>(
+    members: &[ClassMember<S>],
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    handler: &mut impl JoinHandler<S>,
+) {
+    for i in 0..members.len() {
+        for j in i + 1..members.len() {
+            let candidate = members[i]
+                .itemset
+                .join(&members[j].itemset)
+                .expect("class members share a prefix and are ordered");
+            meter.cand_gen += 1;
+
+            if !handler.accept(&candidate, meter) {
+                continue;
+            }
+
+            let joined = if cfg.short_circuit {
+                members[i]
+                    .tids
+                    .join_bounded_metered(&members[j].tids, minsup, meter)
+            } else {
+                let full = members[i].tids.join_metered(&members[j].tids, meter);
+                (full.support() >= minsup).then_some(full)
+            };
+            handler.on_result(i, j, candidate, joined);
+        }
+    }
+}
+
+/// Mine everything derivable from one equivalence class, on whatever
+/// representation the class carries.
 ///
 /// The members of `class` itself must already be recorded in `out` by
 /// the caller.
-pub fn compute_frequent(
-    class: EquivalenceClass,
+pub fn compute_frequent<S: TidSet>(
+    class: EquivalenceClass<S>,
     minsup: u32,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
@@ -81,64 +180,67 @@ pub fn compute_frequent(
     // mining its own classes has no cross-class knowledge — exactly the
     // locality limitation that makes pruning "of little or no help" for
     // Eclat (§5.3).
-    let mut infrequent: FxHashSet<mining_types::Itemset> = FxHashSet::default();
+    let mut infrequent: FxHashSet<Itemset> = FxHashSet::default();
     compute_rec(class, minsup, cfg, meter, out, &mut infrequent);
 }
 
-fn compute_rec(
-    class: EquivalenceClass,
+/// The recursive kernel's per-level handler: collect frequent joins as
+/// next-level members, record them in the output, and feed the A3
+/// infrequent cache.
+struct FrequentCollector<'a, S> {
+    next: Vec<ClassMember<S>>,
+    out: &'a mut FrequentSet,
+    infrequent: &'a mut FxHashSet<Itemset>,
+    prune: bool,
+}
+
+impl<S: TidSet> JoinHandler<S> for FrequentCollector<'_, S> {
+    fn accept(&mut self, candidate: &Itemset, meter: &mut OpMeter) -> bool {
+        if self.prune && !prune_ok(candidate, self.infrequent, meter) {
+            self.infrequent.insert(candidate.clone());
+            return false;
+        }
+        true
+    }
+
+    fn on_result(&mut self, _i: usize, _j: usize, candidate: Itemset, joined: Option<S>) {
+        match joined {
+            Some(tids) => {
+                self.out.insert(candidate.clone(), tids.support());
+                self.next.push(ClassMember {
+                    itemset: candidate,
+                    tids,
+                });
+            }
+            None => {
+                if self.prune {
+                    self.infrequent.insert(candidate);
+                }
+            }
+        }
+    }
+}
+
+fn compute_rec<S: TidSet>(
+    class: EquivalenceClass<S>,
     minsup: u32,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
     out: &mut FrequentSet,
-    infrequent: &mut FxHashSet<mining_types::Itemset>,
+    infrequent: &mut FxHashSet<Itemset>,
 ) {
     if class.size() < 2 {
         return;
     }
     let members = class.members;
-    let mut next: Vec<ClassMember> = Vec::new();
-    for i in 0..members.len() {
-        for j in i + 1..members.len() {
-            let candidate = members[i]
-                .itemset
-                .join(&members[j].itemset)
-                .expect("class members share a prefix and are ordered");
-            meter.cand_gen += 1;
-
-            if cfg.prune && !prune_ok(&candidate, infrequent, meter) {
-                infrequent.insert(candidate);
-                continue;
-            }
-
-            let result = if cfg.short_circuit {
-                members[i]
-                    .tids
-                    .intersect_bounded_metered(&members[j].tids, minsup, meter)
-            } else {
-                let full = members[i].tids.intersect_metered(&members[j].tids, meter);
-                if full.support() >= minsup {
-                    IntersectOutcome::Frequent(full)
-                } else {
-                    IntersectOutcome::Infrequent
-                }
-            };
-            match result {
-                IntersectOutcome::Frequent(tids) => {
-                    out.insert(candidate.clone(), tids.support());
-                    next.push(ClassMember {
-                        itemset: candidate,
-                        tids,
-                    });
-                }
-                IntersectOutcome::Infrequent => {
-                    if cfg.prune {
-                        infrequent.insert(candidate);
-                    }
-                }
-            }
-        }
-    }
+    let mut collector = FrequentCollector {
+        next: Vec::new(),
+        out,
+        infrequent,
+        prune: cfg.prune,
+    };
+    join_level(&members, minsup, cfg, meter, &mut collector);
+    let next = collector.next;
     // Parent tid-lists are no longer needed — free them before recursing
     // (the §5.3 memory argument).
     drop(members);
@@ -152,11 +254,7 @@ fn compute_rec(
 /// `(k−1)`-subsets is *known* infrequent. Only subsets already rejected
 /// inside this class subtree are known — subsets in sibling or remote
 /// classes are unavailable in the DFS order, so the check rarely fires.
-fn prune_ok(
-    candidate: &mining_types::Itemset,
-    infrequent: &FxHashSet<mining_types::Itemset>,
-    meter: &mut OpMeter,
-) -> bool {
+fn prune_ok(candidate: &Itemset, infrequent: &FxHashSet<Itemset>, meter: &mut OpMeter) -> bool {
     // The two subsets dropping the last / second-to-last item are the
     // join parents — frequent by construction; skip them.
     let k = candidate.len();
@@ -174,7 +272,7 @@ fn prune_ok(
 mod tests {
     use super::*;
     use mining_types::Itemset;
-    use tidlist::TidList;
+    use tidlist::{AdaptiveSet, TidList};
 
     fn member(raw: &[u32], tids: &[u32]) -> ClassMember {
         ClassMember {
@@ -219,9 +317,7 @@ mod tests {
         // {0,1,2,3,4} is frequent at minsup 3.
         let class = EquivalenceClass {
             prefix: Itemset::of(&[0]),
-            members: (1..=4)
-                .map(|b| member(&[0, b], &[1, 2, 3]))
-                .collect(),
+            members: (1..=4).map(|b| member(&[0, b], &[1, 2, 3])).collect(),
         };
         let mut out = FrequentSet::new();
         let mut meter = OpMeter::new();
@@ -315,5 +411,52 @@ mod tests {
         compute_frequent(class, 1, &EclatConfig::default(), &mut meter, &mut out);
         assert!(out.is_empty());
         assert_eq!(meter.cand_gen, 0);
+    }
+
+    #[test]
+    fn generic_kernel_agrees_across_representations() {
+        // The same class mined on tid-lists and on AdaptiveSet with every
+        // fuel level must produce identical frequent sets.
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: (1..=4)
+                .map(|b| {
+                    member(
+                        &[0, b],
+                        &(0..30).filter(|x| x % b != 0 || b == 1).collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        };
+        let mut expected = FrequentSet::new();
+        compute_frequent(
+            class.clone(),
+            3,
+            &EclatConfig::default(),
+            &mut OpMeter::new(),
+            &mut expected,
+        );
+        for fuel in [0u32, 1, 2, 10] {
+            let adaptive = EquivalenceClass {
+                prefix: class.prefix.clone(),
+                members: class
+                    .members
+                    .iter()
+                    .map(|m| ClassMember {
+                        itemset: m.itemset.clone(),
+                        tids: AdaptiveSet::with_fuel(m.tids.clone(), fuel),
+                    })
+                    .collect(),
+            };
+            for short_circuit in [true, false] {
+                let cfg = EclatConfig {
+                    short_circuit,
+                    ..Default::default()
+                };
+                let mut out = FrequentSet::new();
+                compute_frequent(adaptive.clone(), 3, &cfg, &mut OpMeter::new(), &mut out);
+                assert_eq!(out, expected, "fuel {fuel} sc {short_circuit}");
+            }
+        }
     }
 }

@@ -7,30 +7,32 @@
 //! rapidly with depth — the memory-utilization improvement the paper
 //! lists as ongoing work (§9). The `ablations` bench compares the two
 //! representations.
+//!
+//! This module is a thin compatibility wrapper: the actual recursion is
+//! the generic [`crate::compute::compute_frequent`] kernel running on
+//! [`tidlist::AdaptiveSet`] with zero fuel (convert to diffsets at the
+//! first join below `L2`), reached through
+//! [`crate::pipeline::compute_class`]. Metering is therefore *exact* —
+//! the same comparison counts the tid-list kernel would report for the
+//! same element traffic — so the A1 representation ablations compare
+//! like with like. (An earlier standalone implementation charged
+//! `len(a) + len(b)` per join regardless of the work done.)
 
-use crate::compute::EclatConfig;
+use crate::compute::{EclatConfig, Representation};
 use crate::equivalence::EquivalenceClass;
-use mining_types::{FrequentSet, Itemset, OpMeter};
-use tidlist::diffset::DiffSet;
-
-/// A class member in diffset form.
-#[derive(Clone, Debug)]
-struct DiffMember {
-    itemset: Itemset,
-    diff: DiffSet,
-}
+use crate::pipeline::compute_class;
+use mining_types::{FrequentSet, OpMeter};
 
 /// Mine one `L2` equivalence class with diffsets. Produces exactly the
 /// same frequent itemsets and supports as
 /// [`crate::compute::compute_frequent`] on the same class.
 ///
 /// The class enters in tid-list form (that is what the transformation
-/// phase produces); members are converted to diffsets relative to their
-/// own tid-lists' union... no — relative to the *class prefix* is not
-/// available for `L2` (Eclat never builds 1-item tid-lists), so the root
-/// conversion uses the first member as the reference: `d(xy)` is derived
-/// pairwise during the first join level via plain tid-list differences,
-/// and diffsets take over below.
+/// phase produces; Eclat never builds 1-item tid-lists, so there is no
+/// prefix list to difference against at `L2`). The first join level
+/// converts pairwise — `d(I1 ∪ I2) = t(I1) − t(I2)` — and diffsets take
+/// over below. Equivalent to mining with
+/// [`Representation::Diffset`].
 pub fn compute_frequent_diff(
     class: EquivalenceClass,
     minsup: u32,
@@ -38,82 +40,11 @@ pub fn compute_frequent_diff(
     meter: &mut OpMeter,
     out: &mut FrequentSet,
 ) {
-    if class.size() < 2 {
-        return;
-    }
-    let members = class.members;
-    // First join level: tid-list intersections produce the k=3 members,
-    // carried as diffsets d(I1 ∪ I2) = t(I1) − t(I1 ∪ I2).
-    let mut next: Vec<DiffMember> = Vec::new();
-    for i in 0..members.len() {
-        for j in i + 1..members.len() {
-            let candidate = members[i]
-                .itemset
-                .join(&members[j].itemset)
-                .expect("class members join");
-            meter.cand_gen += 1;
-            let diff = DiffSet::from_tidlists(&members[i].tids, &members[j].tids);
-            meter.tid_cmp += (members[i].tids.len() + members[j].tids.len()) as u64;
-            if diff.support >= minsup {
-                out.insert(candidate.clone(), diff.support);
-                next.push(DiffMember {
-                    itemset: candidate,
-                    diff,
-                });
-            }
-        }
-    }
-    drop(members);
-    recurse(next, minsup, cfg, meter, out);
-}
-
-fn recurse(
-    members: Vec<DiffMember>,
-    minsup: u32,
-    cfg: &EclatConfig,
-    meter: &mut OpMeter,
-    out: &mut FrequentSet,
-) {
-    // Partition by (k−1)-prefix, mirroring equivalence::repartition.
-    let mut classes: Vec<Vec<DiffMember>> = Vec::new();
-    for m in members {
-        let plen = m.itemset.len() - 1;
-        match classes.last_mut() {
-            Some(c) if c[0].itemset.items()[..plen] == m.itemset.items()[..plen] => c.push(m),
-            _ => classes.push(vec![m]),
-        }
-    }
-    for class in classes {
-        if class.len() < 2 {
-            continue;
-        }
-        let mut next: Vec<DiffMember> = Vec::new();
-        for i in 0..class.len() {
-            for j in i + 1..class.len() {
-                let candidate = class[i]
-                    .itemset
-                    .join(&class[j].itemset)
-                    .expect("members join");
-                meter.cand_gen += 1;
-                meter.tid_cmp +=
-                    (class[i].diff.diff.len() + class[j].diff.diff.len()) as u64;
-                let joined = if cfg.short_circuit {
-                    class[i].diff.join_bounded(&class[j].diff, minsup)
-                } else {
-                    let full = class[i].diff.join(&class[j].diff);
-                    (full.support >= minsup).then_some(full)
-                };
-                if let Some(d) = joined {
-                    out.insert(candidate.clone(), d.support);
-                    next.push(DiffMember {
-                        itemset: candidate,
-                        diff: d,
-                    });
-                }
-            }
-        }
-        recurse(next, minsup, cfg, meter, out);
-    }
+    let cfg = EclatConfig {
+        representation: Representation::Diffset,
+        ..cfg.clone()
+    };
+    compute_class(class, minsup, &cfg, meter, out);
 }
 
 #[cfg(test)]
@@ -123,7 +54,7 @@ mod tests {
     use crate::equivalence::classes_of_l2;
     use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
     use apriori::reference::random_db;
-    use mining_types::{ItemId, MinSupport};
+    use mining_types::{ItemId, Itemset, MinSupport};
 
     /// Mine a whole database with the diffset kernel (test harness).
     fn mine_diff(db: &dbstore::HorizontalDb, minsup: MinSupport) -> FrequentSet {
@@ -146,7 +77,13 @@ mod tests {
             for m in &class.members {
                 out.insert(m.itemset.clone(), m.tids.support());
             }
-            compute_frequent_diff(class, threshold, &EclatConfig::default(), &mut meter, &mut out);
+            compute_frequent_diff(
+                class,
+                threshold,
+                &EclatConfig::default(),
+                &mut meter,
+                &mut out,
+            );
         }
         out
     }
@@ -220,6 +157,48 @@ mod tests {
             meter_d.tid_cmp,
             meter_t.tid_cmp
         );
+    }
+
+    #[test]
+    fn candidate_metering_matches_tidlist_kernel() {
+        // Both representations walk the same candidate lattice, so
+        // cand_gen must be identical — the point of routing d-Eclat
+        // through the shared kernel.
+        let db = random_db(6, 120, 10, 5);
+        let minsup = MinSupport::from_percent(8.0);
+        let threshold = minsup.count_threshold(db.num_transactions());
+        let mut m0 = OpMeter::new();
+        let tri = count_pairs(&db, 0..db.num_transactions(), &mut m0);
+        let l2: Vec<(ItemId, ItemId)> = tri
+            .frequent_pairs(threshold)
+            .map(|(a, b, _)| (a, b))
+            .collect();
+        let idx = index_pairs(&l2);
+        let lists = build_pair_tidlists(&db, 0..db.num_transactions(), &idx, &mut m0);
+        let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
+        let mut m_t = OpMeter::new();
+        let mut m_d = OpMeter::new();
+        let mut out_t = FrequentSet::new();
+        let mut out_d = FrequentSet::new();
+        for class in classes_of_l2(pairs) {
+            compute_frequent(
+                class.clone(),
+                threshold,
+                &EclatConfig::default(),
+                &mut m_t,
+                &mut out_t,
+            );
+            compute_frequent_diff(
+                class,
+                threshold,
+                &EclatConfig::default(),
+                &mut m_d,
+                &mut out_d,
+            );
+        }
+        assert_eq!(out_t, out_d);
+        assert_eq!(m_t.cand_gen, m_d.cand_gen);
+        assert!(m_d.tid_cmp > 0);
     }
 
     #[test]

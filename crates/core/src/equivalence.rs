@@ -5,31 +5,32 @@
 //! and classes are independent: the insight that lets Eclat decouple the
 //! processors after one scheduling step.
 
-use mining_types::{Itemset, ItemId};
-use tidlist::TidList;
+use mining_types::{ItemId, Itemset};
+use tidlist::{TidList, TidSet};
 
 /// A member of an equivalence class: the extension item beyond the shared
-/// prefix, its full itemset, and its tid-list.
+/// prefix, its full itemset, and its vertical representation (a tid-list
+/// by default; any [`TidSet`] — diffsets, the adaptive switcher — works).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ClassMember {
+pub struct ClassMember<S = TidList> {
     /// The full itemset (prefix + extension).
     pub itemset: Itemset,
-    /// The itemset's tid-list.
-    pub tids: TidList,
+    /// The itemset's vertical representation.
+    pub tids: S,
 }
 
 /// An equivalence class: a shared prefix and its members sorted by
 /// extension item.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct EquivalenceClass {
+pub struct EquivalenceClass<S = TidList> {
     /// The common length-(k−1) prefix of the k-itemset members... for
     /// members of size `k`, the prefix has size `k − 1`.
     pub prefix: Itemset,
     /// Members in ascending itemset order.
-    pub members: Vec<ClassMember>,
+    pub members: Vec<ClassMember<S>>,
 }
 
-impl EquivalenceClass {
+impl<S> EquivalenceClass<S> {
     /// Number of members `s`.
     pub fn size(&self) -> usize {
         self.members.len()
@@ -40,7 +41,9 @@ impl EquivalenceClass {
     pub fn weight(&self) -> u64 {
         mining_types::itemset::choose2(self.size())
     }
+}
 
+impl<S: TidSet> EquivalenceClass<S> {
     /// Sum of member supports (the alternative weight heuristic the paper
     /// suggests: *"We could also make use of the average support of the
     /// itemsets within a class to get better weight factors"*).
@@ -48,7 +51,8 @@ impl EquivalenceClass {
         self.members.iter().map(|m| m.tids.support() as u64).sum()
     }
 
-    /// Total tid-list bytes of the class (what moves in the exchange).
+    /// Total vertical-representation bytes of the class (what moves in
+    /// the exchange).
     pub fn byte_size(&self) -> u64 {
         self.members.iter().map(|m| m.tids.byte_size()).sum()
     }
@@ -63,7 +67,7 @@ impl EquivalenceClass {
 /// (§4.1 discards them only for candidate generation).
 pub fn classes_of_l2(pairs: Vec<(ItemId, ItemId, TidList)>) -> Vec<EquivalenceClass> {
     let mut sorted = pairs;
-    sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    sorted.sort_by_key(|p| (p.0, p.1));
     let mut classes: Vec<EquivalenceClass> = Vec::new();
     for (a, b, tids) in sorted {
         assert!(a < b, "2-itemset must be ordered");
@@ -87,9 +91,10 @@ pub fn classes_of_l2(pairs: Vec<(ItemId, ItemId, TidList)>) -> Vec<EquivalenceCl
 /// *"Partition L_k into equivalence classes"*).
 ///
 /// `members` must be sorted by itemset (they are, when produced by the
-/// in-order joins of the kernel).
-pub fn repartition(members: Vec<ClassMember>) -> Vec<EquivalenceClass> {
-    let mut classes: Vec<EquivalenceClass> = Vec::new();
+/// in-order joins of the kernel). Generic over the representation: the
+/// grouping never looks at the vertical data.
+pub fn repartition<S>(members: Vec<ClassMember<S>>) -> Vec<EquivalenceClass<S>> {
+    let mut classes: Vec<EquivalenceClass<S>> = Vec::new();
     for m in members {
         let k = m.itemset.len();
         assert!(k >= 2, "repartition needs itemsets of size >= 2");
@@ -195,6 +200,6 @@ mod tests {
     #[test]
     fn empty_inputs() {
         assert!(classes_of_l2(vec![]).is_empty());
-        assert!(repartition(vec![]).is_empty());
+        assert!(repartition::<TidList>(vec![]).is_empty());
     }
 }

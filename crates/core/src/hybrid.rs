@@ -77,7 +77,7 @@ pub fn mine_hybrid(
     // Only host leaders push partial arrays over the Memory Channel;
     // intra-host merging is shared memory (modelled as local copies).
     {
-        let id = barriers.next();
+        let id = barriers.next_id();
         for host in 0..h {
             for (local, p) in cluster.procs_on_host(host).enumerate() {
                 let rec = &mut recorders[p];
@@ -207,13 +207,13 @@ pub fn mine_hybrid(
     let mut host_lists: Vec<Vec<(usize, TidList)>> = vec![Vec::new(); h];
     for (s, &owner) in slot_host.iter().enumerate() {
         let mut global = TidList::new();
-        for src in 0..h {
-            global.append_partial(&host_partials[src][s]);
+        for partials in &host_partials {
+            global.append_partial(&partials[s]);
         }
         host_lists[owner].push((s, global));
     }
-    for host in 0..h {
-        let bytes: u64 = host_lists[host].iter().map(|(_, l)| 4 + l.byte_size()).sum();
+    for (host, lists) in host_lists.iter().enumerate() {
+        let bytes: u64 = lists.iter().map(|(_, l)| 4 + l.byte_size()).sum();
         if bytes > 0 {
             recorders[leader_of(host)].disk_write(bytes);
         }
@@ -224,8 +224,8 @@ pub fn mine_hybrid(
     // Within each host, the host's classes are LPT-balanced over its
     // processors; the shared class queue needs no MC traffic.
     let mut local_results: Vec<FrequentSet> = Vec::new();
-    for host in 0..h {
-        let slots = std::mem::take(&mut host_lists[host]);
+    for (host, lists) in host_lists.iter_mut().enumerate() {
+        let slots = std::mem::take(lists);
         let pairs_with_lists: Vec<(ItemId, ItemId, TidList)> = slots
             .into_iter()
             .map(|(s, l)| (pairs_only[s].0, pairs_only[s].1, l))
@@ -247,7 +247,7 @@ pub fn mine_hybrid(
                 rec.disk_read(bytes);
             }
             let mut meter = OpMeter::new();
-            let local_out = crate::cluster::mine_classes(my_classes, threshold, cfg, &mut meter);
+            let local_out = crate::pipeline::mine_classes(my_classes, threshold, cfg, &mut meter);
             rec.compute(&meter);
             local_results.push(local_out);
         }

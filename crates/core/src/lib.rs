@@ -2,33 +2,46 @@
 //! mining via equivalence-class clustering and vertical tid-list
 //! intersections.
 //!
-//! Four variants share one recursive kernel ([`compute::compute_frequent`],
-//! Figure 3 of the paper):
+//! One generic recursive kernel ([`compute::compute_frequent`], Figure 3
+//! of the paper) serves every variant. It is parameterized over the
+//! members' vertical representation ([`tidlist::TidSet`]): plain
+//! tid-lists, d-Eclat diffsets, or the mid-recursion
+//! [`tidlist::AdaptiveSet`] switcher — selected per run through
+//! [`compute::Representation`] in [`EclatConfig`]. All pairwise candidate
+//! generation funnels through one loop (`compute::join_level`), so
+//! operation metering is comparable across variants and representations.
 //!
-//! * [`sequential`] — single-process Eclat: triangular `L2` counting on
-//!   the horizontal layout, vertical transformation, then depth-first
-//!   equivalence-class mining (§5, specialized to one processor);
-//! * [`parallel`] — shared-memory Eclat on rayon: classes are independent
-//!   (§4.1), so they become parallel tasks — the API a downstream user
-//!   wants on a modern multicore box;
+//! The drivers share the three-phase [`pipeline`] (§7's three scans:
+//! initialization/`L2` counting → vertical transformation → asynchronous
+//! per-class mining), parameterized by an execution policy:
+//!
+//! * [`sequential`] — the pipeline under the single-processor
+//!   [`pipeline::Serial`] policy (§5, specialized to one processor);
+//! * [`parallel`] — the pipeline under the shared-memory
+//!   [`pipeline::Rayon`] policy: classes are independent (§4.1), so they
+//!   become rayon tasks — the API a downstream user wants on a modern
+//!   multicore box;
 //! * [`cluster`] — the paper's distributed algorithm, phase for phase
 //!   (Figure 2: initialization / transformation / asynchronous / final
-//!   reduction), executed against the simulated DEC Memory Channel
-//!   cluster of the [`memchannel`] crate, producing both the mining
-//!   result and a virtual [`memchannel::Timeline`];
+//!   reduction), composing the pipeline's phase helpers around the
+//!   simulated DEC Memory Channel cluster of the [`memchannel`] crate,
+//!   producing both the mining result and a virtual
+//!   [`memchannel::Timeline`];
 //! * [`hybrid`] — the future-work extension of §8.1/§9: the database is
 //!   partitioned among *hosts* only and processors within a host share
 //!   the class queue, eliminating intra-host disk contention.
 //!
 //! Companion algorithms from the paper's reference \[18\]: [`clique`]
 //! (maximal-clique itemset clustering) and [`maximal`] (MaxEclat with
-//! look-ahead for maximal frequent itemsets).
+//! look-ahead for maximal frequent itemsets) — both reuse the shared
+//! kernel loop for their pairwise joins.
 //!
-//! Supporting modules: [`equivalence`] (prefix-class partitioning, §4.1),
-//! [`schedule`] (greedy least-loaded class scheduling with `C(s,2)`
-//! weights, §5.2.1), [`transform`] (horizontal → vertical transformation
-//! with §6.3's offset placement), and [`diffset_mine`] (the d-Eclat
-//! diffset extension).
+//! Supporting modules: [`equivalence`] (prefix-class partitioning, §4.1,
+//! generic over the representation), [`schedule`] (greedy least-loaded
+//! class scheduling with `C(s,2)` weights, §5.2.1), [`transform`]
+//! (horizontal → vertical transformation with §6.3's offset placement),
+//! and [`diffset_mine`] (the d-Eclat entry point — a thin wrapper over
+//! the generic kernel at [`compute::Representation::Diffset`]).
 
 pub mod clique;
 pub mod cluster;
@@ -38,9 +51,10 @@ pub mod equivalence;
 pub mod hybrid;
 pub mod maximal;
 pub mod parallel;
+pub mod pipeline;
 pub mod schedule;
 pub mod sequential;
 pub mod transform;
 
-pub use compute::EclatConfig;
+pub use compute::{EclatConfig, Representation};
 pub use schedule::ScheduleHeuristic;

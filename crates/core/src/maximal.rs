@@ -13,12 +13,12 @@
 //! supports. Cross-checked against `FrequentSet::maximal()` of the full
 //! miner.
 
-use crate::compute::EclatConfig;
+use crate::compute::{join_level, EclatConfig, JoinHandler};
 use crate::equivalence::{ClassMember, EquivalenceClass};
-use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
+use crate::pipeline::{self, ExecutionPolicy, Serial};
 use dbstore::HorizontalDb;
-use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter};
-use tidlist::IntersectOutcome;
+use mining_types::{FrequentSet, Itemset, MinSupport, OpMeter};
+use tidlist::TidSet;
 
 /// Mine the maximal frequent itemsets (size ≥ 2).
 pub fn mine_maximal(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
@@ -27,6 +27,10 @@ pub fn mine_maximal(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
 }
 
 /// [`mine_maximal`] with configuration and metering.
+///
+/// Runs on tid-lists regardless of [`EclatConfig::representation`]: the
+/// look-ahead folds one accumulator through members at *different* join
+/// depths, which the depth-switching representations cannot mix.
 pub fn mine_maximal_with(
     db: &HorizontalDb,
     minsup: MinSupport,
@@ -34,18 +38,11 @@ pub fn mine_maximal_with(
     meter: &mut OpMeter,
 ) -> FrequentSet {
     let threshold = minsup.count_threshold(db.num_transactions());
-    let n = db.num_transactions();
-    let tri = count_pairs(db, 0..n, meter);
-    let l2: Vec<(ItemId, ItemId)> = tri
-        .frequent_pairs(threshold)
-        .map(|(a, b, _)| (a, b))
-        .collect();
+    let tri = Serial.count_pairs(db, meter);
+    let l2 = pipeline::frequent_l2(&tri, threshold);
     if l2.is_empty() {
         return FrequentSet::new();
     }
-    let idx = index_pairs(&l2);
-    let lists = build_pair_tidlists(db, 0..n, &idx, meter);
-    let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
 
     // Collect candidate-maximal itemsets from every class, then filter
     // globally (a class's local maximal can be subsumed by another
@@ -53,7 +50,7 @@ pub fn mine_maximal_with(
     // impossible for same-first-item sets, but e.g. {B,C} ∈ [B] is
     // subsumed by {A,B,C} ∈ [A], so the global pass is required).
     let mut candidates: Vec<(Itemset, u32)> = Vec::new();
-    for class in crate::equivalence::classes_of_l2(pairs) {
+    for class in pipeline::vertical_classes(db, &l2, meter) {
         if class.size() == 1 {
             // a lone 2-itemset is maximal within its class
             let m = &class.members[0];
@@ -94,18 +91,14 @@ fn max_search(
     let mut alive = true;
     for m in &members[1..] {
         let r = if cfg.short_circuit {
-            all.intersect_bounded_metered(&m.tids, minsup, meter)
+            all.join_bounded_metered(&m.tids, minsup, meter)
         } else {
-            let full = all.intersect_metered(&m.tids, meter);
-            if full.support() >= minsup {
-                IntersectOutcome::Frequent(full)
-            } else {
-                IntersectOutcome::Infrequent
-            }
+            let full = all.join_metered(&m.tids, meter);
+            (full.support() >= minsup).then_some(full)
         };
         match r {
-            IntersectOutcome::Frequent(t) => all = t,
-            IntersectOutcome::Infrequent => {
+            Some(t) => all = t,
+            None => {
                 alive = false;
                 break;
             }
@@ -122,29 +115,14 @@ fn max_search(
         return;
     }
 
-    // --- Fall back: one level of pairwise joins, then recurse per class.
-    let mut next: Vec<ClassMember> = Vec::new();
-    let mut extended = vec![false; members.len()];
-    for i in 0..members.len() {
-        for j in i + 1..members.len() {
-            let candidate = members[i]
-                .itemset
-                .join(&members[j].itemset)
-                .expect("class members join");
-            meter.cand_gen += 1;
-            let r = members[i]
-                .tids
-                .intersect_bounded_metered(&members[j].tids, minsup, meter);
-            if let IntersectOutcome::Frequent(tids) = r {
-                extended[i] = true;
-                extended[j] = true;
-                next.push(ClassMember {
-                    itemset: candidate,
-                    tids,
-                });
-            }
-        }
-    }
+    // --- Fall back: one level of pairwise joins (through the shared
+    // kernel loop), then recurse per class.
+    let mut handler = ExtendTracker {
+        next: Vec::new(),
+        extended: vec![false; members.len()],
+    };
+    join_level(&members, minsup, cfg, meter, &mut handler);
+    let ExtendTracker { next, extended } = handler;
     // Members that extended nowhere are locally maximal.
     for (i, m) in members.iter().enumerate() {
         if !extended[i] {
@@ -158,6 +136,27 @@ fn max_search(
             found.push((m.itemset.clone(), m.tids.support()));
         } else {
             max_search(sub, minsup, cfg, meter, found);
+        }
+    }
+}
+
+/// [`join_level`] handler for the fallback level: collect frequent joins
+/// and remember which members extended at all (the rest are locally
+/// maximal).
+struct ExtendTracker<S> {
+    next: Vec<ClassMember<S>>,
+    extended: Vec<bool>,
+}
+
+impl<S: TidSet> JoinHandler<S> for ExtendTracker<S> {
+    fn on_result(&mut self, i: usize, j: usize, candidate: Itemset, joined: Option<S>) {
+        if let Some(tids) = joined {
+            self.extended[i] = true;
+            self.extended[j] = true;
+            self.next.push(ClassMember {
+                itemset: candidate,
+                tids,
+            });
         }
     }
 }
@@ -185,6 +184,7 @@ pub fn maximal_of(fs: &FrequentSet) -> FrequentSet {
 mod tests {
     use super::*;
     use apriori::reference::random_db;
+    use mining_types::ItemId;
 
     #[test]
     fn matches_maximal_of_full_mining() {

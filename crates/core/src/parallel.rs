@@ -2,100 +2,43 @@
 //!
 //! The paper's central observation — equivalence classes are independent
 //! (§4.1) — maps directly onto task parallelism: after the sequential
-//! initialization and transformation passes, every class is mined as its
-//! own rayon task and the per-task results are merged. This is the
-//! variant a downstream user runs on a modern multicore machine; the
-//! [`crate::cluster`] variant is the paper's 1997 message-passing
-//! algorithm under the simulated cost model.
+//! transformation pass, every class is mined as its own rayon task and
+//! the per-task results are merged. This is the variant a downstream user
+//! runs on a modern multicore machine; the [`crate::cluster`] variant is
+//! the paper's 1997 message-passing algorithm under the simulated cost
+//! model.
+//!
+//! The implementation is the shared three-phase [`pipeline`] under the
+//! [`Rayon`] execution policy: blocked map-reduce counting in phase 1
+//! (each task counts a transaction block into a private triangular
+//! matrix — the shared-memory analogue of the paper's per-processor
+//! partial counts plus sum-reduction), one task per equivalence class in
+//! phase 3. Per-task operation meters are merged into the caller's
+//! meter, so a parallel run reports the same counts as a serial one.
 
-use crate::compute::{compute_frequent, EclatConfig};
-use crate::equivalence::classes_of_l2;
-use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
+use crate::compute::EclatConfig;
+use crate::pipeline::{self, Rayon};
 use dbstore::HorizontalDb;
-use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter};
-use rayon::prelude::*;
+use mining_types::{FrequentSet, MinSupport, OpMeter};
 
 /// Mine frequent itemsets (size ≥ 2) using all rayon threads.
 pub fn mine(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
-    mine_with(db, minsup, &EclatConfig::default())
+    let mut meter = OpMeter::new();
+    mine_with(db, minsup, &EclatConfig::default(), &mut meter)
 }
 
-/// Mine with explicit configuration.
+/// Mine with explicit configuration and metering.
 ///
-/// The initialization scan is itself parallelized as a map-reduce over
-/// transaction blocks (each task counts a block into a private triangular
-/// matrix, merged pairwise — the shared-memory analogue of the paper's
-/// per-processor partial counts plus sum-reduction).
-pub fn mine_with(db: &HorizontalDb, minsup: MinSupport, cfg: &EclatConfig) -> FrequentSet {
-    let threshold = minsup.count_threshold(db.num_transactions());
-    let n = db.num_transactions();
-    let mut out = FrequentSet::new();
-
-    // --- Initialization: parallel triangular counting over blocks.
-    let block = (n / rayon::current_num_threads().max(1)).max(1024).min(n.max(1));
-    let blocks: Vec<std::ops::Range<usize>> = (0..n)
-        .step_by(block)
-        .map(|s| s..(s + block).min(n))
-        .collect();
-    let tri = blocks
-        .par_iter()
-        .map(|r| {
-            let mut m = OpMeter::new();
-            count_pairs(db, r.clone(), &mut m)
-        })
-        .reduce_with(|mut a, b| {
-            a.merge_from(&b);
-            a
-        });
-    let Some(tri) = tri else {
-        return out; // empty database
-    };
-    let l2: Vec<(ItemId, ItemId)> = tri
-        .frequent_pairs(threshold)
-        .map(|(a, b, _)| (a, b))
-        .collect();
-
-    if cfg.include_singletons {
-        let mut m = OpMeter::new();
-        let counts = count_items(db, 0..n, &mut m);
-        for (i, &c) in counts.iter().enumerate() {
-            if c >= threshold {
-                out.insert(Itemset::single(ItemId(i as u32)), c);
-            }
-        }
-    }
-    if l2.is_empty() {
-        return out;
-    }
-
-    // --- Transformation (sequential scan; tid order must be preserved).
-    let idx = index_pairs(&l2);
-    let mut m = OpMeter::new();
-    let lists = build_pair_tidlists(db, 0..n, &idx, &mut m);
-
-    // --- Asynchronous phase: one rayon task per equivalence class.
-    let pairs_with_lists: Vec<(ItemId, ItemId, tidlist::TidList)> = l2
-        .iter()
-        .zip(lists)
-        .map(|(&(a, b), tl)| (a, b, tl))
-        .collect();
-    let classes = classes_of_l2(pairs_with_lists);
-    let partials: Vec<FrequentSet> = classes
-        .into_par_iter()
-        .map(|class| {
-            let mut local = FrequentSet::new();
-            let mut meter = OpMeter::new();
-            for mem in &class.members {
-                local.insert(mem.itemset.clone(), mem.tids.support());
-            }
-            compute_frequent(class, threshold, cfg, &mut meter, &mut local);
-            local
-        })
-        .collect();
-    for p in partials {
-        out.merge(p);
-    }
-    out
+/// Work done inside rayon tasks (block counting, per-class mining) is
+/// metered into task-local meters and merged into `meter`, so the counts
+/// are comparable with [`crate::sequential::mine_with`].
+pub fn mine_with(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> FrequentSet {
+    pipeline::run(db, minsup, cfg, meter, &Rayon)
 }
 
 #[cfg(test)]
@@ -124,10 +67,11 @@ mod tests {
         let db = random_db(2, 120, 10, 5);
         let minsup = MinSupport::from_percent(8.0);
         let cfg = EclatConfig::with_singletons();
-        let mut meter = OpMeter::new();
+        let mut m_par = OpMeter::new();
+        let mut m_seq = OpMeter::new();
         assert_eq!(
-            mine_with(&db, minsup, &cfg),
-            sequential::mine_with(&db, minsup, &cfg, &mut meter)
+            mine_with(&db, minsup, &cfg, &mut m_par),
+            sequential::mine_with(&db, minsup, &cfg, &mut m_seq)
         );
     }
 
@@ -144,5 +88,29 @@ mod tests {
         let a = mine(&db, minsup);
         let b = mine(&db, minsup);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_task_meters_are_merged_into_the_caller() {
+        // Regression: the per-task meters (block counting, transform,
+        // per-class mining) used to be discarded, leaving the caller
+        // blind. The merged meter must match a serial run's counts.
+        let db = random_db(4, 250, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let cfg = EclatConfig::default();
+        let mut m_par = OpMeter::new();
+        let mut m_seq = OpMeter::new();
+        let fs_par = mine_with(&db, minsup, &cfg, &mut m_par);
+        let fs_seq = sequential::mine_with(&db, minsup, &cfg, &mut m_seq);
+        assert_eq!(fs_par, fs_seq);
+        assert!(m_par.record > 0, "counting scans must be metered");
+        assert!(m_par.pair_incr > 0, "triangular pass must be metered");
+        assert!(m_par.tid_cmp > 0, "per-class mining must be metered");
+        assert!(m_par.cand_gen > 0);
+        // Identical work, different schedule — counts agree exactly.
+        assert_eq!(m_par.record, m_seq.record);
+        assert_eq!(m_par.pair_incr, m_seq.pair_incr);
+        assert_eq!(m_par.cand_gen, m_seq.cand_gen);
+        assert_eq!(m_par.tid_cmp, m_seq.tid_cmp);
     }
 }

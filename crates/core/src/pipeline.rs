@@ -1,0 +1,346 @@
+//! The shared three-phase Eclat pipeline.
+//!
+//! Every variant in this crate runs the same §7 structure — *"The first
+//! scan for building L2, the second for transforming the database, and
+//! the third for obtaining the frequent itemsets"* — and historically
+//! each driver carried its own copy of the glue. This module owns the
+//! three phases once:
+//!
+//! 1. **Initialization** ([`ExecutionPolicy::count_pairs`] →
+//!    [`frequent_l2`], plus [`insert_frequent_singletons`]) — triangular
+//!    pair counting on the horizontal layout (§5.1);
+//! 2. **Transformation** ([`vertical_classes`]) — build the `L2`
+//!    tid-lists and group them into prefix equivalence classes (§5.2.2,
+//!    §4.1);
+//! 3. **Asynchronous phase** ([`ExecutionPolicy::mine_classes`] →
+//!    [`mine_class`]) — per-class recursive mining (§5.3), dispatched to
+//!    the representation picked by [`EclatConfig::representation`].
+//!
+//! [`run`] composes the phases under an [`ExecutionPolicy`]: [`Serial`]
+//! reproduces the sequential algorithm, [`Rayon`] the shared-memory one.
+//! The cluster and hybrid variants interleave the phases with the
+//! simulated communication/cost model, so they call the phase helpers
+//! directly instead of [`run`] — but their per-class mining is the same
+//! [`mine_classes`] used here, representation dispatch included.
+
+use crate::compute::{compute_frequent, EclatConfig, Representation};
+use crate::equivalence::{classes_of_l2, ClassMember, EquivalenceClass};
+use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
+use dbstore::HorizontalDb;
+use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter, TriangleMatrix};
+use rayon::prelude::*;
+use tidlist::AdaptiveSet;
+
+/// How the phases map onto compute resources. The policy owns the two
+/// parallelizable steps; everything else is inherently ordered (the
+/// vertical transform must preserve tid order).
+pub trait ExecutionPolicy {
+    /// Phase 1: triangular counts of all 2-itemsets over the whole
+    /// database. All counting work must be merged into `meter`.
+    fn count_pairs(&self, db: &HorizontalDb, meter: &mut OpMeter) -> TriangleMatrix;
+
+    /// Phase 3: mine every `L2` class (members are recorded too), merging
+    /// all per-task metering into `meter` and all results into `out`.
+    fn mine_classes(
+        &self,
+        classes: Vec<EquivalenceClass>,
+        threshold: u32,
+        cfg: &EclatConfig,
+        meter: &mut OpMeter,
+        out: &mut FrequentSet,
+    );
+}
+
+/// Single-threaded execution — the paper's algorithm on one processor.
+pub struct Serial;
+
+impl ExecutionPolicy for Serial {
+    fn count_pairs(&self, db: &HorizontalDb, meter: &mut OpMeter) -> TriangleMatrix {
+        count_pairs(db, 0..db.num_transactions(), meter)
+    }
+
+    fn mine_classes(
+        &self,
+        classes: Vec<EquivalenceClass>,
+        threshold: u32,
+        cfg: &EclatConfig,
+        meter: &mut OpMeter,
+        out: &mut FrequentSet,
+    ) {
+        for class in classes {
+            mine_class(class, threshold, cfg, meter, out);
+        }
+    }
+}
+
+/// Shared-memory execution on rayon: blocked counting in phase 1, one
+/// task per equivalence class in phase 3 (classes are independent, §4.1).
+/// Per-task meters are merged into the caller's meter, so parallel runs
+/// report the same operation counts as serial ones.
+pub struct Rayon;
+
+impl ExecutionPolicy for Rayon {
+    fn count_pairs(&self, db: &HorizontalDb, meter: &mut OpMeter) -> TriangleMatrix {
+        let n = db.num_transactions();
+        let block = (n / rayon::current_num_threads().max(1))
+            .max(1024)
+            .min(n.max(1));
+        let blocks: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(block)
+            .map(|s| s..(s + block).min(n))
+            .collect();
+        let counted = blocks
+            .par_iter()
+            .map(|r| {
+                let mut m = OpMeter::new();
+                let tri = count_pairs(db, r.clone(), &mut m);
+                (tri, m)
+            })
+            .reduce_with(|(mut tri_a, mut m_a), (tri_b, m_b)| {
+                tri_a.merge_from(&tri_b);
+                m_a.merge(&m_b);
+                (tri_a, m_a)
+            });
+        match counted {
+            Some((tri, m)) => {
+                meter.merge(&m);
+                tri
+            }
+            None => count_pairs(db, 0..0, meter), // empty database
+        }
+    }
+
+    fn mine_classes(
+        &self,
+        classes: Vec<EquivalenceClass>,
+        threshold: u32,
+        cfg: &EclatConfig,
+        meter: &mut OpMeter,
+        out: &mut FrequentSet,
+    ) {
+        let partials: Vec<(FrequentSet, OpMeter)> = classes
+            .into_par_iter()
+            .map(|class| {
+                let mut local = FrequentSet::new();
+                let mut m = OpMeter::new();
+                mine_class(class, threshold, cfg, &mut m, &mut local);
+                (local, m)
+            })
+            .collect();
+        for (p, m) in partials {
+            out.merge(p);
+            meter.merge(&m);
+        }
+    }
+}
+
+/// Extract the frequent pair list from phase 1's triangular counts.
+pub fn frequent_l2(tri: &TriangleMatrix, threshold: u32) -> Vec<(ItemId, ItemId)> {
+    tri.frequent_pairs(threshold)
+        .map(|(a, b, _)| (a, b))
+        .collect()
+}
+
+/// Piggybacked singleton pass (only when `cfg.include_singletons`): count
+/// 1-itemsets over the horizontal layout and record the frequent ones.
+pub fn insert_frequent_singletons(
+    db: &HorizontalDb,
+    threshold: u32,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    let counts = count_items(db, 0..db.num_transactions(), meter);
+    for (i, &c) in counts.iter().enumerate() {
+        if c >= threshold {
+            out.insert(Itemset::single(ItemId(i as u32)), c);
+        }
+    }
+}
+
+/// Phase 2: vertical transformation — one ordered scan building the `L2`
+/// tid-lists, grouped into prefix equivalence classes.
+pub fn vertical_classes(
+    db: &HorizontalDb,
+    l2: &[(ItemId, ItemId)],
+    meter: &mut OpMeter,
+) -> Vec<EquivalenceClass> {
+    let idx = index_pairs(l2);
+    let lists = build_pair_tidlists(db, 0..db.num_transactions(), &idx, meter);
+    classes_of_l2(
+        l2.iter()
+            .zip(lists)
+            .map(|(&(a, b), tl)| (a, b, tl))
+            .collect(),
+    )
+}
+
+/// Phase 3 for one class: record its members (they are frequent by
+/// construction), then run the recursive kernel on the configured
+/// representation.
+pub fn mine_class(
+    class: EquivalenceClass,
+    threshold: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    for m in &class.members {
+        out.insert(m.itemset.clone(), m.tids.support());
+    }
+    compute_class(class, threshold, cfg, meter, out);
+}
+
+/// Phase 3 for a batch of classes into a fresh result set — the shape the
+/// cluster/hybrid per-processor loops and rayon tasks want.
+pub fn mine_classes(
+    classes: Vec<EquivalenceClass>,
+    threshold: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> FrequentSet {
+    let mut out = FrequentSet::new();
+    for class in classes {
+        mine_class(class, threshold, cfg, meter, &mut out);
+    }
+    out
+}
+
+/// Run the recursive kernel on a tid-list `L2` class, dispatching on
+/// [`EclatConfig::representation`]. The class members themselves must
+/// already be recorded by the caller ([`mine_class`] does both).
+///
+/// `Diffset` wraps each member with fuel 0 — the first join below `L2`
+/// converts to `d(xy·z) = t(xy) − t(xz)` and the subtree continues on
+/// diffsets, which is exactly d-Eclat. `AutoSwitch { depth }` delays the
+/// conversion `depth` further levels.
+pub fn compute_class(
+    class: EquivalenceClass,
+    threshold: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+) {
+    match cfg.representation {
+        Representation::TidList => compute_frequent(class, threshold, cfg, meter, out),
+        Representation::Diffset => {
+            compute_frequent(fuel_class(class, 0), threshold, cfg, meter, out)
+        }
+        Representation::AutoSwitch { depth } => {
+            compute_frequent(fuel_class(class, depth), threshold, cfg, meter, out)
+        }
+    }
+}
+
+/// Wrap a tid-list class into the adaptive representation with the given
+/// switch budget (`fuel = 0` → pure diffsets below `L2`).
+fn fuel_class(class: EquivalenceClass, fuel: u32) -> EquivalenceClass<AdaptiveSet> {
+    EquivalenceClass {
+        prefix: class.prefix,
+        members: class
+            .members
+            .into_iter()
+            .map(|m| ClassMember {
+                itemset: m.itemset,
+                tids: AdaptiveSet::with_fuel(m.tids, fuel),
+            })
+            .collect(),
+    }
+}
+
+/// The full three-phase pipeline under a policy. This is the whole
+/// sequential/parallel algorithm; the cluster variants compose the phase
+/// helpers themselves around the communication model.
+pub fn run(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    policy: &impl ExecutionPolicy,
+) -> FrequentSet {
+    let threshold = minsup.count_threshold(db.num_transactions());
+    let mut out = FrequentSet::new();
+
+    // --- Phase 1 (initialization, §5.1): triangular counts of all pairs.
+    let tri = policy.count_pairs(db, meter);
+    let l2 = frequent_l2(&tri, threshold);
+
+    if cfg.include_singletons {
+        insert_frequent_singletons(db, threshold, meter, &mut out);
+    }
+    if l2.is_empty() {
+        return out;
+    }
+
+    // --- Phase 2 (transformation, §5.2.2): vertical tid-lists for L2.
+    let classes = vertical_classes(db, &l2, meter);
+
+    // --- Phase 3 (asynchronous, §5.3): per-class recursive mining.
+    policy.mine_classes(classes, threshold, cfg, meter, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apriori::reference::random_db;
+
+    #[test]
+    fn serial_and_rayon_policies_agree() {
+        let db = random_db(17, 150, 12, 6);
+        let minsup = MinSupport::from_percent(6.0);
+        let cfg = EclatConfig::default();
+        let mut m_serial = OpMeter::new();
+        let mut m_rayon = OpMeter::new();
+        let a = run(&db, minsup, &cfg, &mut m_serial, &Serial);
+        let b = run(&db, minsup, &cfg, &mut m_rayon, &Rayon);
+        assert_eq!(a, b);
+        // Same work, different schedule: the merged parallel meter must
+        // report the same candidate count as the serial one.
+        assert_eq!(m_serial.cand_gen, m_rayon.cand_gen);
+        assert_eq!(m_serial.record, m_rayon.record);
+    }
+
+    #[test]
+    fn representations_agree_end_to_end() {
+        let db = random_db(23, 120, 10, 5);
+        let minsup = MinSupport::from_percent(8.0);
+        let base = run(
+            &db,
+            minsup,
+            &EclatConfig::default(),
+            &mut OpMeter::new(),
+            &Serial,
+        );
+        for repr in [
+            Representation::Diffset,
+            Representation::AutoSwitch { depth: 1 },
+            Representation::AutoSwitch { depth: 3 },
+        ] {
+            let cfg = EclatConfig::with_representation(repr);
+            let fs = run(&db, minsup, &cfg, &mut OpMeter::new(), &Serial);
+            assert_eq!(fs, base, "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn empty_database_under_both_policies() {
+        let db = dbstore::HorizontalDb::of(&[]);
+        let cfg = EclatConfig::default();
+        for policy in [&Serial as &dyn ExecutionPolicy, &Rayon] {
+            let mut out = FrequentSet::new();
+            let mut meter = OpMeter::new();
+            let tri = policy.count_pairs(&db, &mut meter);
+            assert!(frequent_l2(&tri, 1).is_empty());
+            policy.mine_classes(vec![], 1, &cfg, &mut meter, &mut out);
+            assert!(out.is_empty());
+        }
+        assert!(run(
+            &db,
+            MinSupport::from_percent(1.0),
+            &cfg,
+            &mut OpMeter::new(),
+            &Rayon
+        )
+        .is_empty());
+    }
+}

@@ -34,7 +34,9 @@ pub struct Assignment {
 impl Assignment {
     /// Class indices owned by processor `p`, ascending.
     pub fn classes_of(&self, p: usize) -> Vec<usize> {
-        (0..self.owner.len()).filter(|&c| self.owner[c] == p).collect()
+        (0..self.owner.len())
+            .filter(|&c| self.owner[c] == p)
+            .collect()
     }
 
     /// Load imbalance: `max load / mean load` (1.0 = perfect). Returns
@@ -175,8 +177,7 @@ mod tests {
 
     #[test]
     fn classes_of_returns_sorted_indices() {
-        let classes: Vec<EquivalenceClass> =
-            (0..5).map(|i| class_of_size(i * 10, 2)).collect();
+        let classes: Vec<EquivalenceClass> = (0..5).map(|i| class_of_size(i * 10, 2)).collect();
         let a = schedule(&classes, 2, ScheduleHeuristic::RoundRobin);
         assert_eq!(a.classes_of(0), vec![0, 2, 4]);
         assert_eq!(a.classes_of(1), vec![1, 3]);
@@ -184,8 +185,9 @@ mod tests {
 
     #[test]
     fn all_work_is_assigned_exactly_once() {
-        let classes: Vec<EquivalenceClass> =
-            (0..13).map(|i| class_of_size(i * 10, (i as usize % 5) + 1)).collect();
+        let classes: Vec<EquivalenceClass> = (0..13)
+            .map(|i| class_of_size(i * 10, (i as usize % 5) + 1))
+            .collect();
         for h in [
             ScheduleHeuristic::GreedyPairs,
             ScheduleHeuristic::SupportWeighted,

@@ -6,11 +6,10 @@
 //! the three passes over the horizontal structure; the cluster variant
 //! prices them through the disk model).
 
-use crate::compute::{compute_frequent, EclatConfig};
-use crate::equivalence::classes_of_l2;
-use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
+use crate::compute::EclatConfig;
+use crate::pipeline::{self, Serial};
 use dbstore::HorizontalDb;
-use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter};
+use mining_types::{FrequentSet, MinSupport, OpMeter};
 
 /// Mine all frequent itemsets of size ≥ 2 with default configuration.
 ///
@@ -22,60 +21,22 @@ pub fn mine(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
     mine_with(db, minsup, &EclatConfig::default(), &mut meter)
 }
 
-/// Mine with explicit configuration and metering.
+/// Mine with explicit configuration and metering: the three-phase
+/// [`pipeline`] under the single-processor [`Serial`] policy.
 pub fn mine_with(
     db: &HorizontalDb,
     minsup: MinSupport,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
 ) -> FrequentSet {
-    let threshold = minsup.count_threshold(db.num_transactions());
-    let n = db.num_transactions();
-    let mut out = FrequentSet::new();
-
-    // --- Scan 1 (initialization, §5.1): triangular counts of all pairs.
-    let tri = count_pairs(db, 0..n, meter);
-    let l2: Vec<(ItemId, ItemId)> = tri
-        .frequent_pairs(threshold)
-        .map(|(a, b, _)| (a, b))
-        .collect();
-
-    if cfg.include_singletons {
-        let counts = count_items(db, 0..n, meter);
-        for (i, &c) in counts.iter().enumerate() {
-            if c >= threshold {
-                out.insert(Itemset::single(ItemId(i as u32)), c);
-            }
-        }
-    }
-
-    if l2.is_empty() {
-        return out;
-    }
-
-    // --- Scan 2 (transformation, §5.2.2): vertical tid-lists for L2.
-    let idx = index_pairs(&l2);
-    let lists = build_pair_tidlists(db, 0..n, &idx, meter);
-
-    // --- Scan 3 (asynchronous phase, §5.3): per-class recursive mining.
-    let pairs_with_lists: Vec<(ItemId, ItemId, tidlist::TidList)> = l2
-        .iter()
-        .zip(lists)
-        .map(|(&(a, b), tl)| (a, b, tl))
-        .collect();
-    for class in classes_of_l2(pairs_with_lists) {
-        for m in &class.members {
-            out.insert(m.itemset.clone(), m.tids.support());
-        }
-        compute_frequent(class, threshold, cfg, meter, &mut out);
-    }
-    out
+    pipeline::run(db, minsup, cfg, meter, &Serial)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use apriori::reference::{brute_force, random_db};
+    use mining_types::Itemset;
 
     fn iset(raw: &[u32]) -> Itemset {
         Itemset::of(raw)
@@ -90,14 +51,7 @@ mod tests {
 
     #[test]
     fn toy_database_hand_check() {
-        let db = HorizontalDb::of(&[
-            &[0, 1, 2],
-            &[0, 1],
-            &[0, 2],
-            &[1, 2],
-            &[0, 1, 2],
-            &[3],
-        ]);
+        let db = HorizontalDb::of(&[&[0, 1, 2], &[0, 1], &[0, 2], &[1, 2], &[0, 1, 2], &[3]]);
         let fs = mine(&db, MinSupport::from_fraction(0.5)); // threshold 3
         assert_eq!(fs.support_of(&iset(&[0, 1])), Some(3));
         assert_eq!(fs.support_of(&iset(&[0, 2])), Some(3));
@@ -167,7 +121,12 @@ mod tests {
     fn meter_reports_the_three_scan_structure() {
         let db = random_db(3, 60, 10, 5);
         let mut meter = OpMeter::new();
-        mine_with(&db, MinSupport::from_percent(10.0), &EclatConfig::default(), &mut meter);
+        mine_with(
+            &db,
+            MinSupport::from_percent(10.0),
+            &EclatConfig::default(),
+            &mut meter,
+        );
         // two horizontal scans → record >= 2·|D|
         assert!(meter.record >= 120);
         assert!(meter.pair_incr > 0, "triangular pass happened");

@@ -13,11 +13,7 @@ use std::ops::Range;
 use tidlist::TidList;
 
 /// Count all 2-itemsets of the block `range` into a triangular matrix.
-pub fn count_pairs(
-    db: &HorizontalDb,
-    range: Range<usize>,
-    meter: &mut OpMeter,
-) -> TriangleMatrix {
+pub fn count_pairs(db: &HorizontalDb, range: Range<usize>, meter: &mut OpMeter) -> TriangleMatrix {
     let mut tri = TriangleMatrix::new(db.num_items() as usize);
     for (_tid, items) in db.iter_range(range) {
         meter.record += 1;
@@ -125,7 +121,7 @@ mod tests {
         assert_eq!(lists[0], TidList::of(&[0, 1, 4])); // {0,1}
         assert_eq!(lists[1], TidList::of(&[0, 3, 4])); // {0,2}
         assert_eq!(lists[2], TidList::of(&[0, 2, 4])); // {1,2}
-        // support == triangular count
+                                                       // support == triangular count
         let tri = count_pairs(&db, 0..5, &mut m);
         for (slot, &(a, b)) in pairs.iter().enumerate() {
             assert_eq!(lists[slot].support(), tri.get(a, b));

@@ -59,7 +59,9 @@ impl PatternTable {
             patterns.push(items);
 
             weights.push(sampler::exponential(rng, 1.0));
-            corruption.push(sampler::normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0));
+            corruption.push(
+                sampler::normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0),
+            );
         }
 
         // Normalize the weights into a cumulative table.
@@ -308,7 +310,11 @@ mod tests {
             "avg len {}",
             stats.avg_transaction_len
         );
-        assert!(stats.distinct_items > 30, "items used: {}", stats.distinct_items);
+        assert!(
+            stats.distinct_items > 30,
+            "items used: {}",
+            stats.distinct_items
+        );
     }
 
     #[test]

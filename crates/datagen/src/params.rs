@@ -118,7 +118,7 @@ impl QuestParams {
     /// The paper's name for this database, e.g. `T10.I6.D800K`.
     pub fn name(&self) -> String {
         let d = self.num_transactions;
-        let dstr = if d >= 1000 && d % 1000 == 0 {
+        let dstr = if d >= 1000 && d.is_multiple_of(1000) {
             format!("{}K", d / 1000)
         } else {
             format!("{d}")

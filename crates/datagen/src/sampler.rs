@@ -43,7 +43,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 /// # Panics
 /// Panics if `mean` is not finite and positive.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
-    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be > 0");
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be > 0"
+    );
     // random() is in [0,1); use 1-u to avoid ln(0).
     let u: f64 = rng.random();
     -mean * (1.0 - u).ln()

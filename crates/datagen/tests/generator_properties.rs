@@ -7,12 +7,12 @@ use questgen::{DatabaseStats, QuestGenerator, QuestParams};
 
 fn arb_params() -> impl Strategy<Value = QuestParams> {
     (
-        10usize..400,   // num_transactions
-        2.0f64..15.0,   // avg_transaction_len
-        1.0f64..6.0,    // avg_pattern_len
-        5usize..100,    // num_patterns
-        10u32..200,     // num_items
-        any::<u64>(),   // seed
+        10usize..400, // num_transactions
+        2.0f64..15.0, // avg_transaction_len
+        1.0f64..6.0,  // avg_pattern_len
+        5usize..100,  // num_patterns
+        10u32..200,   // num_items
+        any::<u64>(), // seed
     )
         .prop_map(|(d, t, i, l, n, seed)| QuestParams {
             num_transactions: d,

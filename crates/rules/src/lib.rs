@@ -94,11 +94,7 @@ pub fn generate(frequent: &FrequentSet, min_confidence: f64) -> Vec<Rule> {
             continue;
         }
         // Level-wise consequent growth with superset pruning.
-        let mut consequents: Vec<Itemset> = x
-            .items()
-            .iter()
-            .map(|&i| Itemset::single(i))
-            .collect();
+        let mut consequents: Vec<Itemset> = x.items().iter().map(|&i| Itemset::single(i)).collect();
         while !consequents.is_empty() {
             let mut passing: Vec<Itemset> = Vec::new();
             for y in consequents {
@@ -167,13 +163,9 @@ mod tests {
 
     /// X = {1,2}: support({1}) = 10, support({2}) = 5, support({1,2}) = 4.
     fn small() -> FrequentSet {
-        [
-            (iset(&[1]), 10),
-            (iset(&[2]), 5),
-            (iset(&[1, 2]), 4),
-        ]
-        .into_iter()
-        .collect()
+        [(iset(&[1]), 10), (iset(&[2]), 5), (iset(&[1, 2]), 4)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -250,8 +242,9 @@ mod tests {
             assert_eq!(fast.len(), naive.len(), "conf {conf}");
             for r in &fast {
                 assert!(
-                    naive.iter().any(|n| n.antecedent == r.antecedent
-                        && n.consequent == r.consequent),
+                    naive
+                        .iter()
+                        .any(|n| n.antecedent == r.antecedent && n.consequent == r.consequent),
                     "missing {r} at conf {conf}"
                 );
             }

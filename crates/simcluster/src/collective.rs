@@ -31,7 +31,7 @@ impl BarrierSeq {
     }
 
     /// The next barrier id.
-    pub fn next(&mut self) -> u64 {
+    pub fn next_id(&mut self) -> u64 {
         let id = self.next;
         self.next += 1;
         id
@@ -48,7 +48,7 @@ pub fn sum_reduce(
     barriers: &mut BarrierSeq,
 ) {
     assert_eq!(recorders.len(), bytes.len());
-    let id = barriers.next();
+    let id = barriers.next_id();
     for (r, &b) in recorders.iter_mut().zip(bytes) {
         if b > 0 {
             r.send_tagged(BROADCAST, b, id);
@@ -65,7 +65,7 @@ pub fn sum_reduce(
 /// asynchronous pruning information).
 pub fn broadcast_all(recorders: &mut [TraceRecorder], bytes: &[u64], barriers: &mut BarrierSeq) {
     assert_eq!(recorders.len(), bytes.len());
-    let id = barriers.next();
+    let id = barriers.next_id();
     for (r, &b) in recorders.iter_mut().zip(bytes) {
         if b > 0 {
             r.send_tagged(BROADCAST, b, id);
@@ -109,7 +109,7 @@ pub fn lockstep_exchange(
         rounds += 1;
         // Write phase: each sender fills one transmit buffer.
         let mut sent_this_round: Vec<Vec<u64>> = vec![vec![0; p]; p];
-        let write_id = barriers.next();
+        let write_id = barriers.next_id();
         for (s, r) in recorders.iter_mut().enumerate() {
             let mut budget = buffer_bytes;
             let mut chunk = 0u64;
@@ -129,7 +129,7 @@ pub fn lockstep_exchange(
             r.barrier(write_id);
         }
         // Read phase: each processor copies out the bytes addressed to it.
-        let read_id = barriers.next();
+        let read_id = barriers.next_id();
         for (d, r) in recorders.iter_mut().enumerate() {
             let incoming: u64 = (0..p).map(|s| sent_this_round[s][d]).sum();
             if incoming > 0 {
@@ -182,7 +182,7 @@ mod tests {
         let c8 = ClusterConfig::new(8, 1);
         let mut r8 = setup(&c8);
         let mut b = BarrierSeq::new();
-        sum_reduce(&mut r8, &vec![1 << 20; 8], 1 << 20, &mut b);
+        sum_reduce(&mut r8, &[1 << 20; 8], 1 << 20, &mut b);
         let t8 = run(&c8, r8).total_ns();
         assert!(
             t8 > 2.0 * t2,
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn barrier_seq_increases() {
         let mut b = BarrierSeq::new();
-        assert_eq!(b.next(), 0);
-        assert_eq!(b.next(), 1);
+        assert_eq!(b.next_id(), 0);
+        assert_eq!(b.next_id(), 1);
     }
 }

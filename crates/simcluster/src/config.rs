@@ -65,7 +65,12 @@ impl ClusterConfig {
 
     /// The paper's configuration label, e.g. `P=4,H=2,T=8`.
     pub fn label(&self) -> String {
-        format!("P={},H={},T={}", self.procs_per_host, self.hosts, self.total())
+        format!(
+            "P={},H={},T={}",
+            self.procs_per_host,
+            self.hosts,
+            self.total()
+        )
     }
 }
 

@@ -71,7 +71,10 @@ pub struct Timeline {
 impl Timeline {
     /// Makespan: the last processor's finish time, in ns.
     pub fn total_ns(&self) -> f64 {
-        self.per_proc.iter().map(|p| p.finish_ns).fold(0.0, f64::max)
+        self.per_proc
+            .iter()
+            .map(|p| p.finish_ns)
+            .fold(0.0, f64::max)
     }
 
     /// Makespan in seconds.
@@ -202,10 +205,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(&mut self) {
-        loop {
-            let Some(Reverse((_, p))) = self.runnable.pop() else {
-                break;
-            };
+        while let Some(Reverse((_, p))) = self.runnable.pop() {
             self.step(p);
         }
         if let Some(stuck) = self.procs.iter().position(|p| !p.finished) {
@@ -256,7 +256,10 @@ impl<'a> Engine<'a> {
                 self.finish_step(p, before);
             }
             Step::Recv { from, tag } => {
-                assert!(from < self.procs.len(), "recv from out-of-range proc {from}");
+                assert!(
+                    from < self.procs.len(),
+                    "recv from out-of-range proc {from}"
+                );
                 let key = (from, p, tag);
                 if let Some(q) = self.mailbox.get_mut(&key) {
                     if let Some(delivery) = q.pop_front() {
@@ -281,7 +284,10 @@ impl<'a> Engine<'a> {
             Step::Barrier { id } => {
                 let st = &mut self.procs[p];
                 if let Some(last) = st.last_barrier {
-                    assert!(id > last, "barrier ids must increase on proc {p}: {last} then {id}");
+                    assert!(
+                        id > last,
+                        "barrier ids must increase on proc {p}: {last} then {id}"
+                    );
                 }
                 st.last_barrier = Some(id);
                 let entry = self.barriers.entry(id).or_insert((Vec::new(), 0.0));

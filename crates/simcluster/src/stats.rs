@@ -55,7 +55,11 @@ pub fn summarize(tl: &Timeline) -> TimelineSummary {
         .iter()
         .map(|p| p.compute_ns + p.disk_ns + p.net_ns)
         .fold(0.0f64, f64::max);
-    let wait_factor = if max_busy > 0.0 { total / max_busy } else { 1.0 };
+    let wait_factor = if max_busy > 0.0 {
+        total / max_busy
+    } else {
+        1.0
+    };
     TimelineSummary {
         total_secs: total / 1e9,
         phases,
@@ -69,8 +73,12 @@ pub fn summarize(tl: &Timeline) -> TimelineSummary {
 pub fn render(tl: &Timeline) -> String {
     let s = summarize(tl);
     let mut out = String::new();
-    out.push_str(&format!("total {:>10.2}s   mean utilization {:>5.1}%   wait factor {:.2}\n",
-        s.total_secs, s.mean_utilization * 100.0, s.wait_factor));
+    out.push_str(&format!(
+        "total {:>10.2}s   mean utilization {:>5.1}%   wait factor {:.2}\n",
+        s.total_secs,
+        s.mean_utilization * 100.0,
+        s.wait_factor
+    ));
     for (label, secs, share) in &s.phases {
         out.push_str(&format!(
             "  {label:>12}: {secs:>9.2}s  {:>5.1}%  {}\n",
@@ -79,7 +87,11 @@ pub fn render(tl: &Timeline) -> String {
         ));
     }
     for (p, u) in s.utilization.iter().enumerate() {
-        out.push_str(&format!("  proc {p:>3} busy {:>5.1}%  {}\n", u * 100.0, bar(*u, 40)));
+        out.push_str(&format!(
+            "  proc {p:>3} busy {:>5.1}%  {}\n",
+            u * 100.0,
+            bar(*u, 40)
+        ));
     }
     out
 }
@@ -103,8 +115,9 @@ mod tests {
     fn timeline() -> Timeline {
         let cfg = ClusterConfig::new(1, 2);
         let cost = CostModel::dec_alpha_1997();
-        let mut recs: Vec<TraceRecorder> =
-            (0..2).map(|p| TraceRecorder::new(p, cost.clone())).collect();
+        let mut recs: Vec<TraceRecorder> = (0..2)
+            .map(|p| TraceRecorder::new(p, cost.clone()))
+            .collect();
         for (i, r) in recs.iter_mut().enumerate() {
             r.phase("work");
             r.compute_ns(1e9 * (i as f64 + 1.0));

@@ -151,7 +151,10 @@ impl TraceRecorder {
 
     /// Record a one-sided send with an explicit tag.
     pub fn send_tagged(&mut self, to: usize, bytes: u64, tag: u64) {
-        assert!(to == BROADCAST || to != self.proc, "send to self is a local copy");
+        assert!(
+            to == BROADCAST || to != self.proc,
+            "send to self is a local copy"
+        );
         self.steps.push(Step::Send { to, bytes, tag });
     }
 
@@ -244,7 +247,14 @@ mod tests {
         let t = r.finish();
         assert_eq!(t.steps.len(), 6);
         assert_eq!(t.steps[0], Step::Phase { label: "init" });
-        assert_eq!(t.steps[2], Step::Send { to: 1, bytes: 64, tag: 7 });
+        assert_eq!(
+            t.steps[2],
+            Step::Send {
+                to: 1,
+                bytes: 64,
+                tag: 7
+            }
+        );
         assert_eq!(t.steps[3], Step::Recv { from: 2, tag: 9 });
     }
 

@@ -13,19 +13,9 @@ use proptest::prelude::*;
 /// p+1 mod T) — always matched, so no deadlock by construction.
 #[derive(Clone, Debug)]
 enum Round {
-    Work(Vec<(f64, u64)>),          // per-proc (compute ns, disk bytes)
+    Work(Vec<(f64, u64)>), // per-proc (compute ns, disk bytes)
     Barrier,
-    Ring(Vec<u64>),                 // per-proc payload bytes
-}
-
-fn arb_rounds(t: usize) -> impl Strategy<Value = Vec<Round>> {
-    let round = prop_oneof![
-        proptest::collection::vec((0.0f64..1e7, 0u64..1_000_000), t..=t)
-            .prop_map(Round::Work),
-        Just(Round::Barrier),
-        proptest::collection::vec(1u64..500_000, t..=t).prop_map(Round::Ring),
-    ];
-    proptest::collection::vec(round, 1..8)
+    Ring(Vec<u64>), // per-proc payload bytes
 }
 
 fn build_traces(cfg: &ClusterConfig, rounds: &[Round]) -> Vec<Trace> {

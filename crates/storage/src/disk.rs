@@ -130,10 +130,7 @@ mod tests {
     use mining_types::ItemId;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "eclat-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("eclat-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -152,9 +149,9 @@ mod tests {
         assert!(written.iter().all(|&b| b > 0));
 
         let mut all: Vec<Vec<ItemId>> = Vec::new();
-        for p in 0..2 {
+        for (p, &expected) in written.iter().enumerate() {
             let (block, bytes) = store.read_block(p).unwrap();
-            assert_eq!(bytes, written[p]);
+            assert_eq!(bytes, expected);
             all.extend(block.iter().map(|(_, t)| t.to_vec()));
         }
         let rebuilt = HorizontalDb::from_transactions(all).with_num_items(db.num_items());
@@ -202,9 +199,9 @@ mod tests {
         let written = store.write_blocks(&db).unwrap();
         assert_eq!(written.len(), 7);
         let mut all = Vec::new();
-        for p in 0..7 {
+        for (p, &expected) in written.iter().enumerate() {
             let (block, bytes) = store.read_block(p).unwrap();
-            assert_eq!(bytes, written[p]);
+            assert_eq!(bytes, expected);
             all.extend(block.iter().map(|(_, t)| t.to_vec()));
         }
         let roundtrip = HorizontalDb::from_transactions(all).with_num_items(50);

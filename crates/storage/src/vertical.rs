@@ -68,10 +68,7 @@ impl VerticalDb {
     /// Bytes of the binary vertical layout: per item a length word plus
     /// one word per tid.
     pub fn byte_size(&self) -> u64 {
-        self.lists
-            .iter()
-            .map(|l| 4 + l.byte_size())
-            .sum()
+        self.lists.iter().map(|l| 4 + l.byte_size()).sum()
     }
 
     /// Reconstruct the horizontal layout (inverse transform; used to

@@ -1,0 +1,227 @@
+//! [`AdaptiveSet`]: a [`TidSet`] that starts as a tid-list and switches
+//! to the diffset representation mid-recursion.
+//!
+//! Tid-lists are compact near the top of the lattice (short lists, sparse
+//! overlap); diffsets win deep down, where siblings share almost all of
+//! their tids and the differences are near-empty (§5.3's
+//! memory-utilization remark, Zaki's d-Eclat follow-up). `AdaptiveSet`
+//! carries a per-member `fuel` counter: each tid-list join burns one unit,
+//! and the join performed at zero fuel *converts* — it produces
+//! `d(P ∪ xy) = t(Px) − t(Py)` via [`DiffSet::from_tidlists`], after
+//! which the subtree continues purely in diffset form. Fuel `0` therefore
+//! means "switch at the first join", i.e. a pure-diffset run, and a fuel
+//! larger than the recursion depth never switches at all.
+//!
+//! All members of one equivalence class share the same fuel (they were
+//! produced by the same number of joins), so a join never sees mixed
+//! representations — that invariant is asserted.
+
+use crate::diffset::DiffSet;
+use crate::set::TidSet;
+use crate::TidList;
+use mining_types::OpMeter;
+
+/// Vertical representation that switches from tid-lists to diffsets after
+/// a configured number of join levels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdaptiveSet {
+    /// Still in tid-list form; `fuel` joins remain before the switch.
+    Tids {
+        /// The member's tid-list.
+        tids: TidList,
+        /// Remaining tid-list joins before converting to diffsets.
+        fuel: u32,
+    },
+    /// Switched: diffset relative to the prefix at conversion depth.
+    Diff(DiffSet),
+}
+
+impl AdaptiveSet {
+    /// Wrap an `L2` member's tid-list with a switch budget. `fuel = 0`
+    /// converts on the very first join (pure d-Eclat below `L2`).
+    pub fn with_fuel(tids: TidList, fuel: u32) -> AdaptiveSet {
+        AdaptiveSet::Tids { tids, fuel }
+    }
+
+    /// True once the member has switched to diffset form.
+    pub fn is_diffset(&self) -> bool {
+        matches!(self, AdaptiveSet::Diff(_))
+    }
+}
+
+/// Both operands of a join, which the class invariant guarantees are in
+/// the same representation.
+enum Pair<'a> {
+    Tids(&'a TidList, &'a TidList, u32),
+    Diffs(&'a DiffSet, &'a DiffSet),
+}
+
+fn pair<'a>(a: &'a AdaptiveSet, b: &'a AdaptiveSet) -> Pair<'a> {
+    match (a, b) {
+        (AdaptiveSet::Tids { tids: ta, fuel }, AdaptiveSet::Tids { tids: tb, .. }) => {
+            Pair::Tids(ta, tb, *fuel)
+        }
+        (AdaptiveSet::Diff(da), AdaptiveSet::Diff(db)) => Pair::Diffs(da, db),
+        _ => unreachable!(
+            "class members must share a representation: all members of an \
+             equivalence class are produced by the same number of joins"
+        ),
+    }
+}
+
+impl TidSet for AdaptiveSet {
+    fn support(&self) -> u32 {
+        match self {
+            AdaptiveSet::Tids { tids, .. } => tids.support(),
+            AdaptiveSet::Diff(d) => d.support,
+        }
+    }
+
+    fn byte_size(&self) -> u64 {
+        match self {
+            AdaptiveSet::Tids { tids, .. } => tids.byte_size(),
+            AdaptiveSet::Diff(d) => d.byte_size(),
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match pair(self, other) {
+            Pair::Tids(ta, tb, fuel) if fuel > 0 => AdaptiveSet::Tids {
+                tids: ta.intersect(tb),
+                fuel: fuel - 1,
+            },
+            Pair::Tids(ta, tb, _) => AdaptiveSet::Diff(DiffSet::from_tidlists(ta, tb)),
+            Pair::Diffs(da, db) => AdaptiveSet::Diff(da.join(db)),
+        }
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        match pair(self, other) {
+            Pair::Tids(ta, tb, fuel) if fuel > 0 => ta
+                .intersect_bounded(tb, minsup)
+                .into_frequent()
+                .map(|tids| AdaptiveSet::Tids {
+                    tids,
+                    fuel: fuel - 1,
+                }),
+            Pair::Tids(ta, tb, _) => {
+                DiffSet::from_tidlists_bounded(ta, tb, minsup).map(AdaptiveSet::Diff)
+            }
+            Pair::Diffs(da, db) => da.join_bounded(db, minsup).map(AdaptiveSet::Diff),
+        }
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        match pair(self, other) {
+            Pair::Tids(ta, tb, fuel) if fuel > 0 => AdaptiveSet::Tids {
+                tids: ta.intersect_metered(tb, meter),
+                fuel: fuel - 1,
+            },
+            Pair::Tids(ta, tb, _) => {
+                AdaptiveSet::Diff(DiffSet::from_tidlists_metered(ta, tb, meter))
+            }
+            Pair::Diffs(da, db) => AdaptiveSet::Diff(da.join_metered(db, meter)),
+        }
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        match pair(self, other) {
+            Pair::Tids(ta, tb, fuel) if fuel > 0 => {
+                match ta.intersect_bounded_metered(tb, minsup, meter) {
+                    crate::IntersectOutcome::Frequent(tids) => Some(AdaptiveSet::Tids {
+                        tids,
+                        fuel: fuel - 1,
+                    }),
+                    crate::IntersectOutcome::Infrequent => None,
+                }
+            }
+            Pair::Tids(ta, tb, _) => {
+                DiffSet::from_tidlists_bounded_metered(ta, tb, minsup, meter).map(AdaptiveSet::Diff)
+            }
+            Pair::Diffs(da, db) => da
+                .join_bounded_metered(db, minsup, meter)
+                .map(AdaptiveSet::Diff),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lists() -> (TidList, TidList, TidList) {
+        let ta = TidList::of(&(0..60).collect::<Vec<_>>());
+        let tb = TidList::of(&(0..60).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let tc = TidList::of(&(0..60).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        (ta, tb, tc)
+    }
+
+    #[test]
+    fn fuel_counts_down_then_switches() {
+        let (ta, tb, tc) = lists();
+        let a = AdaptiveSet::with_fuel(ta.intersect(&tb), 1);
+        let b = AdaptiveSet::with_fuel(ta.intersect(&tc), 1);
+        let j1 = a.join(&b);
+        assert!(!j1.is_diffset(), "fuel 1: first join stays tid-list");
+        match &j1 {
+            AdaptiveSet::Tids { fuel, .. } => assert_eq!(*fuel, 0),
+            _ => unreachable!(),
+        }
+        // Second-level join (fuel exhausted) converts.
+        let sibling = AdaptiveSet::with_fuel(ta.intersect(&tb), 1).join(&b);
+        let j2 = j1.join(&sibling);
+        assert!(j2.is_diffset(), "fuel 0: join converts to diffset");
+    }
+
+    #[test]
+    fn supports_agree_with_pure_tidlists_across_fuel() {
+        let (ta, tb, tc) = lists();
+        let tab = ta.intersect(&tb);
+        let tac = ta.intersect(&tc);
+        let expected = tab.intersect(&tac).support();
+        for fuel in [0u32, 1, 2, 10] {
+            let a = AdaptiveSet::with_fuel(tab.clone(), fuel);
+            let b = AdaptiveSet::with_fuel(tac.clone(), fuel);
+            assert_eq!(a.join(&b).support(), expected, "fuel {fuel}");
+            for minsup in 1..=expected + 2 {
+                let bounded = a.join_bounded(&b, minsup).map(|s| s.support());
+                assert_eq!(
+                    bounded,
+                    (expected >= minsup).then_some(expected),
+                    "fuel {fuel} minsup {minsup}"
+                );
+                let mut m = OpMeter::new();
+                let metered = a
+                    .join_bounded_metered(&b, minsup, &mut m)
+                    .map(|s| s.support());
+                assert_eq!(bounded, metered);
+            }
+        }
+    }
+
+    #[test]
+    fn diffset_joins_after_switch_agree() {
+        let (ta, tb, tc) = lists();
+        let a = AdaptiveSet::with_fuel(ta.intersect(&tb), 0);
+        let b = AdaptiveSet::with_fuel(ta.intersect(&tc), 0);
+        let ab = a.join(&b); // converts
+        assert!(ab.is_diffset());
+        // Join two diffset members of the next class.
+        let c = AdaptiveSet::with_fuel(ta.clone(), 0);
+        let d = AdaptiveSet::with_fuel(tb.clone(), 0);
+        let cd = c.join(&d);
+        assert!(cd.is_diffset());
+        assert_eq!(cd.support(), ta.intersect(&tb).support());
+    }
+
+    #[test]
+    fn metered_join_accounts_comparisons() {
+        let (ta, tb, tc) = lists();
+        let a = AdaptiveSet::with_fuel(ta.intersect(&tb), 0);
+        let b = AdaptiveSet::with_fuel(ta.intersect(&tc), 0);
+        let mut m = OpMeter::new();
+        let j = a.join_metered(&b, &mut m);
+        assert!(j.is_diffset());
+        assert!(m.tid_cmp > 0, "conversion join must meter comparisons");
+    }
+}

@@ -13,7 +13,9 @@
 //! as ongoing work (§5.3, §9); this module implements that extension and
 //! the `ablation` bench compares both representations.
 
+use crate::list::difference_inner;
 use crate::TidList;
+use mining_types::OpMeter;
 
 /// An itemset's vertical representation in diffset form: the support count
 /// plus the tids of the *prefix* that do **not** contain the itemset.
@@ -37,6 +39,58 @@ impl DiffSet {
         DiffSet { diff, support }
     }
 
+    /// [`DiffSet::from_tidlists`] plus exact comparison metering.
+    pub fn from_tidlists_metered(
+        t_prefix: &TidList,
+        t_ext: &TidList,
+        meter: &mut OpMeter,
+    ) -> DiffSet {
+        let diff = t_prefix.difference_metered(t_ext, meter);
+        let support = t_prefix.support() - diff.support();
+        DiffSet { diff, support }
+    }
+
+    /// Bounded root conversion: `None` when the resulting itemset cannot
+    /// reach `minsup`. Since `support = |t_prefix| − |diff|`, the
+    /// difference can stop once it grows past `|t_prefix| − minsup` —
+    /// the same §5.3 budget argument as [`DiffSet::join_bounded`].
+    pub fn from_tidlists_bounded(
+        t_prefix: &TidList,
+        t_ext: &TidList,
+        minsup: u32,
+    ) -> Option<DiffSet> {
+        Self::from_tidlists_bounded_inner(t_prefix, t_ext, minsup, &mut OpMeter::new())
+    }
+
+    /// [`DiffSet::from_tidlists_bounded`] plus exact comparison metering.
+    pub fn from_tidlists_bounded_metered(
+        t_prefix: &TidList,
+        t_ext: &TidList,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<DiffSet> {
+        Self::from_tidlists_bounded_inner(t_prefix, t_ext, minsup, meter)
+    }
+
+    fn from_tidlists_bounded_inner(
+        t_prefix: &TidList,
+        t_ext: &TidList,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<DiffSet> {
+        if t_prefix.support() < minsup {
+            return None;
+        }
+        let budget = (t_prefix.support() - minsup) as usize;
+        let (out, ops) = difference_inner(t_prefix.tids(), t_ext.tids(), Some(budget));
+        meter.tid_cmp += ops;
+        out.map(|diff| {
+            let support = t_prefix.support() - diff.support();
+            debug_assert!(support >= minsup);
+            DiffSet { diff, support }
+        })
+    }
+
     /// Join two diffsets sharing the same prefix `P`: given `d(Px)` (self)
     /// and `d(Py)` (other) with `x < y`, produce `d(Pxy) = d(Py) − d(Px)`
     /// and `support(Pxy) = support(Px) − |d(Pxy)|`.
@@ -46,48 +100,56 @@ impl DiffSet {
         DiffSet { diff, support }
     }
 
+    /// [`DiffSet::join`] plus exact comparison metering.
+    pub fn join_metered(&self, other: &DiffSet, meter: &mut OpMeter) -> DiffSet {
+        let diff = other.diff.difference_metered(&self.diff, meter);
+        let support = self.support - diff.support();
+        DiffSet { diff, support }
+    }
+
     /// Join with a short-circuit: `None` when `support(Pxy) < minsup`.
     ///
     /// Because `support(Pxy) = support(Px) − |d(Pxy)|`, the join can stop
     /// as soon as the diffset grows past `support(Px) − minsup`.
     pub fn join_bounded(&self, other: &DiffSet, minsup: u32) -> Option<DiffSet> {
+        self.join_bounded_inner(other, minsup, &mut OpMeter::new())
+    }
+
+    /// [`DiffSet::join_bounded`] plus exact comparison metering.
+    pub fn join_bounded_metered(
+        &self,
+        other: &DiffSet,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<DiffSet> {
+        self.join_bounded_inner(other, minsup, meter)
+    }
+
+    fn join_bounded_inner(
+        &self,
+        other: &DiffSet,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<DiffSet> {
         if self.support < minsup {
             return None;
         }
         let budget = (self.support - minsup) as usize;
         // Early-exit difference: abandon once the output exceeds budget.
-        let out = bounded_difference(&other.diff, &self.diff, budget);
-        match out {
-            Some(diff) => {
-                let support = self.support - diff.support();
-                debug_assert!(support >= minsup);
-                Some(DiffSet { diff, support })
-            }
-            None => None,
-        }
+        let (out, ops) = difference_inner(other.diff.tids(), self.diff.tids(), Some(budget));
+        meter.tid_cmp += ops;
+        out.map(|diff| {
+            let support = self.support - diff.support();
+            debug_assert!(support >= minsup);
+            DiffSet { diff, support }
+        })
     }
-}
 
-/// `a − b`, abandoning with `None` as soon as the output would exceed
-/// `budget` elements.
-fn bounded_difference(a: &TidList, b: &TidList, budget: usize) -> Option<TidList> {
-    let mut out = TidList::with_capacity(budget.min(a.len()));
-    let bt = b.tids();
-    let mut j = 0usize;
-    let mut n = 0usize;
-    for &x in a.tids() {
-        while j < bt.len() && bt[j] < x {
-            j += 1;
-        }
-        if j >= bt.len() || bt[j] != x {
-            n += 1;
-            if n > budget {
-                return None;
-            }
-            out.push(x);
-        }
+    /// Serialized size in bytes: the diff tids plus the support word —
+    /// what the cost model charges for shipping this representation.
+    pub fn byte_size(&self) -> u64 {
+        self.diff.byte_size() + 4
     }
-    Some(out)
 }
 
 /// Cross-check helper: reconstruct `t(Px)` from `t(P)` and `d(Px)`.
@@ -150,15 +212,67 @@ mod tests {
             diff: TidList::of(&(0..100).collect::<Vec<_>>()),
             support: 5,
         };
-        assert_eq!(d.join_bounded(&other, 6), None, "prefix support below minsup");
+        assert_eq!(
+            d.join_bounded(&other, 6),
+            None,
+            "prefix support below minsup"
+        );
     }
 
     #[test]
     fn bounded_difference_budget() {
+        let diff = |a: &TidList, b: &TidList, budget: usize| {
+            difference_inner(a.tids(), b.tids(), Some(budget)).0
+        };
         let a = TidList::of(&[1, 2, 3, 4]);
         let b = TidList::of(&[2]);
-        assert_eq!(bounded_difference(&a, &b, 3), Some(TidList::of(&[1, 3, 4])));
-        assert_eq!(bounded_difference(&a, &b, 2), None);
-        assert_eq!(bounded_difference(&a, &a, 0), Some(TidList::new()));
+        assert_eq!(diff(&a, &b, 3), Some(TidList::of(&[1, 3, 4])));
+        assert_eq!(diff(&a, &b, 2), None);
+        assert_eq!(diff(&a, &a, 0), Some(TidList::new()));
+    }
+
+    #[test]
+    fn metered_join_counts_exact_comparisons() {
+        let ta = TidList::of(&(0..100).collect::<Vec<_>>());
+        let tb = TidList::of(&(0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let tc = TidList::of(&(0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        let dab = DiffSet::from_tidlists(&ta, &tb);
+        let dac = DiffSet::from_tidlists(&ta, &tc);
+        let mut m = OpMeter::new();
+        let full = dab.join_metered(&dac, &mut m);
+        assert_eq!(full, dab.join(&dac));
+        // One three-way probe per advance: never more than both inputs.
+        assert!(m.tid_cmp > 0);
+        assert!(m.tid_cmp <= (dab.diff.len() + dac.diff.len()) as u64);
+        // Bounded + metered agrees and never does more work than the
+        // unbounded join.
+        let mut mb = OpMeter::new();
+        let bounded = dab
+            .join_bounded_metered(&dac, 1, &mut mb)
+            .expect("frequent");
+        assert_eq!(bounded, full);
+        assert!(mb.tid_cmp <= m.tid_cmp);
+    }
+
+    #[test]
+    fn bounded_root_conversion_agrees_with_full() {
+        let tx = TidList::of(&(0..40).collect::<Vec<_>>());
+        let ty = TidList::of(&(0..40).filter(|x| x % 4 != 0).collect::<Vec<_>>());
+        let full = DiffSet::from_tidlists(&tx, &ty);
+        for minsup in 1..=full.support {
+            assert_eq!(
+                DiffSet::from_tidlists_bounded(&tx, &ty, minsup),
+                Some(full.clone()),
+                "minsup {minsup}"
+            );
+        }
+        assert_eq!(
+            DiffSet::from_tidlists_bounded(&tx, &ty, full.support + 1),
+            None
+        );
+        let mut m = OpMeter::new();
+        let metered = DiffSet::from_tidlists_metered(&tx, &ty, &mut m);
+        assert_eq!(metered, full);
+        assert!(m.tid_cmp > 0);
     }
 }

@@ -20,8 +20,18 @@
 //!   *diffset* extension;
 //! * `_metered` variants of the hot kernels that report the element
 //!   comparisons performed, feeding the simulated-cluster cost model.
+//!
+//! On top of the concrete kernels sits the [`TidSet`] trait — support,
+//! (bounded/metered) join, and a byte-size hook — implemented by
+//! [`TidList`], [`diffset::DiffSet`], and the mid-recursion switching
+//! [`AdaptiveSet`]. The mining recursion in the `eclat` crate is generic
+//! over it, so every algorithm variant can run on any representation.
 
+pub mod adaptive;
 pub mod diffset;
 mod list;
+pub mod set;
 
+pub use adaptive::AdaptiveSet;
 pub use list::{IntersectOutcome, TidList};
+pub use set::TidSet;

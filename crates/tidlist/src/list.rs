@@ -293,24 +293,15 @@ impl TidList {
 
     /// Sorted difference `self − other` — the d-Eclat *diffset* kernel.
     pub fn difference(&self, other: &TidList) -> TidList {
-        let mut out = Vec::with_capacity(self.len());
-        let (a, b) = (&self.tids, &other.tids);
-        let mut j = 0usize;
-        for &x in a {
-            while j < b.len() && b[j] < x {
-                j += 1;
-            }
-            if j >= b.len() || b[j] != x {
-                out.push(x);
-            }
-        }
-        TidList { tids: out }
+        let (r, _) = difference_inner(&self.tids, &other.tids, None);
+        r.expect("unbounded difference always completes")
     }
 
-    /// [`TidList::difference`] plus comparison metering.
+    /// [`TidList::difference`] plus exact comparison metering.
     pub fn difference_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
-        meter.tid_cmp += (self.len() + other.len()) as u64;
-        self.difference(other)
+        let (r, ops) = difference_inner(&self.tids, &other.tids, None);
+        meter.tid_cmp += ops;
+        r.expect("unbounded difference always completes")
     }
 
     /// Split into the tids `< bound` and the tids `>= bound` — used when
@@ -358,6 +349,45 @@ fn intersect_inner(a: &[Tid], b: &[Tid], minsup: Option<u32>) -> (Option<TidList
             if (out.len() + remaining) < s as usize {
                 return (None, ops);
             }
+        }
+    }
+    (Some(TidList { tids: out }), ops)
+}
+
+/// Shared merge-difference kernel `a − b`. With `budget = Some(n)`,
+/// abandons with `None` the moment the output would exceed `n` elements —
+/// the d-Eclat analogue of the §5.3 short-circuit (a diffset longer than
+/// `support(prefix) − minsup` proves the candidate infrequent). Always
+/// returns the number of element comparisons performed: one per
+/// three-way `a[i] <=> b[j]` probe, so `ops <= |a| + |b|`.
+pub(crate) fn difference_inner(
+    a: &[Tid],
+    b: &[Tid],
+    budget: Option<usize>,
+) -> (Option<TidList>, u64) {
+    let cap = budget.map_or(a.len(), |n| n.min(a.len()));
+    let mut out = Vec::with_capacity(cap);
+    let mut j = 0usize;
+    let mut ops = 0u64;
+    for &x in a {
+        let keep = loop {
+            if j >= b.len() {
+                break true;
+            }
+            ops += 1;
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => break false,
+                std::cmp::Ordering::Greater => break true,
+            }
+        };
+        if keep {
+            if let Some(limit) = budget {
+                if out.len() >= limit {
+                    return (None, ops);
+                }
+            }
+            out.push(x);
         }
     }
     (Some(TidList { tids: out }), ops)

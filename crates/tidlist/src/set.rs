@@ -1,0 +1,145 @@
+//! The [`TidSet`] abstraction: anything that can play the role of an
+//! itemset's vertical representation inside the `Compute_Frequent`
+//! recursion (Figure 3).
+//!
+//! The paper's kernel only ever does three things with a member's
+//! vertical data: read its support, join it with a sibling (optionally
+//! short-circuited against `minsup`, §5.3), and price its bytes for the
+//! scheduling/exchange cost model (§5.2.1, §6.3). Abstracting exactly
+//! those operations lets one generic recursion serve tid-lists
+//! ([`TidList`]), d-Eclat diffsets ([`DiffSet`]), and the mid-recursion
+//! switching representation ([`crate::adaptive::AdaptiveSet`]).
+
+use crate::diffset::DiffSet;
+use crate::{IntersectOutcome, TidList};
+use mining_types::OpMeter;
+
+/// A vertical representation of one itemset, joinable with a sibling
+/// sharing the same equivalence-class prefix.
+///
+/// # Contract
+/// For members `x`, `y` of the same class (in member order, `x` before
+/// `y`), `x.join(&y)` represents the candidate `x ∪ y` and reports its
+/// exact support. `join_bounded` returns `None` **iff** that support is
+/// below `minsup`, and otherwise equals `join`'s result. The metered
+/// variants are behaviorally identical and additionally add their element
+/// comparisons to `meter.tid_cmp`, so ablations across representations
+/// (A1) compare like with like.
+pub trait TidSet: Clone + std::fmt::Debug {
+    /// Exact support of the represented itemset.
+    fn support(&self) -> u32;
+
+    /// Serialized size in bytes — what the §6.3 exchange and the
+    /// scheduling cost model charge for this member.
+    fn byte_size(&self) -> u64;
+
+    /// Join with the next member of the class (unbounded).
+    fn join(&self, other: &Self) -> Self;
+
+    /// Join, abandoning early when the result provably cannot reach
+    /// `minsup` (§5.3). `None` exactly when the candidate is infrequent.
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self>;
+
+    /// [`TidSet::join`] with comparison metering.
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self;
+
+    /// [`TidSet::join_bounded`] with comparison metering.
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self>;
+}
+
+impl TidSet for TidList {
+    fn support(&self) -> u32 {
+        TidList::support(self)
+    }
+
+    fn byte_size(&self) -> u64 {
+        TidList::byte_size(self)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        self.intersect_bounded(other, minsup).into_frequent()
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        self.intersect_metered(other, meter)
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        match self.intersect_bounded_metered(other, minsup, meter) {
+            IntersectOutcome::Frequent(t) => Some(t),
+            IntersectOutcome::Infrequent => None,
+        }
+    }
+}
+
+impl TidSet for DiffSet {
+    fn support(&self) -> u32 {
+        self.support
+    }
+
+    fn byte_size(&self) -> u64 {
+        DiffSet::byte_size(self)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        DiffSet::join(self, other)
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        DiffSet::join_bounded(self, other, minsup)
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        DiffSet::join_metered(self, other, meter)
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        DiffSet::join_bounded_metered(self, other, minsup, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<S: TidSet>(a: &S, b: &S, minsup: u32) -> (u32, Option<u32>) {
+        let full = a.join(b);
+        let bounded = a.join_bounded(b, minsup);
+        let mut m = OpMeter::new();
+        assert_eq!(a.join_metered(b, &mut m).support(), full.support());
+        (full.support(), bounded.map(|s| s.support()))
+    }
+
+    #[test]
+    fn tidlist_and_diffset_agree_through_the_trait() {
+        // members of class [A]: t(AB), t(AC) with t(A) = 0..20
+        let ta = TidList::of(&(0..20).collect::<Vec<_>>());
+        let tb = TidList::of(&(0..20).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let tc = TidList::of(&(0..20).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+        let tab = ta.intersect(&tb);
+        let tac = ta.intersect(&tc);
+        let dab = DiffSet::from_tidlists(&ta, &tb);
+        let dac = DiffSet::from_tidlists(&ta, &tc);
+        for minsup in 1..=8 {
+            let (ts, tbnd) = generic_roundtrip(&tab, &tac, minsup);
+            let (ds, dbnd) = generic_roundtrip(&dab, &dac, minsup);
+            assert_eq!(ts, ds, "support minsup {minsup}");
+            assert_eq!(tbnd, dbnd, "bounded minsup {minsup}");
+        }
+    }
+
+    #[test]
+    fn byte_size_hooks() {
+        let t = TidList::of(&[1, 2, 3]);
+        assert_eq!(TidSet::byte_size(&t), 12);
+        let d = DiffSet {
+            diff: TidList::of(&[4, 5]),
+            support: 9,
+        };
+        assert_eq!(TidSet::byte_size(&d), 12); // 2 tids + support word
+    }
+}

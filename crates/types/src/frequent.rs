@@ -264,13 +264,9 @@ mod tests {
     #[test]
     fn closure_violation_detects_support_inversion() {
         // subset with *smaller* support than superset is impossible
-        let bad: FrequentSet = [
-            (iset(&[1]), 3),
-            (iset(&[2]), 9),
-            (iset(&[1, 2]), 5),
-        ]
-        .into_iter()
-        .collect();
+        let bad: FrequentSet = [(iset(&[1]), 3), (iset(&[2]), 9), (iset(&[1, 2]), 5)]
+            .into_iter()
+            .collect();
         assert!(bad.closure_violation().is_some());
     }
 

@@ -128,7 +128,10 @@ mod tests {
         // Streams differing only in a short tail must hash differently.
         assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 3, 0]));
         assert_ne!(hash_of(&[0u8; 7].as_slice()), hash_of(&[0u8; 8].as_slice()));
-        assert_ne!(hash_of(b"abcdefgh1".as_slice()), hash_of(b"abcdefgh2".as_slice()));
+        assert_ne!(
+            hash_of(b"abcdefgh1".as_slice()),
+            hash_of(b"abcdefgh2".as_slice())
+        );
     }
 
     #[test]

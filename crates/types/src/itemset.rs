@@ -442,11 +442,19 @@ mod tests {
     #[test]
     fn join_rejects_mismatched_prefix_and_order() {
         assert_eq!(iset(&[1, 2]).join(&iset(&[3, 4])), None);
-        assert_eq!(iset(&[1, 3]).join(&iset(&[1, 2])), None, "requires a.last < b.last");
+        assert_eq!(
+            iset(&[1, 3]).join(&iset(&[1, 2])),
+            None,
+            "requires a.last < b.last"
+        );
         assert_eq!(iset(&[1, 2]).join(&iset(&[1, 2])), None);
         assert_eq!(iset(&[1]).join(&iset(&[2])), Some(iset(&[1, 2])));
         assert_eq!(Itemset::empty().join(&Itemset::empty()), None);
-        assert_eq!(iset(&[1, 2]).join(&iset(&[1, 2, 3])), None, "length mismatch");
+        assert_eq!(
+            iset(&[1, 2]).join(&iset(&[1, 2, 3])),
+            None,
+            "length mismatch"
+        );
     }
 
     #[test]
@@ -487,17 +495,10 @@ mod tests {
     fn k_subsets_lexicographic() {
         let s = iset(&[1, 2, 3, 4]);
         let subs: Vec<Itemset> = s.k_subsets(2).collect();
-        let expect: Vec<Itemset> = [
-            [1u32, 2],
-            [1, 3],
-            [1, 4],
-            [2, 3],
-            [2, 4],
-            [3, 4],
-        ]
-        .iter()
-        .map(|r| iset(r))
-        .collect();
+        let expect: Vec<Itemset> = [[1u32, 2], [1, 3], [1, 4], [2, 3], [2, 4], [3, 4]]
+            .iter()
+            .map(|r| iset(r))
+            .collect();
         assert_eq!(subs, expect);
     }
 
@@ -558,7 +559,10 @@ mod tests {
     fn ordering_is_lexicographic() {
         let mut v = vec![iset(&[2]), iset(&[1, 9]), iset(&[1, 2]), iset(&[1])];
         v.sort();
-        assert_eq!(v, vec![iset(&[1]), iset(&[1, 2]), iset(&[1, 9]), iset(&[2])]);
+        assert_eq!(
+            v,
+            vec![iset(&[1]), iset(&[1, 2]), iset(&[1, 9]), iset(&[2])]
+        );
     }
 
     #[test]

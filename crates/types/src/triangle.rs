@@ -42,7 +42,11 @@ impl TriangleMatrix {
     /// checked exhaustively in tests against a naive enumeration.
     #[inline]
     fn index(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < j && j < self.n, "pair ({i},{j}) out of range n={}", self.n);
+        debug_assert!(
+            i < j && j < self.n,
+            "pair ({i},{j}) out of range n={}",
+            self.n
+        );
         // Row i holds pairs (i, i+1..n): length n-1-i. Rows 0..i hold
         // sum_{r<i} (n-1-r) = i*(n-1) - i*(i-1)/2 cells.
         i * (self.n - 1) - i * (i.saturating_sub(1)) / 2 + (j - i - 1)
@@ -97,7 +101,10 @@ impl TriangleMatrix {
     }
 
     /// Iterate all pairs with a count `>= threshold`, ascending by pair.
-    pub fn frequent_pairs(&self, threshold: u32) -> impl Iterator<Item = (ItemId, ItemId, u32)> + '_ {
+    pub fn frequent_pairs(
+        &self,
+        threshold: u32,
+    ) -> impl Iterator<Item = (ItemId, ItemId, u32)> + '_ {
         (0..self.n).flat_map(move |i| {
             (i + 1..self.n).filter_map(move |j| {
                 let c = self.counts[self.index(i, j)];

@@ -19,27 +19,27 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const ALARMS: &[&str] = &[
-    "link-down",        // 0
-    "high-ber",         // 1  (bit error rate)
-    "card-fault",       // 2
-    "power-dip",        // 3
-    "fan-failure",      // 4
-    "temp-high",        // 5
-    "switch-reboot",    // 6
-    "route-flap",       // 7
-    "packet-loss",      // 8
-    "latency-spike",    // 9
-    "auth-failure",     // 10
-    "config-drift",     // 11
+    "link-down",     // 0
+    "high-ber",      // 1  (bit error rate)
+    "card-fault",    // 2
+    "power-dip",     // 3
+    "fan-failure",   // 4
+    "temp-high",     // 5
+    "switch-reboot", // 6
+    "route-flap",    // 7
+    "packet-loss",   // 8
+    "latency-spike", // 9
+    "auth-failure",  // 10
+    "config-drift",  // 11
 ];
 
 /// Causal cascades: a root alarm and the alarms it tends to trigger,
 /// with trigger probabilities.
 const CASCADES: &[(usize, &[(usize, f64)])] = &[
-    (2, &[(0, 0.9), (1, 0.8), (8, 0.6)]),        // card-fault → link-down, high-ber, loss
-    (4, &[(5, 0.95), (6, 0.4)]),                 // fan-failure → temp-high, maybe reboot
-    (3, &[(6, 0.7), (0, 0.5)]),                  // power-dip → reboot, link-down
-    (7, &[(8, 0.8), (9, 0.85)]),                 // route-flap → loss, latency
+    (2, &[(0, 0.9), (1, 0.8), (8, 0.6)]), // card-fault → link-down, high-ber, loss
+    (4, &[(5, 0.95), (6, 0.4)]),          // fan-failure → temp-high, maybe reboot
+    (3, &[(6, 0.7), (0, 0.5)]),           // power-dip → reboot, link-down
+    (7, &[(8, 0.8), (9, 0.85)]),          // route-flap → loss, latency
 ];
 
 fn main() {
@@ -76,16 +76,23 @@ fn main() {
     );
 
     let minsup = MinSupport::from_percent(2.0);
+    let mut meter = mining_types::OpMeter::new();
     let frequent = eclat::parallel::mine_with(
         &db,
         minsup,
         &eclat::EclatConfig::with_singletons(),
+        &mut meter,
     );
 
     println!("co-occurring alarm sets (support >= 2%):");
     for c in frequent.sorted() {
         if c.itemset.len() >= 2 {
-            let names: Vec<&str> = c.itemset.items().iter().map(|i| ALARMS[i.index()]).collect();
+            let names: Vec<&str> = c
+                .itemset
+                .items()
+                .iter()
+                .map(|i| ALARMS[i.index()])
+                .collect();
             println!("  {:<44} {:>5} windows", names.join(" , "), c.support);
         }
     }

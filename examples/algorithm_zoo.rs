@@ -33,7 +33,10 @@ fn main() {
             None => reference = Some(pairs_up),
             Some(r) => assert_eq!(&pairs_up, r, "{name} disagreed!"),
         }
-        println!("{name:<26} {dt:>7.2}s   {:<6} itemsets   [{lineage}]", fs.len());
+        println!(
+            "{name:<26} {dt:>7.2}s   {:<6} itemsets   [{lineage}]",
+            fs.len()
+        );
     };
 
     timed("Eclat (sequential)", "the paper, §5", &mut || {
@@ -49,7 +52,10 @@ fn main() {
         let threshold = minsup.count_threshold(db.num_transactions());
         let n = db.num_transactions();
         let tri = eclat::transform::count_pairs(&db, 0..n, &mut m);
-        let l2: Vec<_> = tri.frequent_pairs(threshold).map(|(a, b, _)| (a, b)).collect();
+        let l2: Vec<_> = tri
+            .frequent_pairs(threshold)
+            .map(|(a, b, _)| (a, b))
+            .collect();
         let idx = eclat::transform::index_pairs(&l2);
         let lists = eclat::transform::build_pair_tidlists(&db, 0..n, &idx, &mut m);
         let pairs: Vec<_> = l2.iter().zip(lists).map(|(&(a, b), t)| (a, b, t)).collect();
@@ -108,5 +114,8 @@ fn main() {
     );
     assert_eq!(maximal, eclat::maximal::maximal_of(full));
 
-    println!("\nall miners agreed on {} frequent itemsets (size >= 2)", full.len());
+    println!(
+        "\nall miners agreed on {} frequent itemsets (size >= 2)",
+        full.len()
+    );
 }

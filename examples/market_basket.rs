@@ -17,19 +17,45 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const PRODUCTS: &[&str] = &[
-    "bread", "butter", "milk", "eggs", "cheese", "apples", "bananas", "coffee", "tea", "sugar",
-    "pasta", "tomato-sauce", "parmesan", "beer", "chips", "salsa", "diapers", "wipes", "cereal",
-    "yogurt", "chicken", "rice", "beans", "salt", "pepper", "oil", "flour", "chocolate", "wine",
+    "bread",
+    "butter",
+    "milk",
+    "eggs",
+    "cheese",
+    "apples",
+    "bananas",
+    "coffee",
+    "tea",
+    "sugar",
+    "pasta",
+    "tomato-sauce",
+    "parmesan",
+    "beer",
+    "chips",
+    "salsa",
+    "diapers",
+    "wipes",
+    "cereal",
+    "yogurt",
+    "chicken",
+    "rice",
+    "beans",
+    "salt",
+    "pepper",
+    "oil",
+    "flour",
+    "chocolate",
+    "wine",
     "crackers",
 ];
 
 /// Planted co-purchase patterns with their basket probability.
 const PATTERNS: &[(&[usize], f64)] = &[
-    (&[0, 1, 2], 0.18),   // bread + butter + milk
+    (&[0, 1, 2], 0.18),    // bread + butter + milk
     (&[10, 11, 12], 0.12), // pasta + tomato-sauce + parmesan
     (&[13, 14, 15], 0.10), // beer + chips + salsa
-    (&[16, 17], 0.08),    // diapers + wipes
-    (&[7, 9], 0.15),      // coffee + sugar
+    (&[16, 17], 0.08),     // diapers + wipes
+    (&[7, 9], 0.15),       // coffee + sugar
 ];
 
 fn main() {
@@ -58,15 +84,22 @@ fn main() {
 
     // Mine with the shared-memory parallel Eclat at 5 % support.
     let minsup = MinSupport::from_percent(5.0);
+    let mut meter = mining_types::OpMeter::new();
     let frequent = eclat::parallel::mine_with(
         &db,
         minsup,
         &eclat::EclatConfig::with_singletons(),
+        &mut meter,
     );
     println!("frequent itemsets (>=2 items):");
     for c in frequent.sorted() {
         if c.itemset.len() >= 2 {
-            let names: Vec<&str> = c.itemset.items().iter().map(|i| PRODUCTS[i.index()]).collect();
+            let names: Vec<&str> = c
+                .itemset
+                .items()
+                .iter()
+                .map(|i| PRODUCTS[i.index()])
+                .collect();
             println!("  {:<40} support {:>5}", names.join(" + "), c.support);
         }
     }

@@ -44,9 +44,6 @@ fn main() {
     let rules = assoc_rules::generate(&frequent, 0.7);
     println!("top rules (of {}):", rules.len());
     for r in rules.iter().take(10) {
-        println!(
-            "  {r}   lift {:.2}",
-            r.lift(db.num_transactions())
-        );
+        println!("  {r}   lift {:.2}", r.lift(db.num_transactions()));
     }
 }

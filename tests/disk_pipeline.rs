@@ -26,9 +26,9 @@ fn mining_from_disk_store_matches_in_memory() {
 
     // reassemble from the block files in processor order
     let mut all: Vec<Vec<ItemId>> = Vec::new();
-    for p in 0..procs {
+    for (p, &expected) in written.iter().enumerate() {
         let (block, bytes) = store.read_block(p).unwrap();
-        assert_eq!(bytes, written[p]);
+        assert_eq!(bytes, expected);
         all.extend(block.iter().map(|(_, t)| t.to_vec()));
     }
     let from_disk = HorizontalDb::from_transactions(all).with_num_items(db.num_items());

@@ -16,7 +16,11 @@ fn figure6_shape_unimodal_with_geometric_tail() {
     let counts = fs.counts_by_size(); // index 0 = size 1 (zero here)
     assert_eq!(counts[0], 0, "Eclat reports no singletons");
     let sizes: Vec<usize> = counts[1..].to_vec();
-    assert!(sizes.len() >= 8, "expected deep lattice, got {} levels", sizes.len());
+    assert!(
+        sizes.len() >= 8,
+        "expected deep lattice, got {} levels",
+        sizes.len()
+    );
     // unimodal: rises to a single peak then falls
     let peak = sizes
         .iter()
@@ -35,7 +39,10 @@ fn figure6_shape_unimodal_with_geometric_tail() {
     for w in sizes[peak..].windows(2) {
         assert!(w[0] >= w[1], "non-falling after the peak: {sizes:?}");
     }
-    assert!(fs.len() > 10_000, "0.1% support should yield a rich lattice");
+    assert!(
+        fs.len() > 10_000,
+        "0.1% support should yield a rich lattice"
+    );
 }
 
 #[test]

@@ -13,9 +13,7 @@ use mining_types::{FrequentSet, MinSupport, OpMeter};
 use questgen::{QuestGenerator, QuestParams};
 
 fn quest_db(d: usize, seed: u64) -> HorizontalDb {
-    HorizontalDb::from_transactions(
-        QuestGenerator::new(QuestParams::tiny(d, seed)).generate_all(),
-    )
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::tiny(d, seed)).generate_all())
 }
 
 fn strip_singletons(fs: &FrequentSet) -> FrequentSet {
@@ -108,16 +106,56 @@ fn every_topology_and_heuristic_agrees() {
 }
 
 #[test]
+fn every_representation_agrees_on_quest_data() {
+    use eclat::Representation;
+    let db = quest_db(2_000, 42);
+    let minsup = MinSupport::from_percent(1.5);
+    let cost = CostModel::dec_alpha_1997();
+    let topo = ClusterConfig::new(2, 2);
+    let reference = eclat::sequential::mine(&db, minsup);
+    assert!(!reference.is_empty());
+    for repr in [
+        Representation::TidList,
+        Representation::Diffset,
+        Representation::AutoSwitch { depth: 1 },
+        Representation::AutoSwitch { depth: 3 },
+    ] {
+        let cfg = EclatConfig::with_representation(repr);
+        let mut meter = OpMeter::new();
+        assert_eq!(
+            eclat::sequential::mine_with(&db, minsup, &cfg, &mut meter),
+            reference,
+            "sequential {repr:?}"
+        );
+        assert_eq!(
+            eclat::parallel::mine_with(&db, minsup, &cfg, &mut OpMeter::new()),
+            reference,
+            "parallel {repr:?}"
+        );
+        assert_eq!(
+            eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg).frequent,
+            reference,
+            "cluster {repr:?}"
+        );
+        assert_eq!(
+            eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &cfg).frequent,
+            reference,
+            "hybrid {repr:?}"
+        );
+        assert_eq!(
+            eclat::clique::mine_with(&db, minsup, &cfg, &mut OpMeter::new()),
+            reference,
+            "clique {repr:?}"
+        );
+    }
+}
+
+#[test]
 fn downward_closure_on_quest_output() {
     let db = quest_db(2_500, 1);
     let minsup = MinSupport::from_percent(1.0);
     let mut meter = OpMeter::new();
-    let fs = eclat::sequential::mine_with(
-        &db,
-        minsup,
-        &EclatConfig::with_singletons(),
-        &mut meter,
-    );
+    let fs = eclat::sequential::mine_with(&db, minsup, &EclatConfig::with_singletons(), &mut meter);
     assert_eq!(fs.closure_violation(), None);
 }
 
@@ -129,10 +167,7 @@ fn supports_match_direct_counting() {
     let fs = eclat::sequential::mine(&db, minsup);
     assert!(!fs.is_empty());
     for (is, sup) in fs.iter() {
-        let direct = db
-            .iter()
-            .filter(|(_, t)| is.is_subset_of_sorted(t))
-            .count() as u32;
+        let direct = db.iter().filter(|(_, t)| is.is_subset_of_sorted(t)).count() as u32;
         assert_eq!(direct, sup, "{is}");
     }
 }

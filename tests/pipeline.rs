@@ -11,9 +11,7 @@ fn generate_serialize_mine_rules() {
     let params = QuestParams::tiny(4_000, 77);
     let txns = QuestGenerator::new(params).generate_all();
     let db = HorizontalDb::from_transactions(txns);
-    let stats = DatabaseStats::measure(
-        &db.iter().map(|(_, t)| t.to_vec()).collect::<Vec<_>>(),
-    );
+    let stats = DatabaseStats::measure(&db.iter().map(|(_, t)| t.to_vec()).collect::<Vec<_>>());
     assert_eq!(stats.num_transactions, 4_000);
 
     // 2. Serialize horizontally, read back, verify byte-for-byte equality.
@@ -95,7 +93,10 @@ fn partitioned_mining_block_structure() {
     let threshold = minsup.count_threshold(db.num_transactions());
     let mut m = OpMeter::new();
     let tri = eclat::transform::count_pairs(&db, 0..db.num_transactions(), &mut m);
-    let l2: Vec<_> = tri.frequent_pairs(threshold).map(|(a, b, _)| (a, b)).collect();
+    let l2: Vec<_> = tri
+        .frequent_pairs(threshold)
+        .map(|(a, b, _)| (a, b))
+        .collect();
     assert!(!l2.is_empty());
     let idx = eclat::transform::index_pairs(&l2);
     let global = eclat::transform::build_pair_tidlists(&db, 0..db.num_transactions(), &idx, &mut m);

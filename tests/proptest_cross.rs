@@ -4,17 +4,14 @@
 
 use apriori::reference::brute_force;
 use dbstore::HorizontalDb;
+use eclat::{EclatConfig, Representation};
 use memchannel::{ClusterConfig, CostModel};
-use mining_types::{FrequentSet, ItemId, MinSupport};
+use mining_types::{FrequentSet, ItemId, MinSupport, OpMeter};
 use proptest::prelude::*;
 
 fn arb_db() -> impl Strategy<Value = HorizontalDb> {
     // up to 60 transactions over up to 12 items
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..12, 1..8),
-        1..60,
-    )
-    .prop_map(|raw| {
+    proptest::collection::vec(proptest::collection::vec(0u32..12, 1..8), 1..60).prop_map(|raw| {
         let txns: Vec<Vec<ItemId>> = raw
             .into_iter()
             .map(|t| t.into_iter().map(ItemId).collect())
@@ -65,6 +62,30 @@ proptest! {
 
         let cd = parbase::mine_count_dist(&db, minsup, &topo, &cost, &Default::default());
         prop_assert_eq!(strip_singletons(&cd.frequent), reference);
+    }
+
+    #[test]
+    fn representations_match_tidlist_eclat(db in arb_db(), pct in 2.0f64..60.0, depth in 0u32..4) {
+        // Golden equivalence across the Representation knob: diffsets and
+        // the depth-switching AdaptiveSet must reproduce the tid-list
+        // result exactly, on every execution variant.
+        let minsup = MinSupport::from_percent(pct);
+        let reference = eclat::sequential::mine(&db, minsup);
+        let topo = ClusterConfig::new(2, 2);
+        let cost = CostModel::dec_alpha_1997();
+        for repr in [Representation::Diffset, Representation::AutoSwitch { depth }] {
+            let cfg = EclatConfig::with_representation(repr);
+            let seq = eclat::sequential::mine_with(&db, minsup, &cfg, &mut OpMeter::new());
+            prop_assert_eq!(&seq, &reference, "sequential {:?}", repr);
+            let par = eclat::parallel::mine_with(&db, minsup, &cfg, &mut OpMeter::new());
+            prop_assert_eq!(&par, &reference, "parallel {:?}", repr);
+            let cl = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg);
+            prop_assert_eq!(&cl.frequent, &reference, "cluster {:?}", repr);
+            let hy = eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &cfg);
+            prop_assert_eq!(&hy.frequent, &reference, "hybrid {:?}", repr);
+            let cq = eclat::clique::mine_with(&db, minsup, &cfg, &mut OpMeter::new());
+            prop_assert_eq!(&cq, &reference, "clique {:?}", repr);
+        }
     }
 
     #[test]

@@ -7,9 +7,7 @@ use mining_types::MinSupport;
 use questgen::{QuestGenerator, QuestParams};
 
 fn db() -> HorizontalDb {
-    HorizontalDb::from_transactions(
-        QuestGenerator::new(QuestParams::t10_i6(8_000)).generate_all(),
-    )
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::t10_i6(8_000)).generate_all())
 }
 
 fn cost() -> CostModel {
@@ -91,7 +89,10 @@ fn speedup_grows_with_hosts_at_p1() {
     assert!(times[1] < times[0], "H=2 vs H=1: {times:?}");
     assert!(times[2] < times[1], "H=4 vs H=2: {times:?}");
     assert!(times[3] < times[2] * 1.15, "H=8 vs H=4: {times:?}");
-    assert!(times[3] < 0.6 * times[0], "overall speedup at H=8: {times:?}");
+    assert!(
+        times[3] < 0.6 * times[0],
+        "overall speedup at H=8: {times:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `bytes` crate (the subset this workspace
+//! uses): a growable [`BytesMut`] write buffer and the [`Buf`]/[`BufMut`]
+//! little-endian accessors that `dbstore::binfmt` is written against.
+
+use std::ops::Deref;
+
+/// Growable byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Little-endian write accessors.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian read accessors that advance the cursor.
+///
+/// # Panics
+/// All getters panic when the buffer holds fewer bytes than requested,
+/// matching the upstream crate's contract.
+pub trait Buf {
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64` and advance.
+    fn get_u64_le(&mut self) -> u64;
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        *self = &self[4..];
+        v
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        *self = &self[8..];
+        v
+    }
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_u8(7);
+        assert_eq!(buf.len(), 13);
+        let mut r = &buf[..];
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u64_le(1);
+        assert!(!buf.is_empty());
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let data = [1u8, 2];
+        let mut r = &data[..];
+        let _ = r.get_u32_le();
+    }
+}

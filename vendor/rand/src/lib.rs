@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the exact surface it uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng::random`] /
+//! [`Rng::random_range`] methods. The generator is xoshiro256++ with a
+//! SplitMix64 seed expansion — deterministic per seed, which is all the
+//! Quest generator, samplers, and benches rely on.
+
+/// Low-level uniform `u64` source.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable constructor, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling front-end, mirroring the `rand 0.9` method names.
+pub trait Rng: RngCore {
+    /// Sample a value from its standard distribution (`f64` in `[0,1)`,
+    /// `bool` fair coin, integers uniform over their full domain).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSampled,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a standard distribution for [`Rng::random`].
+pub trait StandardUniform {
+    /// Draw one sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! std_uniform_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`Rng::random_range`] can sample.
+pub trait UniformSampled: Copy + PartialOrd {
+    /// Uniform sample from the inclusive span `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The predecessor of `hi` (for converting half-open bounds).
+    fn prev(hi: Self) -> Self;
+}
+
+macro_rules! uniform_sampled_int {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift bounded sampling; the tiny modulo bias is
+                // irrelevant for synthetic data generation.
+                let r = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + r as i128) as $t
+            }
+            fn prev(hi: Self) -> Self {
+                hi - 1
+            }
+        }
+    )*};
+}
+uniform_sampled_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSampled for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+    fn prev(hi: Self) -> Self {
+        hi
+    }
+}
+
+/// Range argument for [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSampled> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_inclusive(rng, self.start, T::prev(self.end))
+    }
+}
+
+impl<T: UniformSampled> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, the reference initialization for
+            // the xoshiro family.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<f64>(), c.random::<f64>());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1_000 {
+            let v: u32 = rng.random_range(0..10);
+            assert!(v < 10);
+            seen_lo |= v == 0;
+            seen_hi |= v == 9;
+            let w: usize = rng.random_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let x: i32 = rng.random_range(1..6);
+            assert!((1..6).contains(&x));
+        }
+        assert!(seen_lo && seen_hi, "both endpoints reachable");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+}

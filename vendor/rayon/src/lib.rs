@@ -1,0 +1,205 @@
+//! Offline stand-in for `rayon` (the subset this workspace uses).
+//!
+//! No registry access in the build environment, so this vendored crate
+//! provides real data parallelism on `std::thread::scope`: items are
+//! split into one contiguous chunk per available core, each chunk is
+//! mapped on its own OS thread, and results are re-concatenated in input
+//! order. That preserves rayon's ordering guarantees for `collect` while
+//! keeping the implementation a page long. There is no work stealing —
+//! per-class mining work is coarse enough that static chunking is fine.
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel map over owned items, preserving order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A materialized parallel iterator (items are collected up front; the
+/// parallelism happens in the terminal operation).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item in parallel.
+    pub fn map<U, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collect the items (no-op reshaping; order preserved).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Collect mapped results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Map in parallel, then fold the results pairwise. `None` on empty.
+    pub fn reduce_with<OP: Fn(U, U) -> U + Sync>(self, op: OP) -> Option<U> {
+        par_map_vec(self.items, self.f).into_iter().reduce(op)
+    }
+
+    /// Map in parallel, then fold from an identity.
+    pub fn reduce<ID: Fn() -> U + Sync, OP: Fn(U, U) -> U + Sync>(self, identity: ID, op: OP) -> U {
+        par_map_vec(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Run the mapped computation for its effects.
+    pub fn for_each(self) {
+        par_map_vec(self.items, self.f);
+    }
+}
+
+/// `into_par_iter()` for owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` for borrowed slices (and anything derefing to them).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_with_matches_sequential() {
+        let v: Vec<u64> = (1..=1_000).collect();
+        let sum = v.par_iter().map(|&x| x).reduce_with(|a, b| a + b);
+        assert_eq!(sum, Some(500_500));
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.par_iter().map(|&x| x).reduce_with(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        let total = v
+            .par_iter()
+            .map(|c| c.iter().sum::<u32>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn for_each_sees_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let v: Vec<u64> = (0..997).collect();
+        let sum = AtomicU64::new(0);
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 997 * 996 / 2);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+}
