@@ -1,13 +1,20 @@
 //! Ablations A1–A6 (see DESIGN.md §5): quantifies each design choice the
 //! paper calls out, using operation counts and simulated seconds.
 //!
+//! Pass `--json=PATH` to also write the machine-readable summary: the A1
+//! short-circuit and A2 scheduling numbers, the per-representation kernel
+//! counters (including the [`mining_types::KernelStats`] switch events),
+//! and the full sequential [`mining_types::MiningStats`] report.
+//!
 //! ```text
-//! cargo run -p repro-bench --bin ablations --release [-- --scale=tiny]
+//! cargo run -p repro-bench --bin ablations --release [-- --scale=tiny \
+//!     --json=results/ablations.json]
 //! ```
 
 use dbstore::HorizontalDb;
 use eclat::{EclatConfig, ScheduleHeuristic};
 use memchannel::{ClusterConfig, CostModel};
+use mining_types::json::{Arr, Obj};
 use mining_types::{MinSupport, OpMeter};
 use parbase::{CandidateDistConfig, CountDistConfig};
 use questgen::QuestGenerator;
@@ -26,6 +33,11 @@ fn main() {
     let txns = QuestGenerator::new(params).generate_all();
     let db = HorizontalDb::from_transactions(txns);
     println!("Ablations on {name}, support {support}% (simulated model: DEC Alpha 1997)\n");
+    let json_path = args.json_out();
+    let mut jdoc = Obj::new()
+        .str("bench", "ablations")
+        .str("database", &name)
+        .f64("support_percent", support);
 
     // ---------- A1: short-circuited intersections (§5.3) ----------
     {
@@ -48,12 +60,20 @@ fn main() {
             "    saved: {:.1}%\n",
             100.0 * (1.0 - cmp_on as f64 / cmp_off as f64)
         );
+        jdoc = jdoc.raw(
+            "short_circuit",
+            &Obj::new()
+                .u64("tid_cmp_on", cmp_on)
+                .u64("tid_cmp_off", cmp_off)
+                .finish(),
+        );
     }
 
     // ---------- A2: equivalence-class scheduling heuristics (§5.2.1) ----------
     {
         println!("A2  class scheduling heuristics (§5.2.1), T=8 (H=8, P=1)");
         let topo = ClusterConfig::new(8, 1);
+        let mut jrows = Arr::new();
         for h in [
             ScheduleHeuristic::GreedyPairs,
             ScheduleHeuristic::SupportWeighted,
@@ -71,7 +91,23 @@ fn main() {
                 rep.timeline.phase_secs(eclat::cluster::PHASE_ASYNC),
                 rep.assignment.imbalance(),
             );
+            jrows.raw(
+                &Obj::new()
+                    .str("heuristic", &format!("{h:?}"))
+                    .f64("total_secs", rep.total_secs())
+                    .f64(
+                        "async_secs",
+                        rep.timeline.phase_secs(eclat::cluster::PHASE_ASYNC),
+                    )
+                    .f64("schedule_imbalance", rep.assignment.imbalance())
+                    .f64(
+                        "load_imbalance",
+                        rep.stats.cluster.as_ref().map_or(1.0, |c| c.load_imbalance),
+                    )
+                    .finish(),
+            );
         }
+        jdoc = jdoc.raw("scheduling", &jrows.finish());
         println!();
     }
 
@@ -187,14 +223,25 @@ fn main() {
         let run = |repr| {
             let cfg = eclat::EclatConfig::with_representation(repr);
             let mut m = OpMeter::new();
-            let fs = eclat::sequential::mine_with(&db, minsup, &cfg, &mut m);
-            (fs, m)
+            let (fs, stats) = eclat::sequential::mine_stats(&db, minsup, &cfg, &mut m);
+            (fs, m, stats)
         };
-        let (fs_ref, m_ref) = run(eclat::Representation::TidList);
+        let mut jrows = Arr::new();
+        let (fs_ref, m_ref, stats_ref) = run(eclat::Representation::TidList);
         println!(
             "    {:<18} {:>14} element comparisons",
             "tid-lists:", m_ref.tid_cmp
         );
+        let jrow = |stats: &mining_types::MiningStats, m: &OpMeter| {
+            let k = stats.kernel_totals();
+            Obj::new()
+                .str("representation", &stats.representation)
+                .u64("tid_cmp", m.tid_cmp)
+                .u64("switch_events", k.switch_events)
+                .u64("peak_tid_bytes", k.peak_tid_bytes)
+                .finish()
+        };
+        jrows.raw(&jrow(&stats_ref, &m_ref));
         for (label, repr) in [
             ("diffsets:", eclat::Representation::Diffset),
             (
@@ -210,9 +257,18 @@ fn main() {
                 eclat::Representation::AutoSwitch { depth: 3 },
             ),
         ] {
-            let (fs, m) = run(repr);
+            let (fs, m, stats) = run(repr);
             assert_eq!(fs, fs_ref);
             println!("    {label:<18} {:>14} element comparisons", m.tid_cmp);
+            jrows.raw(&jrow(&stats, &m));
         }
+        jdoc = jdoc
+            .raw("representations", &jrows.finish())
+            .raw("sequential_stats", &stats_ref.to_json(true));
+    }
+
+    if let Some(path) = json_path {
+        repro_bench::write_json(path, &jdoc.finish()).expect("write --json output");
+        eprintln!("[ablations] wrote {path}");
     }
 }

@@ -10,12 +10,17 @@
 //! ```text
 //! cargo run -p repro-bench --bin table2 --release [-- --scale=small \
 //!     --support=0.25 --large-configs --with-candidate-dist \
-//!     --schedule=greedy|roundrobin|support]
+//!     --schedule=greedy|roundrobin|support --json=results/table2.json]
 //! ```
+//!
+//! `--json=PATH` additionally writes one row per (database, config) cell
+//! with the embedded [`mining_types::MiningStats`] report of the Eclat
+//! run (per-phase simulated seconds, per-processor split, kernel work).
 
 use dbstore::HorizontalDb;
 use eclat::{EclatConfig, ScheduleHeuristic};
 use memchannel::CostModel;
+use mining_types::json::{Arr, Obj};
 use mining_types::MinSupport;
 use parbase::{CandidateDistConfig, CountDistConfig};
 use questgen::QuestGenerator;
@@ -38,6 +43,8 @@ fn main() {
     };
     let with_cand = args.has("with-candidate-dist");
     let configs = table2_configs(args.has("large-configs"));
+    let json_path = args.json_out();
+    let mut json_rows = Arr::new();
 
     println!("Table 2: Total Execution Time — Eclat (E) vs Count Distribution (CD)");
     println!("scale {scale:?}, support {support}%, schedule {heuristic:?}, simulated seconds\n");
@@ -91,9 +98,35 @@ fn main() {
                 cols.push(format!("{:.1}", cand.total_secs()));
             }
             println!("{}", row(&cols, &widths));
+            if json_path.is_some() {
+                json_rows.raw(
+                    &Obj::new()
+                        .str("database", &name)
+                        .u64("hosts", cfg.hosts as u64)
+                        .u64("procs_per_host", cfg.procs_per_host as u64)
+                        .u64("total_procs", cfg.total() as u64)
+                        .f64("cd_total_secs", cd.total_secs())
+                        .f64("eclat_total_secs", ec.total_secs())
+                        .f64("eclat_setup_secs", ec.setup_secs())
+                        .f64("cd_over_eclat", cd.total_secs() / ec.total_secs())
+                        .raw("stats", &ec.stats.to_json(false))
+                        .finish(),
+                );
+            }
         }
         println!();
     }
     println!("(paper shape: CD/E between 5 and 18 sequential, up to ~70 parallel;");
     println!(" Eclat setup = init + transformation, dominating 55-60% of E Total)");
+
+    if let Some(path) = json_path {
+        let doc = Obj::new()
+            .str("bench", "table2")
+            .str("scale", &format!("{scale:?}"))
+            .f64("support_percent", support)
+            .raw("rows", &json_rows.finish())
+            .finish();
+        repro_bench::write_json(path, &doc).expect("write --json output");
+        eprintln!("[table2] wrote {path}");
+    }
 }

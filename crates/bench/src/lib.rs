@@ -13,6 +13,11 @@
 //! `small`) and `--support=<percent>`; scaled runs shrink `|D|` while
 //! keeping `T10.I6` structure — Figure 6's shape and Table 2's ratios are
 //! determined by the frequency structure, not by `|D|` (DESIGN.md §4).
+//!
+//! `table2`, `fig7`, and `ablations` additionally accept `--json=PATH`
+//! and then write a machine-readable document (embedding the structured
+//! [`mining_types::MiningStats`] reports) alongside the text output —
+//! `scripts/bench_json.sh` regenerates `results/*.json` this way.
 
 use memchannel::ClusterConfig;
 use questgen::QuestParams;
@@ -150,6 +155,26 @@ impl Args {
             .map(|s| s.parse().expect("--support must be a number (percent)"))
             .unwrap_or_else(|| self.scale().default_support_percent())
     }
+
+    /// Output path of `--json=PATH`, if requested.
+    pub fn json_out(&self) -> Option<&str> {
+        self.get("json")
+    }
+}
+
+/// Write a JSON document to `path` (creating parent directories), with a
+/// trailing newline.
+pub fn write_json(path: &str, json: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut doc = json.to_string();
+    if !doc.ends_with('\n') {
+        doc.push('\n');
+    }
+    std::fs::write(path, doc)
 }
 
 /// Render a row of fixed-width columns.
@@ -208,5 +233,20 @@ mod tests {
     #[test]
     fn row_formatting() {
         assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a    bb");
+    }
+
+    #[test]
+    fn json_out_flag_and_writer() {
+        let a = Args::from_tokens(["--json=/tmp/x.json".to_string()]);
+        assert_eq!(a.json_out(), Some("/tmp/x.json"));
+        assert_eq!(Args::from_tokens(std::iter::empty()).json_out(), None);
+
+        let path = std::env::temp_dir()
+            .join(format!("repro-bench-{}/doc.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        write_json(&path, "{\"a\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+        std::fs::remove_file(&path).unwrap();
     }
 }

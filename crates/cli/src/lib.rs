@@ -7,12 +7,18 @@
 //! eclat stats    --input data.ech
 //! eclat mine     --input data.ech --support 0.1 [--algorithm eclat|parallel|apriori|clique]
 //!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
-//!                [--maximal] [--min-size K] [--top N]
+//!                [--maximal] [--min-size K] [--top N] [--stats[=json]]
 //! eclat rules    --input data.ech --support 0.5 --confidence 0.8 [--top N]
 //! eclat simulate --input data.ech --support 0.1 --hosts 8 --procs 4
 //!                [--algorithm eclat|hybrid|countdist]
 //!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
+//!                [--stats[=json]]
 //! ```
+//!
+//! `--stats` appends the structured [`mining_types::MiningStats`] report
+//! (per-phase timings/ops, per-level counts, kernel work, and — for
+//! `simulate` — the per-processor timeline split); `--stats=json` emits
+//! only the machine-readable JSON document.
 //!
 //! Databases are the workspace's binary horizontal format
 //! ([`dbstore::binfmt`]). Every subcommand is a pure function from
@@ -56,11 +62,12 @@ pub fn usage() -> String {
        stats    --input FILE\n\
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
-                [--maximal] [--min-size K] [--top N]\n\
+                [--maximal] [--min-size K] [--top N] [--stats[=json]]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
                 [--algorithm eclat|hybrid|countdist]\n\
-                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n"
+                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
+                [--stats[=json]]\n"
         .to_string()
 }
 
@@ -191,6 +198,28 @@ fn cmd_stats(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// What `--stats[=json]` asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StatsMode {
+    /// No stats report.
+    Off,
+    /// Append the human-readable report.
+    Human,
+    /// Emit only the JSON document.
+    Json,
+}
+
+fn stats_mode(flags: &Flags) -> Result<StatsMode, String> {
+    match flags.get("stats") {
+        Some("json") => Ok(StatsMode::Json),
+        Some(other) => Err(format!(
+            "--stats: expected '--stats' or '--stats=json', got '{other}'"
+        )),
+        None if flags.has("stats") => Ok(StatsMode::Human),
+        None => Ok(StatsMode::Off),
+    }
+}
+
 /// Parse `--representation tidlist|diffset|autoswitch[:DEPTH]`.
 fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
     let Some(raw) = flags.get("representation") else {
@@ -246,17 +275,44 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let representation = representation_of(flags)?;
     let min_size: usize = flags.parse("min-size", 2usize)?;
     let top: usize = flags.parse("top", 20usize)?;
+    let stats = stats_mode(flags)?;
 
     let t0 = std::time::Instant::now();
+    let mut report = None;
     let fs = if flags.has("maximal") {
-        if representation != eclat::Representation::default() {
-            return Err("--maximal mines on tid-lists; drop --representation".to_string());
+        if stats != StatsMode::Off {
+            return Err("--stats supports --algorithm eclat|parallel only".to_string());
         }
-        eclat::maximal::mine_maximal(&db, minsup)
+        // The library rejects non-tidlist representations (MaxEclat's
+        // look-ahead cannot mix depth-switching sets); surface its error.
+        let cfg = eclat::EclatConfig::with_representation(representation);
+        eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new())?
+    } else if stats != StatsMode::Off {
+        let cfg = eclat::EclatConfig::with_representation(representation);
+        let mut meter = OpMeter::new();
+        let (fs, r) = match algorithm {
+            "eclat" => eclat::sequential::mine_stats(&db, minsup, &cfg, &mut meter),
+            "parallel" => eclat::parallel::mine_stats(&db, minsup, &cfg, &mut meter),
+            other => {
+                return Err(format!(
+                    "--stats supports --algorithm eclat|parallel, not '{other}'"
+                ))
+            }
+        };
+        report = Some(r);
+        fs
     } else {
         mine_by_algorithm(&db, minsup, algorithm, representation)?
     };
     let dt = t0.elapsed().as_secs_f64();
+
+    if stats == StatsMode::Json {
+        let mut json = report
+            .expect("json mode always mines with stats")
+            .to_json(true);
+        json.push('\n');
+        return Ok(json);
+    }
 
     let mut out = String::new();
     let kind = if flags.has("maximal") {
@@ -287,6 +343,10 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
                 break;
             }
         }
+    }
+    if let Some(r) = &report {
+        out.push('\n');
+        out.push_str(&r.render());
     }
     Ok(out)
 }
@@ -340,6 +400,7 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     let cost = CostModel::dec_alpha_1997();
     let algorithm = flags.get("algorithm").unwrap_or("eclat");
     let cfg = eclat::EclatConfig::with_representation(representation_of(flags)?);
+    let stats = stats_mode(flags)?;
     let mut out = String::new();
     match algorithm {
         "eclat" | "hybrid" => {
@@ -348,6 +409,11 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
             } else {
                 eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg)
             };
+            if stats == StatsMode::Json {
+                let mut json = rep.stats.to_json(true);
+                json.push('\n');
+                return Ok(json);
+            }
             let _ = writeln!(
                 out,
                 "{algorithm} on {} — simulated {:.2}s (setup {:.2}s), |L2| = {}, {} frequent itemsets",
@@ -358,8 +424,15 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
                 rep.frequent.len()
             );
             out.push_str(&memchannel::stats::render(&rep.timeline));
+            if stats == StatsMode::Human {
+                out.push('\n');
+                out.push_str(&rep.stats.render());
+            }
         }
         "countdist" => {
+            if stats != StatsMode::Off {
+                return Err("--stats supports --algorithm eclat|hybrid only".to_string());
+            }
             let rep = parbase::mine_count_dist(&db, minsup, &topo, &cost, &Default::default());
             let _ = writeln!(
                 out,
@@ -543,6 +616,117 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("must be > 0"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_flag_on_mine_and_simulate() {
+        let path = tempfile("stats");
+        generate(&path, 1500);
+        let human = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(
+            human.contains("mining stats: eclat / sequential / tidlist"),
+            "{human}"
+        );
+        assert!(human.contains("phases:"), "{human}");
+        assert!(human.contains("kernel:"), "{human}");
+
+        let json = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--algorithm",
+            "parallel",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(
+            json.starts_with('{') && json.trim_end().ends_with('}'),
+            "{json}"
+        );
+        assert!(json.contains("\"variant\":\"parallel\""), "{json}");
+        assert!(json.contains("\"cluster\":null"), "{json}");
+
+        let sim = run(&argv(&[
+            "simulate",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--hosts",
+            "2",
+            "--procs",
+            "2",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(sim.contains("\"variant\":\"cluster\""), "{sim}");
+        assert!(sim.contains("\"load_imbalance\""), "{sim}");
+
+        // Stats are gated to the variants that produce them.
+        assert!(run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--algorithm",
+            "apriori",
+            "--stats",
+        ]))
+        .unwrap_err()
+        .contains("eclat|parallel"));
+        assert!(run(&argv(&[
+            "simulate",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--algorithm",
+            "countdist",
+            "--stats",
+        ]))
+        .unwrap_err()
+        .contains("eclat|hybrid"));
+        assert!(run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--stats=yaml",
+        ]))
+        .unwrap_err()
+        .contains("--stats"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn maximal_rejects_non_tidlist_representation() {
+        let path = tempfile("maxrep");
+        generate(&path, 300);
+        let err = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--maximal",
+            "--representation",
+            "diffset",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("tidlist"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -29,17 +29,11 @@ use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pair
 use dbstore::{BlockPartition, HorizontalDb};
 use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
 use memchannel::{ClusterConfig, CostModel, Timeline, TraceRecorder};
+use mining_types::stats::{MiningStats, PhaseStats};
 use mining_types::{FrequentSet, ItemId, MinSupport, OpMeter};
 use tidlist::TidList;
 
-/// Phase labels used in the recorded traces.
-pub const PHASE_INIT: &str = "init";
-/// Transformation phase label.
-pub const PHASE_TRANSFORM: &str = "transform";
-/// Asynchronous (mining) phase label.
-pub const PHASE_ASYNC: &str = "async";
-/// Final-reduction phase label.
-pub const PHASE_REDUCE: &str = "reduce";
+pub use crate::pipeline::{PHASE_ASYNC, PHASE_INIT, PHASE_REDUCE, PHASE_TRANSFORM};
 
 /// Result of a simulated cluster run.
 #[derive(Clone, Debug)]
@@ -54,6 +48,9 @@ pub struct ClusterReport {
     pub exchange_rounds: usize,
     /// Number of frequent 2-itemsets (the scheduling input size).
     pub num_l2: usize,
+    /// The structured stats report (same schema as live runs, plus the
+    /// per-processor cluster split; phase seconds are simulated).
+    pub stats: MiningStats,
 }
 
 impl ClusterReport {
@@ -91,6 +88,15 @@ pub fn mine_cluster(
         .collect();
     let mut barriers = BarrierSeq::new();
     let mut out = FrequentSet::new();
+    let mut stats = MiningStats::new("eclat", "cluster", &cfg.representation.to_string());
+    stats.transactions = n as u64;
+    stats.threshold = u64::from(threshold);
+    // Per-phase op totals, merged across the per-processor meters (the
+    // blocks partition the database, so the merged counts equal a
+    // sequential run's).
+    let mut init_ops = OpMeter::new();
+    let mut transform_ops = OpMeter::new();
+    let mut async_ops = OpMeter::new();
 
     // ---------------- Initialization phase ----------------
     let mut global_tri: Option<mining_types::TriangleMatrix> = None;
@@ -106,6 +112,7 @@ pub fn mine_cluster(
             let _ = count_items(db, block, &mut meter);
         }
         rec.compute(&meter);
+        init_ops.merge(&meter);
         match &mut global_tri {
             Some(g) => g.merge_from(&tri),
             None => global_tri = Some(tri),
@@ -121,14 +128,17 @@ pub fn mine_cluster(
         &mut barriers,
     );
 
+    let l2: Vec<(ItemId, ItemId, u32)> = global_tri.frequent_pairs(threshold).collect();
+    let num_l2 = l2.len();
+    stats.record_level(2, global_tri.cells() as u64, num_l2 as u64);
+
     if cfg.include_singletons {
         // The per-block cost was already metered above; the assembled
         // global counts are not charged twice.
-        pipeline::insert_frequent_singletons(db, threshold, &mut OpMeter::new(), &mut out);
+        let (counted, inserted) =
+            pipeline::insert_frequent_singletons(db, threshold, &mut OpMeter::new(), &mut out);
+        stats.record_level(1, counted, inserted);
     }
-
-    let l2: Vec<(ItemId, ItemId, u32)> = global_tri.frequent_pairs(threshold).collect();
-    let num_l2 = l2.len();
 
     if l2.is_empty() {
         // Nothing to transform or mine; close out the trace.
@@ -139,6 +149,16 @@ pub fn mine_cluster(
         sum_reduce(&mut recorders, &vec![0; t], bytes, &mut barriers);
         let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
         let timeline = memchannel::des::replay(cluster, cost, &traces);
+        for (label, ops) in [(PHASE_INIT, init_ops), (PHASE_REDUCE, OpMeter::new())] {
+            stats.phases.push(PhaseStats {
+                label: label.to_string(),
+                secs: timeline.phase_secs(label),
+                ops,
+            });
+        }
+        stats.num_frequent = out.len() as u64;
+        stats.total_ops = init_ops;
+        stats.cluster = Some(memchannel::stats::cluster_stats(&timeline, &traces));
         return ClusterReport {
             frequent: out,
             timeline,
@@ -148,6 +168,7 @@ pub fn mine_cluster(
             },
             exchange_rounds: 0,
             num_l2: 0,
+            stats,
         };
     }
 
@@ -194,6 +215,7 @@ pub fn mine_cluster(
         let mut meter = OpMeter::new();
         let lists = build_pair_tidlists(db, block, &idx, &mut meter);
         rec.compute(&meter);
+        transform_ops.merge(&meter);
         // Local tid-list transformation: write every partial list into
         // the memory-mapped region at its offset (§6.3).
         let local_bytes: u64 = lists.iter().map(|l| l.byte_size()).sum();
@@ -260,9 +282,13 @@ pub fn mine_cluster(
             .into_iter()
             .map(|(s, l)| (pairs_only[s].0, pairs_only[s].1, l))
             .collect();
-        let local =
+        let (local, class_stats) =
             pipeline::mine_classes(classes_of_l2(pairs_with_lists), threshold, cfg, &mut meter);
         rec.compute(&meter);
+        async_ops.merge(&meter);
+        for cs in class_stats {
+            stats.add_class(cs);
+        }
         local_results.push(local);
     }
 
@@ -279,12 +305,32 @@ pub fn mine_cluster(
 
     let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
     let timeline = memchannel::des::replay(cluster, cost, &traces);
+    let mut total_ops = init_ops;
+    total_ops.merge(&transform_ops);
+    total_ops.merge(&async_ops);
+    for (label, ops) in [
+        (PHASE_INIT, init_ops),
+        (PHASE_TRANSFORM, transform_ops),
+        (PHASE_ASYNC, async_ops),
+        (PHASE_REDUCE, OpMeter::new()),
+    ] {
+        stats.phases.push(PhaseStats {
+            label: label.to_string(),
+            secs: timeline.phase_secs(label),
+            ops,
+        });
+    }
+    stats.sort_classes();
+    stats.num_frequent = out.len() as u64;
+    stats.total_ops = total_ops;
+    stats.cluster = Some(memchannel::stats::cluster_stats(&timeline, &traces));
     ClusterReport {
         frequent: out,
         timeline,
         assignment,
         exchange_rounds,
         num_l2,
+        stats,
     }
 }
 
@@ -412,6 +458,62 @@ mod tests {
             );
             assert_eq!(report.frequent, expect, "{repr:?}");
         }
+    }
+
+    #[test]
+    fn cluster_stats_match_sequential_stats() {
+        let db = random_db(6, 220, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let cfg = EclatConfig::default();
+        let (_, seq) = pipeline::run_stats(
+            &db,
+            minsup,
+            &cfg,
+            &mut OpMeter::new(),
+            &pipeline::Serial,
+            "sequential",
+        );
+        let report = mine_cluster(&db, minsup, &ClusterConfig::new(2, 2), &cost(), &cfg);
+        let stats = &report.stats;
+        assert_eq!(stats.variant, "cluster");
+        // The cluster partitions the same work: merged levels, per-class
+        // kernels, and totals all match the sequential report.
+        assert_eq!(stats.levels, seq.levels);
+        assert_eq!(stats.classes, seq.classes);
+        assert_eq!(stats.kernel_totals(), seq.kernel_totals());
+        assert_eq!(stats.num_frequent, seq.num_frequent);
+        let labels: Vec<&str> = stats.phases.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![PHASE_INIT, PHASE_TRANSFORM, PHASE_ASYNC, PHASE_REDUCE]
+        );
+        // Phase seconds come from the simulated timeline, not wall clock.
+        for p in &stats.phases {
+            assert!(p.secs > 0.0, "phase {} has no simulated time", p.label);
+        }
+        let cs = stats.cluster.as_ref().expect("cluster split present");
+        assert_eq!(cs.procs.len(), 4);
+        assert!(cs.load_imbalance >= 1.0);
+        assert!((cs.total_secs - report.total_secs()).abs() < 1e-9);
+        assert!(cs.procs.iter().any(|p| p.bytes_sent > 0));
+    }
+
+    #[test]
+    fn empty_l2_report_still_carries_stats() {
+        let db = dbstore::HorizontalDb::of(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let report = mine_cluster(
+            &db,
+            MinSupport::from_fraction(0.6),
+            &ClusterConfig::new(2, 1),
+            &cost(),
+            &EclatConfig::with_singletons(),
+        );
+        let stats = &report.stats;
+        assert_eq!(stats.num_frequent, report.frequent.len() as u64);
+        let labels: Vec<&str> = stats.phases.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec![PHASE_INIT, PHASE_REDUCE]);
+        assert!(stats.levels.iter().any(|l| l.size == 1));
+        assert!(stats.cluster.is_some());
     }
 
     #[test]

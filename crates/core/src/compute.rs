@@ -24,6 +24,7 @@
 
 use crate::equivalence::{repartition, ClassMember, EquivalenceClass};
 use crate::schedule::ScheduleHeuristic;
+use mining_types::stats::KernelStats;
 use mining_types::{FrequentSet, FxHashSet, Itemset, OpMeter};
 use tidlist::TidSet;
 
@@ -49,6 +50,18 @@ pub enum Representation {
         /// Tid-list join levels below `L2` before the switch.
         depth: u32,
     },
+}
+
+impl std::fmt::Display for Representation {
+    /// Stable lowercase form used by the CLI flag parser and the stats
+    /// JSON: `tidlist`, `diffset`, `autoswitch:N`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::TidList => f.write_str("tidlist"),
+            Representation::Diffset => f.write_str("diffset"),
+            Representation::AutoSwitch { depth } => write!(f, "autoswitch:{depth}"),
+        }
+    }
 }
 
 /// Tuning switches for Eclat (all variants).
@@ -176,26 +189,51 @@ pub fn compute_frequent<S: TidSet>(
     meter: &mut OpMeter,
     out: &mut FrequentSet,
 ) {
+    compute_frequent_stats(class, minsup, cfg, meter, out, &mut KernelStats::new());
+}
+
+/// [`compute_frequent`] that additionally fills a [`KernelStats`] with
+/// per-level candidate/frequent counts, the short-circuit hit rate, the
+/// peak live tid-set footprint, and `AdaptiveSet` switch events.
+pub fn compute_frequent_stats<S: TidSet>(
+    class: EquivalenceClass<S>,
+    minsup: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+    stats: &mut KernelStats,
+) {
     // The A3 pruning state is scoped to the class subtree: a processor
     // mining its own classes has no cross-class knowledge — exactly the
     // locality limitation that makes pruning "of little or no help" for
     // Eclat (§5.3).
     let mut infrequent: FxHashSet<Itemset> = FxHashSet::default();
-    compute_rec(class, minsup, cfg, meter, out, &mut infrequent);
+    compute_rec(class, minsup, cfg, meter, out, &mut infrequent, stats);
 }
 
 /// The recursive kernel's per-level handler: collect frequent joins as
 /// next-level members, record them in the output, and feed the A3
-/// infrequent cache.
+/// infrequent cache and the kernel stats.
 struct FrequentCollector<'a, S> {
     next: Vec<ClassMember<S>>,
     out: &'a mut FrequentSet,
     infrequent: &'a mut FxHashSet<Itemset>,
     prune: bool,
+    stats: &'a mut KernelStats,
+    /// Whether `cfg.short_circuit` was on — an infrequent outcome then
+    /// came from a bounded join that bailed early.
+    short_circuit: bool,
+    /// Representation state of this level's members; a frequent child
+    /// reporting `is_switched()` when the parents did not is one
+    /// `AdaptiveSet` conversion event.
+    parent_switched: bool,
+    /// Total byte footprint of the frequent children collected so far.
+    child_bytes: u64,
 }
 
 impl<S: TidSet> JoinHandler<S> for FrequentCollector<'_, S> {
     fn accept(&mut self, candidate: &Itemset, meter: &mut OpMeter) -> bool {
+        self.stats.record_candidate(candidate.len() as u64);
         if self.prune && !prune_ok(candidate, self.infrequent, meter) {
             self.infrequent.insert(candidate.clone());
             return false;
@@ -206,6 +244,11 @@ impl<S: TidSet> JoinHandler<S> for FrequentCollector<'_, S> {
     fn on_result(&mut self, _i: usize, _j: usize, candidate: Itemset, joined: Option<S>) {
         match joined {
             Some(tids) => {
+                self.stats.record_frequent(candidate.len() as u64);
+                if !self.parent_switched && tids.is_switched() {
+                    self.stats.record_switch();
+                }
+                self.child_bytes += tids.byte_size();
                 self.out.insert(candidate.clone(), tids.support());
                 self.next.push(ClassMember {
                     itemset: candidate,
@@ -213,6 +256,7 @@ impl<S: TidSet> JoinHandler<S> for FrequentCollector<'_, S> {
                 });
             }
             None => {
+                self.stats.record_infrequent(self.short_circuit);
                 if self.prune {
                     self.infrequent.insert(candidate);
                 }
@@ -221,6 +265,7 @@ impl<S: TidSet> JoinHandler<S> for FrequentCollector<'_, S> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compute_rec<S: TidSet>(
     class: EquivalenceClass<S>,
     minsup: u32,
@@ -228,25 +273,36 @@ fn compute_rec<S: TidSet>(
     meter: &mut OpMeter,
     out: &mut FrequentSet,
     infrequent: &mut FxHashSet<Itemset>,
+    stats: &mut KernelStats,
 ) {
     if class.size() < 2 {
         return;
     }
     let members = class.members;
+    let parent_bytes: u64 = members.iter().map(|m| m.tids.byte_size()).sum();
+    let parent_switched = members[0].tids.is_switched();
     let mut collector = FrequentCollector {
         next: Vec::new(),
         out,
         infrequent,
         prune: cfg.prune,
+        stats,
+        short_circuit: cfg.short_circuit,
+        parent_switched,
+        child_bytes: 0,
     };
     join_level(&members, minsup, cfg, meter, &mut collector);
-    let next = collector.next;
-    // Parent tid-lists are no longer needed — free them before recursing
-    // (the §5.3 memory argument).
+    let FrequentCollector {
+        next, child_bytes, ..
+    } = collector;
+    // Peak memory for this level: parents and their frequent children are
+    // live simultaneously during the joins (§5.3's memory argument).
+    stats.observe_level_bytes(parent_bytes + child_bytes);
+    // Parent tid-lists are no longer needed — free them before recursing.
     drop(members);
 
     for sub in repartition(next) {
-        compute_rec(sub, minsup, cfg, meter, out, infrequent);
+        compute_rec(sub, minsup, cfg, meter, out, infrequent, stats);
     }
 }
 
@@ -411,6 +467,78 @@ mod tests {
         compute_frequent(class, 1, &EclatConfig::default(), &mut meter, &mut out);
         assert!(out.is_empty());
         assert_eq!(meter.cand_gen, 0);
+    }
+
+    #[test]
+    fn kernel_stats_count_joins_and_outcomes() {
+        use mining_types::stats::KernelStats;
+        let mut out = FrequentSet::new();
+        let mut stats = KernelStats::new();
+        compute_frequent_stats(
+            sample_class(),
+            2,
+            &EclatConfig::default(),
+            &mut OpMeter::new(),
+            &mut out,
+            &mut stats,
+        );
+        // 3 candidates at level 3: one frequent, two infrequent (both
+        // caught by the bounded join since short_circuit defaults on).
+        assert_eq!(stats.joins, 3);
+        assert_eq!(stats.frequent, 1);
+        assert_eq!(stats.infrequent, 2);
+        assert_eq!(stats.short_circuit_hits, 2);
+        assert_eq!(stats.short_circuit_rate(), 1.0);
+        assert_eq!(stats.levels.len(), 1);
+        assert_eq!(stats.levels[0].size, 3);
+        assert_eq!(stats.levels[0].candidates, 3);
+        assert_eq!(stats.levels[0].frequent, 1);
+        assert!(stats.peak_tid_bytes > 0);
+        assert_eq!(stats.switch_events, 0, "plain tid-lists never switch");
+
+        // Without short-circuiting the infrequent outcomes are full joins.
+        let mut plain = KernelStats::new();
+        compute_frequent_stats(
+            sample_class(),
+            2,
+            &EclatConfig {
+                short_circuit: false,
+                ..Default::default()
+            },
+            &mut OpMeter::new(),
+            &mut FrequentSet::new(),
+            &mut plain,
+        );
+        assert_eq!(plain.infrequent, 2);
+        assert_eq!(plain.short_circuit_hits, 0);
+    }
+
+    #[test]
+    fn kernel_stats_see_adaptive_switches() {
+        use mining_types::stats::KernelStats;
+        // Dense class: every join is frequent, so with fuel 1 the
+        // second-level joins all convert to diffsets.
+        let class = EquivalenceClass {
+            prefix: Itemset::of(&[0]),
+            members: (1..=4)
+                .map(|b| ClassMember {
+                    itemset: Itemset::of(&[0, b]),
+                    tids: AdaptiveSet::with_fuel(TidList::of(&[1, 2, 3]), 1),
+                })
+                .collect(),
+        };
+        let mut stats = KernelStats::new();
+        compute_frequent_stats(
+            class,
+            3,
+            &EclatConfig::default(),
+            &mut OpMeter::new(),
+            &mut FrequentSet::new(),
+            &mut stats,
+        );
+        // C(4,3)=4 level-4 members are the first produced at fuel 0.
+        assert_eq!(stats.switch_events, 4);
+        assert_eq!(stats.frequent, 6 + 4 + 1);
     }
 
     #[test]

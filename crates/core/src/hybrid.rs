@@ -25,6 +25,7 @@ use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
 use dbstore::{BlockPartition, HorizontalDb};
 use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
 use memchannel::{ClusterConfig, CostModel, TraceRecorder, BROADCAST};
+use mining_types::stats::{MiningStats, PhaseStats};
 use mining_types::{FrequentSet, ItemId, MinSupport, OpMeter};
 use tidlist::TidList;
 
@@ -49,6 +50,12 @@ pub fn mine_hybrid(
         .collect();
     let mut barriers = BarrierSeq::new();
     let mut out = FrequentSet::new();
+    let mut stats = MiningStats::new("eclat", "hybrid", &cfg.representation.to_string());
+    stats.transactions = n as u64;
+    stats.threshold = u64::from(threshold);
+    let mut init_ops = OpMeter::new();
+    let mut transform_ops = OpMeter::new();
+    let mut async_ops = OpMeter::new();
 
     // ---------------- Initialization ----------------
     // Each host's block is sub-split across its processors; every
@@ -66,6 +73,7 @@ pub fn mine_hybrid(
             let mut meter = OpMeter::new();
             let tri = count_pairs(db, range, &mut meter);
             rec.compute(&meter);
+            init_ops.merge(&meter);
             match &mut global_tri {
                 Some(g) => g.merge_from(&tri),
                 None => global_tri = Some(tri),
@@ -94,6 +102,7 @@ pub fn mine_hybrid(
 
     let l2: Vec<(ItemId, ItemId, u32)> = global_tri.frequent_pairs(threshold).collect();
     let num_l2 = l2.len();
+    stats.record_level(2, global_tri.cells() as u64, num_l2 as u64);
     if l2.is_empty() {
         for rec in &mut recorders {
             rec.phase(PHASE_REDUCE);
@@ -101,6 +110,16 @@ pub fn mine_hybrid(
         sum_reduce(&mut recorders, &vec![0; t], 0, &mut barriers);
         let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
         let timeline = memchannel::des::replay(cluster, cost, &traces);
+        for (label, ops) in [(PHASE_INIT, init_ops), (PHASE_REDUCE, OpMeter::new())] {
+            stats.phases.push(PhaseStats {
+                label: label.to_string(),
+                secs: timeline.phase_secs(label),
+                ops,
+            });
+        }
+        stats.num_frequent = out.len() as u64;
+        stats.total_ops = init_ops;
+        stats.cluster = Some(memchannel::stats::cluster_stats(&timeline, &traces));
         return ClusterReport {
             frequent: out,
             timeline,
@@ -110,6 +129,7 @@ pub fn mine_hybrid(
             },
             exchange_rounds: 0,
             num_l2: 0,
+            stats,
         };
     }
 
@@ -156,6 +176,7 @@ pub fn mine_hybrid(
             let mut meter = OpMeter::new();
             let lists = build_pair_tidlists(db, range, &idx, &mut meter);
             rec.compute(&meter);
+            transform_ops.merge(&meter);
             let bytes: u64 = lists.iter().map(|l| l.byte_size()).sum();
             rec.local_copy(bytes);
             for (slot, part) in lists.into_iter().enumerate() {
@@ -247,8 +268,13 @@ pub fn mine_hybrid(
                 rec.disk_read(bytes);
             }
             let mut meter = OpMeter::new();
-            let local_out = crate::pipeline::mine_classes(my_classes, threshold, cfg, &mut meter);
+            let (local_out, class_stats) =
+                crate::pipeline::mine_classes(my_classes, threshold, cfg, &mut meter);
             rec.compute(&meter);
+            async_ops.merge(&meter);
+            for cs in class_stats {
+                stats.add_class(cs);
+            }
             local_results.push(local_out);
         }
     }
@@ -269,12 +295,32 @@ pub fn mine_hybrid(
 
     let traces: Vec<_> = recorders.into_iter().map(|r| r.finish()).collect();
     let timeline = memchannel::des::replay(cluster, cost, &traces);
+    let mut total_ops = init_ops;
+    total_ops.merge(&transform_ops);
+    total_ops.merge(&async_ops);
+    for (label, ops) in [
+        (PHASE_INIT, init_ops),
+        (PHASE_TRANSFORM, transform_ops),
+        (PHASE_ASYNC, async_ops),
+        (PHASE_REDUCE, OpMeter::new()),
+    ] {
+        stats.phases.push(PhaseStats {
+            label: label.to_string(),
+            secs: timeline.phase_secs(label),
+            ops,
+        });
+    }
+    stats.sort_classes();
+    stats.num_frequent = out.len() as u64;
+    stats.total_ops = total_ops;
+    stats.cluster = Some(memchannel::stats::cluster_stats(&timeline, &traces));
     ClusterReport {
         frequent: out,
         timeline,
         assignment: host_assignment,
         exchange_rounds,
         num_l2,
+        stats,
     }
 }
 
@@ -336,6 +382,30 @@ mod tests {
         // should be within a small factor
         let ratio = hybrid.total_secs() / flat.total_secs();
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hybrid_stats_match_sequential_stats() {
+        let db = random_db(11, 240, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let cfg = EclatConfig::default();
+        let (_, seq) = crate::pipeline::run_stats(
+            &db,
+            minsup,
+            &cfg,
+            &mut OpMeter::new(),
+            &crate::pipeline::Serial,
+            "sequential",
+        );
+        let report = mine_hybrid(&db, minsup, &ClusterConfig::new(2, 2), &cost(), &cfg);
+        let stats = &report.stats;
+        assert_eq!(stats.variant, "hybrid");
+        assert_eq!(stats.levels, seq.levels);
+        assert_eq!(stats.classes, seq.classes);
+        assert_eq!(stats.kernel_totals(), seq.kernel_totals());
+        assert_eq!(stats.num_frequent, seq.num_frequent);
+        let cs = stats.cluster.as_ref().expect("cluster split present");
+        assert_eq!(cs.procs.len(), 4);
     }
 
     #[test]

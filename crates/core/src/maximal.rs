@@ -13,7 +13,7 @@
 //! supports. Cross-checked against `FrequentSet::maximal()` of the full
 //! miner.
 
-use crate::compute::{join_level, EclatConfig, JoinHandler};
+use crate::compute::{join_level, EclatConfig, JoinHandler, Representation};
 use crate::equivalence::{ClassMember, EquivalenceClass};
 use crate::pipeline::{self, ExecutionPolicy, Serial};
 use dbstore::HorizontalDb;
@@ -24,24 +24,35 @@ use tidlist::TidSet;
 pub fn mine_maximal(db: &HorizontalDb, minsup: MinSupport) -> FrequentSet {
     let mut meter = OpMeter::new();
     mine_maximal_with(db, minsup, &EclatConfig::default(), &mut meter)
+        .expect("default config uses tid-lists")
 }
 
 /// [`mine_maximal`] with configuration and metering.
 ///
-/// Runs on tid-lists regardless of [`EclatConfig::representation`]: the
-/// look-ahead folds one accumulator through members at *different* join
-/// depths, which the depth-switching representations cannot mix.
+/// MaxEclat runs on tid-lists only: the look-ahead folds one accumulator
+/// through members at *different* join depths, which the depth-switching
+/// representations cannot mix. A config asking for any other
+/// [`EclatConfig::representation`] is rejected with `Err` instead of
+/// being silently mined on tid-lists.
 pub fn mine_maximal_with(
     db: &HorizontalDb,
     minsup: MinSupport,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
-) -> FrequentSet {
+) -> Result<FrequentSet, String> {
+    if !matches!(cfg.representation, Representation::TidList) {
+        return Err(format!(
+            "MaxEclat supports only the tidlist representation, not `{}`: \
+             its look-ahead joins members across different depths, which \
+             the depth-switching diffset representations cannot mix",
+            cfg.representation
+        ));
+    }
     let threshold = minsup.count_threshold(db.num_transactions());
     let tri = Serial.count_pairs(db, meter);
     let l2 = pipeline::frequent_l2(&tri, threshold);
     if l2.is_empty() {
-        return FrequentSet::new();
+        return Ok(FrequentSet::new());
     }
 
     // Collect candidate-maximal itemsets from every class, then filter
@@ -71,7 +82,7 @@ pub fn mine_maximal_with(
             out.insert(is.clone(), *sup);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Recursive hybrid search over one class. Pushes locally-maximal
@@ -214,7 +225,7 @@ mod tests {
         let db = HorizontalDb::from_transactions(txns);
         let minsup = MinSupport::from_percent(50.0);
         let mut m_max = OpMeter::new();
-        let max = mine_maximal_with(&db, minsup, &EclatConfig::default(), &mut m_max);
+        let max = mine_maximal_with(&db, minsup, &EclatConfig::default(), &mut m_max).unwrap();
         // the 8-item core is the unique maximal set
         assert_eq!(max.len(), 1);
         let (top, sup) = max.iter().next().unwrap();
@@ -249,5 +260,22 @@ mod tests {
     fn empty_database() {
         let db = HorizontalDb::of(&[]);
         assert!(mine_maximal(&db, MinSupport::from_percent(1.0)).is_empty());
+    }
+
+    #[test]
+    fn non_tidlist_representations_are_rejected() {
+        use crate::compute::Representation;
+        let db = random_db(3, 50, 8, 4);
+        let minsup = MinSupport::from_percent(10.0);
+        for repr in [
+            Representation::Diffset,
+            Representation::AutoSwitch { depth: 2 },
+        ] {
+            let cfg = EclatConfig::with_representation(repr);
+            let err = mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new())
+                .expect_err("non-tidlist representation must be rejected");
+            assert!(err.contains("tidlist"), "unhelpful error: {err}");
+            assert!(err.contains(&repr.to_string()), "error names repr: {err}");
+        }
     }
 }

@@ -41,6 +41,18 @@ pub fn mine_with(
     pipeline::run(db, minsup, cfg, meter, &Rayon)
 }
 
+/// [`mine_with`] that also returns the structured [`MiningStats`] report.
+/// The vendored rayon preserves class order on collect, so the stats are
+/// identical to a sequential run's (wall-clock seconds aside).
+pub fn mine_stats(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> (FrequentSet, mining_types::MiningStats) {
+    pipeline::run_stats(db, minsup, cfg, meter, &Rayon, "parallel")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,13 +23,24 @@
 //! directly instead of [`run`] — but their per-class mining is the same
 //! [`mine_classes`] used here, representation dispatch included.
 
-use crate::compute::{compute_frequent, EclatConfig, Representation};
+use crate::compute::{compute_frequent_stats, EclatConfig, Representation};
 use crate::equivalence::{classes_of_l2, ClassMember, EquivalenceClass};
 use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
 use dbstore::HorizontalDb;
+use mining_types::stats::{ClassStats, KernelStats, MiningStats, PhaseStats};
 use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter, TriangleMatrix};
 use rayon::prelude::*;
+use std::time::Instant;
 use tidlist::AdaptiveSet;
+
+/// Trace/stats label of the initialization phase (§5.1 counting).
+pub const PHASE_INIT: &str = "init";
+/// Trace/stats label of the vertical-transformation phase (§5.2.2).
+pub const PHASE_TRANSFORM: &str = "transform";
+/// Trace/stats label of the asynchronous per-class mining phase (§5.3).
+pub const PHASE_ASYNC: &str = "async";
+/// Trace/stats label of the final result reduction (cluster variants).
+pub const PHASE_REDUCE: &str = "reduce";
 
 /// How the phases map onto compute resources. The policy owns the two
 /// parallelizable steps; everything else is inherently ordered (the
@@ -40,7 +51,10 @@ pub trait ExecutionPolicy {
     fn count_pairs(&self, db: &HorizontalDb, meter: &mut OpMeter) -> TriangleMatrix;
 
     /// Phase 3: mine every `L2` class (members are recorded too), merging
-    /// all per-task metering into `meter` and all results into `out`.
+    /// all per-task metering into `meter`, all results into `out`, and
+    /// appending one [`ClassStats`] per class to `stats` in class order
+    /// (the vendored rayon's collect preserves input order, so parallel
+    /// stats line up with serial ones).
     fn mine_classes(
         &self,
         classes: Vec<EquivalenceClass>,
@@ -48,6 +62,7 @@ pub trait ExecutionPolicy {
         cfg: &EclatConfig,
         meter: &mut OpMeter,
         out: &mut FrequentSet,
+        stats: &mut Vec<ClassStats>,
     );
 }
 
@@ -66,9 +81,10 @@ impl ExecutionPolicy for Serial {
         cfg: &EclatConfig,
         meter: &mut OpMeter,
         out: &mut FrequentSet,
+        stats: &mut Vec<ClassStats>,
     ) {
         for class in classes {
-            mine_class(class, threshold, cfg, meter, out);
+            stats.push(mine_class(class, threshold, cfg, meter, out));
         }
     }
 }
@@ -117,19 +133,21 @@ impl ExecutionPolicy for Rayon {
         cfg: &EclatConfig,
         meter: &mut OpMeter,
         out: &mut FrequentSet,
+        stats: &mut Vec<ClassStats>,
     ) {
-        let partials: Vec<(FrequentSet, OpMeter)> = classes
+        let partials: Vec<(FrequentSet, OpMeter, ClassStats)> = classes
             .into_par_iter()
             .map(|class| {
                 let mut local = FrequentSet::new();
                 let mut m = OpMeter::new();
-                mine_class(class, threshold, cfg, &mut m, &mut local);
-                (local, m)
+                let cs = mine_class(class, threshold, cfg, &mut m, &mut local);
+                (local, m, cs)
             })
             .collect();
-        for (p, m) in partials {
+        for (p, m, cs) in partials {
             out.merge(p);
             meter.merge(&m);
+            stats.push(cs);
         }
     }
 }
@@ -143,18 +161,23 @@ pub fn frequent_l2(tri: &TriangleMatrix, threshold: u32) -> Vec<(ItemId, ItemId)
 
 /// Piggybacked singleton pass (only when `cfg.include_singletons`): count
 /// 1-itemsets over the horizontal layout and record the frequent ones.
+/// Returns `(items_counted, items_frequent)` — the level-1 candidate and
+/// frequent counts for the stats report.
 pub fn insert_frequent_singletons(
     db: &HorizontalDb,
     threshold: u32,
     meter: &mut OpMeter,
     out: &mut FrequentSet,
-) {
+) -> (u64, u64) {
     let counts = count_items(db, 0..db.num_transactions(), meter);
+    let mut inserted = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         if c >= threshold {
             out.insert(Itemset::single(ItemId(i as u32)), c);
+            inserted += 1;
         }
     }
+    (counts.len() as u64, inserted)
 }
 
 /// Phase 2: vertical transformation — one ordered scan building the `L2`
@@ -176,33 +199,41 @@ pub fn vertical_classes(
 
 /// Phase 3 for one class: record its members (they are frequent by
 /// construction), then run the recursive kernel on the configured
-/// representation.
+/// representation. Returns the per-class work statistics.
 pub fn mine_class(
     class: EquivalenceClass,
     threshold: u32,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
     out: &mut FrequentSet,
-) {
+) -> ClassStats {
     for m in &class.members {
         out.insert(m.itemset.clone(), m.tids.support());
     }
-    compute_class(class, threshold, cfg, meter, out);
+    let mut stats = ClassStats {
+        prefix: class.prefix.items().iter().map(|i| i.0).collect(),
+        members: class.members.len() as u64,
+        kernel: KernelStats::new(),
+    };
+    compute_class_stats(class, threshold, cfg, meter, out, &mut stats.kernel);
+    stats
 }
 
 /// Phase 3 for a batch of classes into a fresh result set — the shape the
-/// cluster/hybrid per-processor loops and rayon tasks want.
+/// cluster/hybrid per-processor loops want. Returns the results plus one
+/// [`ClassStats`] per class, in class order.
 pub fn mine_classes(
     classes: Vec<EquivalenceClass>,
     threshold: u32,
     cfg: &EclatConfig,
     meter: &mut OpMeter,
-) -> FrequentSet {
+) -> (FrequentSet, Vec<ClassStats>) {
     let mut out = FrequentSet::new();
+    let mut stats = Vec::with_capacity(classes.len());
     for class in classes {
-        mine_class(class, threshold, cfg, meter, &mut out);
+        stats.push(mine_class(class, threshold, cfg, meter, &mut out));
     }
-    out
+    (out, stats)
 }
 
 /// Run the recursive kernel on a tid-list `L2` class, dispatching on
@@ -220,13 +251,25 @@ pub fn compute_class(
     meter: &mut OpMeter,
     out: &mut FrequentSet,
 ) {
+    compute_class_stats(class, threshold, cfg, meter, out, &mut KernelStats::new());
+}
+
+/// [`compute_class`] that also fills the kernel work counters.
+pub fn compute_class_stats(
+    class: EquivalenceClass,
+    threshold: u32,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    out: &mut FrequentSet,
+    stats: &mut KernelStats,
+) {
     match cfg.representation {
-        Representation::TidList => compute_frequent(class, threshold, cfg, meter, out),
+        Representation::TidList => compute_frequent_stats(class, threshold, cfg, meter, out, stats),
         Representation::Diffset => {
-            compute_frequent(fuel_class(class, 0), threshold, cfg, meter, out)
+            compute_frequent_stats(fuel_class(class, 0), threshold, cfg, meter, out, stats)
         }
         Representation::AutoSwitch { depth } => {
-            compute_frequent(fuel_class(class, depth), threshold, cfg, meter, out)
+            compute_frequent_stats(fuel_class(class, depth), threshold, cfg, meter, out, stats)
         }
     }
 }
@@ -275,8 +318,77 @@ pub fn run(
     let classes = vertical_classes(db, &l2, meter);
 
     // --- Phase 3 (asynchronous, §5.3): per-class recursive mining.
-    policy.mine_classes(classes, threshold, cfg, meter, &mut out);
+    policy.mine_classes(classes, threshold, cfg, meter, &mut out, &mut Vec::new());
     out
+}
+
+/// [`run`] that also produces the structured [`MiningStats`] report:
+/// per-phase wall-clock/op deltas, per-level candidate/frequent counts,
+/// and per-class kernel work. `variant` labels the report
+/// (`"sequential"` / `"parallel"`); live runs have no simulated cluster,
+/// so `stats.cluster` is `None`.
+pub fn run_stats(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+    policy: &impl ExecutionPolicy,
+    variant: &str,
+) -> (FrequentSet, MiningStats) {
+    let threshold = minsup.count_threshold(db.num_transactions());
+    let mut stats = MiningStats::new("eclat", variant, &cfg.representation.to_string());
+    stats.transactions = db.num_transactions() as u64;
+    stats.threshold = u64::from(threshold);
+    let mut out = FrequentSet::new();
+    let start_ops = *meter;
+
+    // --- Phase 1 (initialization, §5.1).
+    let t_init = Instant::now();
+    let tri = policy.count_pairs(db, meter);
+    let l2 = frequent_l2(&tri, threshold);
+    stats.record_level(2, tri.cells() as u64, l2.len() as u64);
+    if cfg.include_singletons {
+        let (counted, inserted) = insert_frequent_singletons(db, threshold, meter, &mut out);
+        stats.record_level(1, counted, inserted);
+    }
+    stats.phases.push(PhaseStats {
+        label: PHASE_INIT.to_string(),
+        secs: t_init.elapsed().as_secs_f64(),
+        ops: meter.since(&start_ops),
+    });
+    if l2.is_empty() {
+        stats.num_frequent = out.len() as u64;
+        stats.total_ops = meter.since(&start_ops);
+        return (out, stats);
+    }
+
+    // --- Phase 2 (transformation, §5.2.2).
+    let t_transform = Instant::now();
+    let ops_before_transform = *meter;
+    let classes = vertical_classes(db, &l2, meter);
+    stats.phases.push(PhaseStats {
+        label: PHASE_TRANSFORM.to_string(),
+        secs: t_transform.elapsed().as_secs_f64(),
+        ops: meter.since(&ops_before_transform),
+    });
+
+    // --- Phase 3 (asynchronous, §5.3).
+    let t_async = Instant::now();
+    let ops_before_async = *meter;
+    let mut class_stats = Vec::new();
+    policy.mine_classes(classes, threshold, cfg, meter, &mut out, &mut class_stats);
+    stats.phases.push(PhaseStats {
+        label: PHASE_ASYNC.to_string(),
+        secs: t_async.elapsed().as_secs_f64(),
+        ops: meter.since(&ops_before_async),
+    });
+    for cs in class_stats {
+        stats.add_class(cs);
+    }
+    stats.sort_classes();
+    stats.num_frequent = out.len() as u64;
+    stats.total_ops = meter.since(&start_ops);
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -323,6 +435,82 @@ mod tests {
     }
 
     #[test]
+    fn run_stats_reports_phases_levels_and_classes() {
+        let db = random_db(17, 150, 12, 6);
+        let minsup = MinSupport::from_percent(6.0);
+        let cfg = EclatConfig::default();
+        let mut meter = OpMeter::new();
+        let (fs, stats) = run_stats(&db, minsup, &cfg, &mut meter, &Serial, "sequential");
+        assert_eq!(fs, run(&db, minsup, &cfg, &mut OpMeter::new(), &Serial));
+        assert_eq!(stats.variant, "sequential");
+        assert_eq!(stats.representation, "tidlist");
+        assert_eq!(stats.transactions, 150);
+        assert_eq!(stats.num_frequent, fs.len() as u64);
+        assert_eq!(stats.total_ops, meter);
+        // The three live phases in order, with ops attributed to each.
+        let labels: Vec<&str> = stats.phases.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec![PHASE_INIT, PHASE_TRANSFORM, PHASE_ASYNC]);
+        assert!(stats.phases[0].ops.pair_incr > 0, "counting in init");
+        assert!(stats.phases[2].ops.tid_cmp > 0, "joins in async");
+        // Level 2 comes from the triangle; deeper levels from the kernel.
+        assert_eq!(stats.levels[0].size, 2);
+        assert!(stats.levels[0].candidates >= stats.levels[0].frequent);
+        let l2_frequent = stats.levels[0].frequent;
+        assert_eq!(
+            l2_frequent,
+            fs.iter().filter(|(is, _)| is.len() == 2).count() as u64
+        );
+        // Classes are sorted by prefix and their frequent counts plus L2
+        // plus singletons account for the whole output.
+        assert!(!stats.classes.is_empty());
+        for w in stats.classes.windows(2) {
+            assert!(w[0].prefix < w[1].prefix);
+        }
+        let kernel_frequent: u64 = stats.classes.iter().map(|c| c.kernel.frequent).sum();
+        assert_eq!(kernel_frequent + l2_frequent, stats.num_frequent);
+        assert!(stats.cluster.is_none(), "live run has no simulated cluster");
+    }
+
+    #[test]
+    fn run_stats_parallel_equals_sequential() {
+        let db = random_db(29, 200, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let cfg = EclatConfig::default();
+        let (fs_s, seq) = run_stats(&db, minsup, &cfg, &mut OpMeter::new(), &Serial, "x");
+        let (fs_p, par) = run_stats(&db, minsup, &cfg, &mut OpMeter::new(), &Rayon, "x");
+        assert_eq!(fs_s, fs_p);
+        // Everything except wall-clock seconds is schedule-independent.
+        assert_eq!(seq.total_ops, par.total_ops);
+        assert_eq!(seq.levels, par.levels);
+        assert_eq!(seq.classes, par.classes);
+        assert_eq!(seq.kernel_totals(), par.kernel_totals());
+        for (a, b) in seq.phases.iter().zip(&par.phases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.ops, b.ops);
+        }
+    }
+
+    #[test]
+    fn run_stats_empty_l2_still_reports() {
+        let db = dbstore::HorizontalDb::of(&[&[0, 1], &[2, 3], &[4, 5]]);
+        let (fs, stats) = run_stats(
+            &db,
+            MinSupport::from_fraction(0.6),
+            &EclatConfig::with_singletons(),
+            &mut OpMeter::new(),
+            &Serial,
+            "sequential",
+        );
+        assert_eq!(stats.num_frequent, fs.len() as u64);
+        assert_eq!(stats.phases.len(), 1, "only init runs");
+        assert_eq!(stats.phases[0].label, PHASE_INIT);
+        // Level 1 recorded from the singleton pass, level 2 all-infrequent.
+        assert!(stats.levels.iter().any(|l| l.size == 1));
+        let l2 = stats.levels.iter().find(|l| l.size == 2).unwrap();
+        assert_eq!(l2.frequent, 0);
+    }
+
+    #[test]
     fn empty_database_under_both_policies() {
         let db = dbstore::HorizontalDb::of(&[]);
         let cfg = EclatConfig::default();
@@ -331,7 +519,7 @@ mod tests {
             let mut meter = OpMeter::new();
             let tri = policy.count_pairs(&db, &mut meter);
             assert!(frequent_l2(&tri, 1).is_empty());
-            policy.mine_classes(vec![], 1, &cfg, &mut meter, &mut out);
+            policy.mine_classes(vec![], 1, &cfg, &mut meter, &mut out, &mut Vec::new());
             assert!(out.is_empty());
         }
         assert!(run(

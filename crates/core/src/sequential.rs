@@ -32,6 +32,17 @@ pub fn mine_with(
     pipeline::run(db, minsup, cfg, meter, &Serial)
 }
 
+/// [`mine_with`] that also returns the structured [`MiningStats`] report
+/// (per-phase timings/ops, per-level counts, per-class kernel work).
+pub fn mine_stats(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    cfg: &EclatConfig,
+    meter: &mut OpMeter,
+) -> (FrequentSet, mining_types::MiningStats) {
+    pipeline::run_stats(db, minsup, cfg, meter, &Serial, "sequential")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,4 +34,4 @@ pub mod trace;
 
 pub use config::{ClusterConfig, CostModel};
 pub use des::{ProcTimeline, Timeline};
-pub use trace::{Step, Trace, TraceRecorder, BROADCAST};
+pub use trace::{PhaseSteps, Step, Trace, TraceRecorder, BROADCAST};

@@ -1,9 +1,12 @@
 //! Timeline reporting: turn a replayed [`Timeline`] into human-readable
 //! summaries — per-phase tables, per-processor utilization, and a text
-//! Gantt strip. Used by the `cluster_simulation` example and the repro
-//! binaries' verbose modes.
+//! Gantt strip — and into the structured [`mining_types::stats`] form the
+//! observability layer embeds in [`mining_types::MiningStats`]. Used by
+//! the `cluster_simulation` example and the repro binaries' verbose modes.
 
 use crate::des::Timeline;
+use crate::trace::{Step, Trace, BROADCAST};
+use mining_types::stats::{ClusterStats, ProcStats};
 
 /// Aggregated view of one timeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,6 +99,75 @@ pub fn render(tl: &Timeline) -> String {
     out
 }
 
+/// Build the structured per-processor split for [`mining_types::MiningStats`]
+/// from a replayed timeline plus the traces it replayed.
+///
+/// Time splits come from the replay (so they include contention and
+/// queueing); byte counts come from the traces — sends via
+/// [`Trace::phase_breakdown`], receives by scanning every other trace's
+/// `Send` steps ([`BROADCAST`] counts as received by all other
+/// processors). Load imbalance is max busy time over mean busy time,
+/// where busy = compute + disk + net.
+///
+/// # Panics
+/// Panics when `traces` does not match the timeline's processor count.
+pub fn cluster_stats(tl: &Timeline, traces: &[Trace]) -> ClusterStats {
+    assert_eq!(
+        tl.per_proc.len(),
+        traces.len(),
+        "one trace per timeline processor"
+    );
+    let n = traces.len();
+    let mut received = vec![0u64; n];
+    for (from, t) in traces.iter().enumerate() {
+        for step in &t.steps {
+            if let Step::Send { to, bytes, .. } = *step {
+                if to == BROADCAST {
+                    for (q, r) in received.iter_mut().enumerate() {
+                        if q != from {
+                            *r += bytes;
+                        }
+                    }
+                } else {
+                    received[to] += bytes;
+                }
+            }
+        }
+    }
+    let procs: Vec<ProcStats> = tl
+        .per_proc
+        .iter()
+        .zip(traces)
+        .enumerate()
+        .map(|(p, (pt, trace))| ProcStats {
+            proc: p as u64,
+            compute_secs: pt.compute_ns / 1e9,
+            disk_secs: pt.disk_ns / 1e9,
+            net_secs: pt.net_ns / 1e9,
+            idle_secs: pt.blocked_ns / 1e9,
+            finish_secs: pt.finish_ns / 1e9,
+            bytes_sent: trace.phase_breakdown().iter().map(|ph| ph.bytes_sent).sum(),
+            bytes_received: received[p],
+        })
+        .collect();
+    let busy: Vec<f64> = procs
+        .iter()
+        .map(|p| p.compute_secs + p.disk_secs + p.net_secs)
+        .collect();
+    let max_busy = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mean_busy = busy.iter().sum::<f64>() / n as f64;
+    let load_imbalance = if mean_busy > 0.0 {
+        max_busy / mean_busy
+    } else {
+        1.0
+    };
+    ClusterStats {
+        total_secs: tl.total_secs(),
+        load_imbalance,
+        procs,
+    }
+}
+
 fn bar(frac: f64, width: usize) -> String {
     let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
     let mut s = String::with_capacity(width);
@@ -172,5 +244,66 @@ mod tests {
     #[should_panic(expected = "empty timeline")]
     fn empty_timeline_rejected() {
         summarize(&Timeline { per_proc: vec![] });
+    }
+
+    #[test]
+    fn cluster_stats_splits_time_and_bytes() {
+        let cfg = ClusterConfig::new(2, 1);
+        let cost = CostModel::dec_alpha_1997();
+        let mut recs: Vec<TraceRecorder> = (0..2)
+            .map(|p| TraceRecorder::new(p, cost.clone()))
+            .collect();
+        recs[0].phase("init");
+        recs[0].compute_ns(2e9);
+        recs[0].send_tagged(1, 1000, 0);
+        recs[1].phase("init");
+        recs[1].compute_ns(1e9);
+        recs[1].recv(0, 0);
+        let traces: Vec<_> = recs.into_iter().map(|r| r.finish()).collect();
+        let tl = replay(&cfg, &cost, &traces);
+        let cs = cluster_stats(&tl, &traces);
+        assert_eq!(cs.procs.len(), 2);
+        assert_eq!(cs.procs[0].bytes_sent, 1000);
+        assert_eq!(cs.procs[0].bytes_received, 0);
+        assert_eq!(cs.procs[1].bytes_sent, 0);
+        assert_eq!(cs.procs[1].bytes_received, 1000);
+        assert!((cs.procs[0].compute_secs - 2.0).abs() < 1e-9);
+        assert!((cs.procs[1].compute_secs - 1.0).abs() < 1e-9);
+        // proc 1 blocks waiting for the send → idle time recorded
+        assert!(cs.procs[1].idle_secs > 0.5);
+        assert!(cs.total_secs >= 2.0);
+        // proc 0 is busier than the mean → imbalance above 1
+        assert!(cs.load_imbalance > 1.0);
+    }
+
+    #[test]
+    fn cluster_stats_broadcast_received_by_all_others() {
+        let cfg = ClusterConfig::new(3, 1);
+        let cost = CostModel::dec_alpha_1997();
+        let mut recs: Vec<TraceRecorder> = (0..3)
+            .map(|p| TraceRecorder::new(p, cost.clone()))
+            .collect();
+        recs[0].send_tagged(crate::trace::BROADCAST, 64, 0);
+        for r in &mut recs {
+            r.barrier(0);
+        }
+        let traces: Vec<_> = recs.into_iter().map(|r| r.finish()).collect();
+        let tl = replay(&cfg, &cost, &traces);
+        let cs = cluster_stats(&tl, &traces);
+        assert_eq!(cs.procs[0].bytes_sent, 64);
+        assert_eq!(cs.procs[0].bytes_received, 0);
+        assert_eq!(cs.procs[1].bytes_received, 64);
+        assert_eq!(cs.procs[2].bytes_received, 64);
+    }
+
+    #[test]
+    fn cluster_stats_idle_cluster_imbalance_is_one() {
+        let cfg = ClusterConfig::new(2, 1);
+        let cost = CostModel::dec_alpha_1997();
+        let traces = vec![crate::trace::Trace::default(); 2];
+        let tl = replay(&cfg, &cost, &traces);
+        let cs = cluster_stats(&tl, &traces);
+        assert_eq!(cs.load_imbalance, 1.0);
+        assert_eq!(cs.total_secs, 0.0);
     }
 }

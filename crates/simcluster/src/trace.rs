@@ -66,6 +66,74 @@ pub struct Trace {
     pub steps: Vec<Step>,
 }
 
+/// Per-phase totals of the *recorded* quantities in a [`Trace`] —
+/// attribution happens at record time, before any replay, so these are
+/// contention-free sums (compute is pre-priced ns; disk/net are bytes).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseSteps {
+    /// The phase label steps were attributed to ([`crate::des::UNLABELED`]
+    /// for steps before the first marker).
+    pub label: &'static str,
+    /// Pre-priced compute nanoseconds.
+    pub compute_ns: f64,
+    /// Bytes read from disk.
+    pub disk_read_bytes: u64,
+    /// Bytes written to disk.
+    pub disk_write_bytes: u64,
+    /// Payload bytes sent (direct and broadcast).
+    pub bytes_sent: u64,
+    /// Number of `Send` steps.
+    pub sends: u64,
+    /// Number of `Recv` steps.
+    pub recvs: u64,
+    /// Number of `Barrier` steps.
+    pub barriers: u64,
+}
+
+impl Trace {
+    /// Attribute every step to its preceding [`Step::Phase`] marker and
+    /// sum the recorded quantities per label, in first-seen order. Steps
+    /// before the first marker land under [`crate::des::UNLABELED`]. A
+    /// label recorded twice (phases can be re-entered) accumulates into
+    /// its first entry.
+    pub fn phase_breakdown(&self) -> Vec<PhaseSteps> {
+        let mut out: Vec<PhaseSteps> = Vec::new();
+        let mut label = crate::des::UNLABELED;
+        let entry = |out: &mut Vec<PhaseSteps>, label: &'static str| -> usize {
+            if let Some(pos) = out.iter().position(|p| p.label == label) {
+                return pos;
+            }
+            out.push(PhaseSteps {
+                label,
+                ..PhaseSteps::default()
+            });
+            out.len() - 1
+        };
+        for step in &self.steps {
+            if let Step::Phase { label: l } = step {
+                label = l;
+                entry(&mut out, label);
+                continue;
+            }
+            let i = entry(&mut out, label);
+            let p = &mut out[i];
+            match *step {
+                Step::Compute { ns } => p.compute_ns += ns,
+                Step::DiskRead { bytes } => p.disk_read_bytes += bytes,
+                Step::DiskWrite { bytes } => p.disk_write_bytes += bytes,
+                Step::Send { bytes, .. } => {
+                    p.bytes_sent += bytes;
+                    p.sends += 1;
+                }
+                Step::Recv { .. } => p.recvs += 1,
+                Step::Barrier { .. } => p.barriers += 1,
+                Step::Phase { .. } => unreachable!("handled above"),
+            }
+        }
+        out
+    }
+}
+
 /// Records a [`Trace`] for one simulated processor.
 ///
 /// Compute work can be logged either as pre-priced nanoseconds or by
@@ -270,6 +338,81 @@ mod tests {
     #[should_panic(expected = "send to self")]
     fn send_to_self_rejected() {
         rec().send(0, 10);
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_to_preceding_marker() {
+        let mut r = rec();
+        r.phase("init");
+        r.compute_ns(100.0);
+        r.disk_read(64);
+        r.phase("transform");
+        r.send_tagged(1, 512, 0);
+        r.send_tagged(1, 512, 1);
+        r.barrier(0);
+        r.phase("async");
+        r.compute_ns(300.0);
+        r.recv(1, 0);
+        r.disk_write(32);
+        let bd = r.finish().phase_breakdown();
+        assert_eq!(bd.len(), 3);
+        assert_eq!(bd[0].label, "init");
+        assert_eq!(bd[0].compute_ns, 100.0);
+        assert_eq!(bd[0].disk_read_bytes, 64);
+        assert_eq!(bd[0].bytes_sent, 0);
+        assert_eq!(bd[1].label, "transform");
+        assert_eq!(bd[1].bytes_sent, 1024);
+        assert_eq!(bd[1].sends, 2);
+        assert_eq!(bd[1].barriers, 1);
+        assert_eq!(bd[2].label, "async");
+        assert_eq!(bd[2].compute_ns, 300.0);
+        assert_eq!(bd[2].recvs, 1);
+        assert_eq!(bd[2].disk_write_bytes, 32);
+    }
+
+    #[test]
+    fn phase_breakdown_prefix_is_unlabeled() {
+        let mut r = rec();
+        r.compute_ns(50.0);
+        r.phase("work");
+        r.compute_ns(25.0);
+        let bd = r.finish().phase_breakdown();
+        assert_eq!(bd.len(), 2);
+        assert_eq!(bd[0].label, crate::des::UNLABELED);
+        assert_eq!(bd[0].compute_ns, 50.0);
+        assert_eq!(bd[1].compute_ns, 25.0);
+    }
+
+    #[test]
+    fn phase_breakdown_reentered_label_accumulates() {
+        let mut r = rec();
+        r.phase("a");
+        r.compute_ns(10.0);
+        r.phase("b");
+        r.disk_read(8);
+        r.phase("a");
+        r.compute_ns(5.0);
+        let bd = r.finish().phase_breakdown();
+        assert_eq!(bd.len(), 2);
+        assert_eq!(bd[0].label, "a");
+        assert_eq!(bd[0].compute_ns, 15.0);
+        assert_eq!(bd[1].label, "b");
+    }
+
+    #[test]
+    fn phase_breakdown_empty_and_marker_only() {
+        assert!(Trace::default().phase_breakdown().is_empty());
+        let mut r = rec();
+        r.phase("lonely");
+        let bd = r.finish().phase_breakdown();
+        assert_eq!(bd.len(), 1);
+        assert_eq!(
+            bd[0],
+            PhaseSteps {
+                label: "lonely",
+                ..PhaseSteps::default()
+            }
+        );
     }
 
     #[test]

@@ -143,6 +143,10 @@ impl TidSet for AdaptiveSet {
                 .map(AdaptiveSet::Diff),
         }
     }
+
+    fn is_switched(&self) -> bool {
+        self.is_diffset()
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +216,18 @@ mod tests {
         let cd = c.join(&d);
         assert!(cd.is_diffset());
         assert_eq!(cd.support(), ta.intersect(&tb).support());
+    }
+
+    #[test]
+    fn is_switched_tracks_representation() {
+        let (ta, tb, tc) = lists();
+        let a = AdaptiveSet::with_fuel(ta.intersect(&tb), 0);
+        let b = AdaptiveSet::with_fuel(ta.intersect(&tc), 0);
+        assert!(!a.is_switched());
+        assert!(a.join(&b).is_switched());
+        // Plain tid-lists / diffsets report false via the trait default.
+        assert!(!TidSet::is_switched(&ta));
+        assert!(!TidSet::is_switched(&DiffSet::from_tidlists(&ta, &tb)));
     }
 
     #[test]

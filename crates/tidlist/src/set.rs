@@ -45,6 +45,13 @@ pub trait TidSet: Clone + std::fmt::Debug {
 
     /// [`TidSet::join_bounded`] with comparison metering.
     fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self>;
+
+    /// True when this member has switched representation mid-recursion
+    /// (only [`crate::adaptive::AdaptiveSet`] ever does). The stats layer
+    /// compares parent vs child to count switch events.
+    fn is_switched(&self) -> bool {
+        false
+    }
 }
 
 impl TidSet for TidList {

@@ -1,0 +1,215 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace builds offline against vendored stub crates, so there is
+//! no serde; the stats layer ([`crate::stats`]) instead serializes through
+//! these two builders. The output is deliberately boring: objects keep
+//! their insertion order, floats use Rust's shortest round-trip `Display`
+//! form, and non-finite floats degrade to `0` — every emitter in the
+//! workspace therefore produces byte-stable JSON for identical inputs,
+//! which is what the schema golden tests pin.
+
+/// Escape a string for embedding inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number. JSON has no NaN/Infinity; those
+/// collapse to `0` (they only arise from degenerate zero-length runs).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Incremental `{...}` builder with insertion-ordered keys.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        let quoted = format!("\"{}\"", escape(v));
+        self.key(k).push_str(&quoted);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Obj {
+        let s = v.to_string();
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a float field (non-finite values collapse to `0`).
+    pub fn f64(mut self, k: &str, v: f64) -> Obj {
+        let s = number(v);
+        self.key(k).push_str(&s);
+        self
+    }
+
+    /// Add a pre-serialized JSON value (nested object/array/`null`).
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k).push_str(v);
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental `[...]` builder.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+}
+
+impl Arr {
+    /// Start an empty array.
+    pub fn new() -> Arr {
+        Arr::default()
+    }
+
+    /// Append a pre-serialized JSON value.
+    pub fn raw(&mut self, v: &str) -> &mut Arr {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Append an unsigned integer.
+    pub fn u64(&mut self, v: u64) -> &mut Arr {
+        self.raw(&v.to_string())
+    }
+
+    /// Close the array.
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+/// Collect every key appearing anywhere in a JSON document — a schema
+/// fingerprint for drift tests (no full parser needed; the writer above
+/// only emits keys via [`escape`], so a quote-aware scan suffices).
+pub fn collect_keys(json: &str) -> Vec<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            // find the unescaped closing quote
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() {
+                if bytes[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'"' {
+                    break;
+                }
+                j += 1;
+            }
+            // a string followed by ':' is a key
+            let mut k = j + 1;
+            while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.insert(json[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_compose() {
+        let inner = Obj::new().u64("a", 1).f64("b", 2.5).finish();
+        let mut arr = Arr::new();
+        arr.raw(&inner).u64(7);
+        let outer = Obj::new()
+            .str("name", "x")
+            .raw("items", &arr.finish())
+            .raw("none", "null")
+            .finish();
+        assert_eq!(
+            outer,
+            r#"{"name":"x","items":[{"a":1,"b":2.5},7],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let o = Obj::new().str("k\"ey", "v\nal").finish();
+        assert_eq!(o, "{\"k\\\"ey\":\"v\\nal\"}");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+        assert_eq!(Obj::new().u64("n", u64::MAX).finish(), {
+            format!("{{\"n\":{}}}", u64::MAX)
+        });
+    }
+
+    #[test]
+    fn key_collection_ignores_string_values() {
+        let json = r#"{"a":1,"b":{"c":"not:akey","d":[{"e":2}]}}"#;
+        assert_eq!(collect_keys(json), vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+}

@@ -17,7 +17,9 @@ pub mod frequent;
 pub mod hash;
 pub mod item;
 pub mod itemset;
+pub mod json;
 pub mod meter;
+pub mod stats;
 pub mod support;
 pub mod triangle;
 
@@ -26,5 +28,8 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use item::{ItemId, Tid};
 pub use itemset::{Itemset, KSubsets};
 pub use meter::OpMeter;
+pub use stats::{
+    ClassStats, ClusterStats, KernelStats, LevelCounts, MiningStats, PhaseStats, ProcStats,
+};
 pub use support::MinSupport;
 pub use triangle::TriangleMatrix;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable bench results in results/*.json.
+#
+# Runs table2, fig7, and ablations at --scale=tiny (seconds, not
+# minutes) with --json; each document embeds the structured MiningStats
+# reports (per-phase simulated seconds, per-processor split, kernel
+# work). Pass a different scale as $1, e.g. ./scripts/bench_json.sh small
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-tiny}"
+
+echo "==> table2 --scale=$SCALE --json=results/table2.json"
+cargo run -q -p repro-bench --bin table2 --release -- \
+    "--scale=$SCALE" --json=results/table2.json
+
+echo "==> fig7 --scale=$SCALE --hybrid --json=results/fig7.json"
+cargo run -q -p repro-bench --bin fig7 --release -- \
+    "--scale=$SCALE" --hybrid --json=results/fig7.json
+
+echo "==> ablations --scale=$SCALE --json=results/ablations.json"
+cargo run -q -p repro-bench --bin ablations --release -- \
+    "--scale=$SCALE" --json=results/ablations.json
+
+echo "==> wrote results/table2.json results/fig7.json results/ablations.json"

@@ -5,10 +5,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --workspace --release
 
 echo "==> cargo test -q"
-cargo test -q
+cargo test -q --workspace
+
+echo "==> cargo test --test stats_schema (stats JSON schema golden)"
+cargo test -q --test stats_schema
 
 echo "==> cargo fmt --check"
 cargo fmt --check

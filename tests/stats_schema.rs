@@ -1,0 +1,271 @@
+//! Golden tests for the structured mining-stats layer: the JSON emitted
+//! by [`mining_types::MiningStats::to_json`] is byte-stable for a fixed
+//! report, its key set (the schema fingerprint) is pinned, and every
+//! execution variant — sequential, rayon-parallel, simulated cluster,
+//! and hybrid — fills the *same* schema with the same counters.
+//!
+//! `scripts/check.sh` runs this file explicitly: schema drift (adding,
+//! renaming, or dropping a key) fails here first, and the fix is to bump
+//! [`mining_types::stats::SCHEMA_VERSION`] and update the pinned lists.
+
+use dbstore::HorizontalDb;
+use eclat::EclatConfig;
+use memchannel::{ClusterConfig, CostModel};
+use mining_types::json::collect_keys;
+use mining_types::stats::{
+    ClassStats, ClusterStats, KernelStats, MiningStats, PhaseStats, ProcStats, SCHEMA_VERSION,
+};
+use mining_types::{MinSupport, OpMeter};
+use questgen::{QuestGenerator, QuestParams};
+
+/// Every key a live (non-simulated) run emits, sorted as
+/// [`collect_keys`] returns them.
+const LIVE_KEYS: &[&str] = &[
+    "algorithm",
+    "cand_gen",
+    "candidates",
+    "classes",
+    "cluster",
+    "frequent",
+    "hash_probe",
+    "infrequent",
+    "joins",
+    "kernel",
+    "label",
+    "levels",
+    "members",
+    "num_frequent",
+    "ops",
+    "pair_incr",
+    "peak_tid_bytes",
+    "phases",
+    "prefix",
+    "record",
+    "representation",
+    "schema_version",
+    "secs",
+    "short_circuit_hits",
+    "size",
+    "subsets_gen",
+    "switch_events",
+    "threshold",
+    "tid_cmp",
+    "total",
+    "total_ops",
+    "transactions",
+    "variant",
+];
+
+/// Keys the simulated-cluster timeline adds on top of [`LIVE_KEYS`].
+const CLUSTER_ONLY_KEYS: &[&str] = &[
+    "bytes_received",
+    "bytes_sent",
+    "compute_secs",
+    "disk_secs",
+    "finish_secs",
+    "idle_secs",
+    "load_imbalance",
+    "net_secs",
+    "proc",
+    "procs",
+    "total_secs",
+];
+
+fn sorted_union(a: &[&str], b: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = a.iter().chain(b).map(|s| s.to_string()).collect();
+    v.sort();
+    v
+}
+
+fn quest_db(d: usize, seed: u64) -> HorizontalDb {
+    HorizontalDb::from_transactions(QuestGenerator::new(QuestParams::tiny(d, seed)).generate_all())
+}
+
+/// A fully hand-built report: every field deterministic, so the emitted
+/// JSON can be pinned byte for byte.
+fn fixture() -> MiningStats {
+    let mut s = MiningStats::new("eclat", "sequential", "tidlist");
+    s.transactions = 4;
+    s.threshold = 2;
+    s.num_frequent = 3;
+    s.total_ops = OpMeter {
+        tid_cmp: 5,
+        pair_incr: 6,
+        cand_gen: 2,
+        record: 3,
+        ..OpMeter::default()
+    };
+    s.phases.push(PhaseStats {
+        label: "init".to_string(),
+        secs: 0.25,
+        ops: OpMeter {
+            pair_incr: 6,
+            ..OpMeter::default()
+        },
+    });
+    s.record_level(2, 6, 2);
+    let mut k = KernelStats::new();
+    k.record_candidate(3);
+    k.record_frequent(3);
+    k.observe_level_bytes(64);
+    s.add_class(ClassStats {
+        prefix: vec![1],
+        members: 2,
+        kernel: k,
+    });
+    s.cluster = Some(ClusterStats {
+        total_secs: 2.5,
+        load_imbalance: 1.25,
+        procs: vec![ProcStats {
+            proc: 0,
+            compute_secs: 1.5,
+            disk_secs: 0.5,
+            net_secs: 0.25,
+            idle_secs: 0.25,
+            finish_secs: 2.5,
+            bytes_sent: 128,
+            bytes_received: 64,
+        }],
+    });
+    s
+}
+
+#[test]
+fn golden_json_for_hand_built_report() {
+    let expected = concat!(
+        "{\"schema_version\":1,\"algorithm\":\"eclat\",\"variant\":\"sequential\",",
+        "\"representation\":\"tidlist\",\"transactions\":4,\"threshold\":2,",
+        "\"num_frequent\":3,",
+        "\"total_ops\":{\"tid_cmp\":5,\"hash_probe\":0,\"pair_incr\":6,",
+        "\"subsets_gen\":0,\"cand_gen\":2,\"record\":3,\"total\":16},",
+        "\"phases\":[{\"label\":\"init\",\"secs\":0.25,",
+        "\"ops\":{\"tid_cmp\":0,\"hash_probe\":0,\"pair_incr\":6,",
+        "\"subsets_gen\":0,\"cand_gen\":0,\"record\":0,\"total\":6}}],",
+        "\"levels\":[{\"size\":2,\"candidates\":6,\"frequent\":2},",
+        "{\"size\":3,\"candidates\":1,\"frequent\":1}],",
+        "\"kernel\":{\"joins\":1,\"frequent\":1,\"infrequent\":0,",
+        "\"short_circuit_hits\":0,\"peak_tid_bytes\":64,\"switch_events\":0,",
+        "\"levels\":[{\"size\":3,\"candidates\":1,\"frequent\":1}]},",
+        "\"classes\":[{\"prefix\":[1],\"members\":2,",
+        "\"kernel\":{\"joins\":1,\"frequent\":1,\"infrequent\":0,",
+        "\"short_circuit_hits\":0,\"peak_tid_bytes\":64,\"switch_events\":0,",
+        "\"levels\":[{\"size\":3,\"candidates\":1,\"frequent\":1}]}}],",
+        "\"cluster\":{\"total_secs\":2.5,\"load_imbalance\":1.25,",
+        "\"procs\":[{\"proc\":0,\"compute_secs\":1.5,\"disk_secs\":0.5,",
+        "\"net_secs\":0.25,\"idle_secs\":0.25,\"finish_secs\":2.5,",
+        "\"bytes_sent\":128,\"bytes_received\":64}]}}",
+    );
+    assert_eq!(fixture().to_json(true), expected);
+    // with_classes=false must only empty the classes array — losing
+    // exactly the per-class-entry keys, nothing else
+    let lean = fixture().to_json(false);
+    assert!(lean.contains("\"classes\":[],"));
+    let full_minus_entries: Vec<String> = collect_keys(&fixture().to_json(true))
+        .into_iter()
+        .filter(|k| k != "prefix" && k != "members")
+        .collect();
+    assert_eq!(collect_keys(&lean), full_minus_entries);
+}
+
+#[test]
+fn fixture_covers_the_whole_schema() {
+    // The fixture must exercise every key, or the golden test would pin
+    // less than the full schema.
+    assert_eq!(
+        collect_keys(&fixture().to_json(true)),
+        sorted_union(LIVE_KEYS, CLUSTER_ONLY_KEYS)
+    );
+}
+
+#[test]
+fn live_run_schema_is_pinned() {
+    let db = quest_db(1_500, 7);
+    let minsup = MinSupport::from_percent(1.0);
+    let cfg = EclatConfig::default();
+    let (_, stats) = eclat::sequential::mine_stats(&db, minsup, &cfg, &mut OpMeter::new());
+    assert!(!stats.classes.is_empty(), "fixture too small: no classes");
+    assert!(stats.levels.len() >= 2, "fixture too small: pairs only");
+    let json = stats.to_json(true);
+    assert!(json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+    assert!(json.ends_with("\"cluster\":null}"));
+    assert_eq!(
+        collect_keys(&json),
+        LIVE_KEYS.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "live-run schema drifted: update the pinned key list and bump \
+         SCHEMA_VERSION"
+    );
+}
+
+#[test]
+fn simulated_run_schema_is_pinned() {
+    let db = quest_db(1_500, 7);
+    let minsup = MinSupport::from_percent(1.0);
+    let cost = CostModel::dec_alpha_1997();
+    let topo = ClusterConfig::new(2, 2);
+    let rep = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &Default::default());
+    assert!(rep.stats.cluster.is_some());
+    assert_eq!(
+        collect_keys(&rep.stats.to_json(true)),
+        sorted_union(LIVE_KEYS, CLUSTER_ONLY_KEYS),
+        "simulated-run schema drifted: update the pinned key lists and \
+         bump SCHEMA_VERSION"
+    );
+}
+
+#[test]
+fn all_variants_share_the_schema() {
+    let db = quest_db(1_500, 7);
+    let minsup = MinSupport::from_percent(1.0);
+    let cfg = EclatConfig::default();
+    let cost = CostModel::dec_alpha_1997();
+    let topo = ClusterConfig::new(2, 2);
+
+    let (_, seq) = eclat::sequential::mine_stats(&db, minsup, &cfg, &mut OpMeter::new());
+    let (_, par) = eclat::parallel::mine_stats(&db, minsup, &cfg, &mut OpMeter::new());
+    let cluster = eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg).stats;
+    let hybrid = eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &cfg).stats;
+
+    let seq_keys = collect_keys(&seq.to_json(true));
+    assert_eq!(seq_keys, collect_keys(&par.to_json(true)));
+    let cluster_keys = collect_keys(&cluster.to_json(true));
+    assert_eq!(cluster_keys, collect_keys(&hybrid.to_json(true)));
+    // The simulated variants extend the live schema by exactly the
+    // cluster-timeline keys.
+    assert_eq!(
+        cluster_keys,
+        sorted_union(
+            &seq_keys.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            CLUSTER_ONLY_KEYS
+        )
+    );
+}
+
+#[test]
+fn parallel_stats_match_sequential() {
+    let db = quest_db(2_000, 11);
+    let minsup = MinSupport::from_percent(1.0);
+    let cfg = EclatConfig::default();
+    let mut m_seq = OpMeter::new();
+    let mut m_par = OpMeter::new();
+    let (fs_seq, seq) = eclat::sequential::mine_stats(&db, minsup, &cfg, &mut m_seq);
+    let (fs_par, par) = eclat::parallel::mine_stats(&db, minsup, &cfg, &mut m_par);
+
+    assert_eq!(fs_seq, fs_par);
+    assert_eq!(seq.num_frequent, par.num_frequent);
+    assert_eq!(seq.total_ops, par.total_ops);
+    assert_eq!(seq.levels, par.levels);
+    assert_eq!(seq.classes, par.classes);
+    assert_eq!(seq.kernel_totals(), par.kernel_totals());
+    // Only the wall-clock seconds may differ between the two.
+    let zero_secs = |s: &MiningStats| {
+        s.phases
+            .iter()
+            .map(|p| PhaseStats {
+                label: p.label.clone(),
+                secs: 0.0,
+                ops: p.ops,
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(zero_secs(&seq), zero_secs(&par));
+}
