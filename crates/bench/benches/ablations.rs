@@ -66,15 +66,38 @@ fn bench_ablations(c: &mut Criterion) {
             })
         });
     }
+    group.bench_function("repr_tidlist_gallop", |b| {
+        let cfg = EclatConfig {
+            gallop: true,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut m = OpMeter::new();
+            black_box(eclat::sequential::mine_with(&db, minsup, &cfg, &mut m).len())
+        })
+    });
     group.bench_function("clique_clustering", |b| {
         b.iter(|| {
             let mut m = OpMeter::new();
             black_box(eclat::clique::mine_with(&db, minsup, &EclatConfig::default(), &mut m).len())
         })
     });
-    group.bench_function("maxeclat_lookahead", |b| {
-        b.iter(|| black_box(eclat::maximal::mine_maximal(&db, minsup).len()))
-    });
+    for (label, repr) in [
+        ("maxeclat_tidlist", Representation::TidList),
+        ("maxeclat_diffset", Representation::Diffset),
+        (
+            "maxeclat_autoswitch_d2",
+            Representation::AutoSwitch { depth: 2 },
+        ),
+    ] {
+        let cfg = EclatConfig::with_representation(repr);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = OpMeter::new();
+                black_box(eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut m).len())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -262,9 +262,69 @@ fn main() {
             println!("    {label:<18} {:>14} element comparisons", m.tid_cmp);
             jrows.raw(&jrow(&stats, &m));
         }
+        // Galloping tid-list intersections (skewed-operand kernel knob).
+        {
+            let cfg = eclat::EclatConfig {
+                gallop: true,
+                ..Default::default()
+            };
+            let mut m = OpMeter::new();
+            let (fs, stats) = eclat::sequential::mine_stats(&db, minsup, &cfg, &mut m);
+            assert_eq!(fs, fs_ref);
+            println!(
+                "    {:<18} {:>14} element comparisons",
+                "tidlist+gallop:", m.tid_cmp
+            );
+            let k = stats.kernel_totals();
+            jrows.raw(
+                &Obj::new()
+                    .str("representation", "tidlist+gallop")
+                    .u64("tid_cmp", m.tid_cmp)
+                    .u64("switch_events", k.switch_events)
+                    .u64("peak_tid_bytes", k.peak_tid_bytes)
+                    .finish(),
+            );
+        }
         jdoc = jdoc
             .raw("representations", &jrows.finish())
             .raw("sequential_stats", &stats_ref.to_json(true));
+    }
+
+    // ---------- bonus: maximal mining × representation ----------
+    {
+        println!("\nEXT maximal mining (MaxEclat) across representations");
+        let oracle = eclat::maximal::maximal_of(&eclat::sequential::mine(&db, minsup));
+        let mut jrows = Arr::new();
+        for (label, repr) in [
+            ("tid-lists:", eclat::Representation::TidList),
+            ("diffsets:", eclat::Representation::Diffset),
+            (
+                "auto-switch(d=2):",
+                eclat::Representation::AutoSwitch { depth: 2 },
+            ),
+        ] {
+            let cfg = eclat::EclatConfig::with_representation(repr);
+            let mut m = OpMeter::new();
+            let (fs, stats) = eclat::maximal::mine_maximal_stats(&db, minsup, &cfg, &mut m);
+            assert_eq!(fs, oracle);
+            let k = stats.kernel_totals();
+            println!(
+                "    {label:<18} {:>12} tid cmps  {:>6} switch events  {:>6} maximal sets",
+                m.tid_cmp,
+                k.switch_events,
+                fs.len()
+            );
+            jrows.raw(
+                &Obj::new()
+                    .str("representation", &stats.representation)
+                    .u64("tid_cmp", m.tid_cmp)
+                    .u64("switch_events", k.switch_events)
+                    .u64("count", fs.len() as u64)
+                    .finish(),
+            );
+        }
+        jdoc = jdoc.raw("maximal_representations", &jrows.finish());
+        println!();
     }
 
     if let Some(path) = json_path {

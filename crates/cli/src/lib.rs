@@ -8,6 +8,14 @@
 //! eclat mine     --input data.ech --support 0.1 [--algorithm eclat|parallel|apriori|clique]
 //!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
 //!                [--maximal] [--min-size K] [--top N] [--stats[=json]]
+//! ```
+//!
+//! `--repr` is accepted as a shorthand for `--representation`; `--maximal`
+//! (MaxEclat) composes with every representation, and with `--stats[=json]`
+//! it emits an `"algorithm":"maxeclat"` report including look-ahead switch
+//! events.
+//!
+//! ```text
 //! eclat rules    --input data.ech --support 0.5 --confidence 0.8 [--top N]
 //! eclat simulate --input data.ech --support 0.1 --hosts 8 --procs 4
 //!                [--algorithm eclat|hybrid|countdist]
@@ -61,7 +69,7 @@ pub fn usage() -> String {
        generate --out FILE --transactions N [--family t10i6|t5i2|t20i4|t20i6] [--seed N]\n\
        stats    --input FILE\n\
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
-                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]] (alias --repr)\n\
                 [--maximal] [--min-size K] [--top N] [--stats[=json]]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
@@ -220,9 +228,10 @@ fn stats_mode(flags: &Flags) -> Result<StatsMode, String> {
     }
 }
 
-/// Parse `--representation tidlist|diffset|autoswitch[:DEPTH]`.
+/// Parse `--representation tidlist|diffset|autoswitch[:DEPTH]` (also
+/// accepted under the `--repr` shorthand).
 fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
-    let Some(raw) = flags.get("representation") else {
+    let Some(raw) = flags.get("representation").or_else(|| flags.get("repr")) else {
         return Ok(eclat::Representation::default());
     };
     match raw.split_once(':') {
@@ -280,13 +289,15 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let t0 = std::time::Instant::now();
     let mut report = None;
     let fs = if flags.has("maximal") {
-        if stats != StatsMode::Off {
-            return Err("--stats supports --algorithm eclat|parallel only".to_string());
-        }
-        // The library rejects non-tidlist representations (MaxEclat's
-        // look-ahead cannot mix depth-switching sets); surface its error.
         let cfg = eclat::EclatConfig::with_representation(representation);
-        eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new())?
+        if stats != StatsMode::Off {
+            let (fs, r) =
+                eclat::maximal::mine_maximal_stats(&db, minsup, &cfg, &mut OpMeter::new());
+            report = Some(r);
+            fs
+        } else {
+            eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new())
+        }
     } else if stats != StatsMode::Off {
         let cfg = eclat::EclatConfig::with_representation(representation);
         let mut meter = OpMeter::new();
@@ -712,21 +723,54 @@ mod tests {
     }
 
     #[test]
-    fn maximal_rejects_non_tidlist_representation() {
+    fn maximal_works_across_representations() {
         let path = tempfile("maxrep");
         generate(&path, 300);
-        let err = run(&argv(&[
+        let base = run(&argv(&[
             "mine",
             "--input",
             &path,
             "--support",
             "1",
             "--maximal",
-            "--representation",
-            "diffset",
         ]))
-        .unwrap_err();
-        assert!(err.contains("tidlist"), "{err}");
+        .unwrap();
+        for repr in ["diffset", "autoswitch:0", "autoswitch:2"] {
+            let out = run(&argv(&[
+                "mine",
+                "--input",
+                &path,
+                "--support",
+                "1",
+                "--maximal",
+                "--repr",
+                repr,
+            ]))
+            .unwrap();
+            assert_eq!(out, base, "representation {repr} diverged");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn maximal_stats_json_reports_switch_events() {
+        let path = tempfile("maxstats");
+        generate(&path, 300);
+        let out = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--maximal",
+            "--repr",
+            "diffset",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"algorithm\":\"maxeclat\""), "{out}");
+        assert!(out.contains("\"representation\":\"diffset\""), "{out}");
+        assert!(out.contains("\"switch_events\""), "{out}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -14,7 +14,7 @@
 //! The kernel is generic over the members' vertical representation
 //! ([`TidSet`]): the same recursion mines tid-lists, d-Eclat diffsets,
 //! or the mid-recursion [`tidlist::AdaptiveSet`] switcher. All pairwise
-//! candidate generation in this crate funnels through [`join_level`] —
+//! candidate generation in this crate funnels through `join_level` —
 //! the one place the `I1 × I2` loop exists.
 //!
 //! Once a level's members are joined, the parent tid-lists are dropped
@@ -84,6 +84,14 @@ pub struct EclatConfig {
     /// Vertical representation used below `L2` (tid-lists, diffsets, or
     /// the depth-triggered switch).
     pub representation: Representation,
+    /// Use the adaptive galloping intersection for tid-list joins below
+    /// `L2`: exponential search through the longer operand when the
+    /// lengths are skewed by more than 16×, two-pointer merge otherwise.
+    /// Applies to [`Representation::TidList`] only — diffset differences
+    /// have no galloping analogue. Galloping computes full intersections
+    /// (no §5.3 short-circuit), so `short_circuit` has no effect on the
+    /// joins it handles.
+    pub gallop: bool,
     /// Class-scheduling heuristic (cluster/hybrid/parallel variants).
     pub heuristic: ScheduleHeuristic,
     /// Transmit/receive buffer for the §6.3 exchange (cluster variant).
@@ -97,6 +105,7 @@ impl Default for EclatConfig {
             prune: false,
             include_singletons: false,
             representation: Representation::TidList,
+            gallop: false,
             heuristic: ScheduleHeuristic::GreedyPairs,
             buffer_bytes: 2 * 1024 * 1024, // the paper's 2 MB buffers
         }
@@ -121,7 +130,7 @@ impl EclatConfig {
     }
 }
 
-/// What a [`join_level`] caller does with each candidate: an optional
+/// What a `join_level` caller does with each candidate: an optional
 /// pre-join filter (the A3 pruning hook) and the outcome sink. One trait
 /// instead of two closures because both hooks typically borrow the same
 /// caller state mutably.

@@ -41,7 +41,7 @@ pub fn mine_with(
     pipeline::run(db, minsup, cfg, meter, &Rayon)
 }
 
-/// [`mine_with`] that also returns the structured [`MiningStats`] report.
+/// [`mine_with`] that also returns the structured [`mining_types::MiningStats`] report.
 /// The vendored rayon preserves class order on collect, so the stats are
 /// identical to a sequential run's (wall-clock seconds aside).
 pub fn mine_stats(

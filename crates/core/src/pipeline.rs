@@ -31,7 +31,7 @@ use mining_types::stats::{ClassStats, KernelStats, MiningStats, PhaseStats};
 use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter, TriangleMatrix};
 use rayon::prelude::*;
 use std::time::Instant;
-use tidlist::AdaptiveSet;
+use tidlist::{AdaptiveSet, GallopList};
 
 /// Trace/stats label of the initialization phase (§5.1 counting).
 pub const PHASE_INIT: &str = "init";
@@ -264,6 +264,9 @@ pub fn compute_class_stats(
     stats: &mut KernelStats,
 ) {
     match cfg.representation {
+        Representation::TidList if cfg.gallop => {
+            compute_frequent_stats(gallop_class(class), threshold, cfg, meter, out, stats)
+        }
         Representation::TidList => compute_frequent_stats(class, threshold, cfg, meter, out, stats),
         Representation::Diffset => {
             compute_frequent_stats(fuel_class(class, 0), threshold, cfg, meter, out, stats)
@@ -276,7 +279,7 @@ pub fn compute_class_stats(
 
 /// Wrap a tid-list class into the adaptive representation with the given
 /// switch budget (`fuel = 0` → pure diffsets below `L2`).
-fn fuel_class(class: EquivalenceClass, fuel: u32) -> EquivalenceClass<AdaptiveSet> {
+pub(crate) fn fuel_class(class: EquivalenceClass, fuel: u32) -> EquivalenceClass<AdaptiveSet> {
     EquivalenceClass {
         prefix: class.prefix,
         members: class
@@ -285,6 +288,24 @@ fn fuel_class(class: EquivalenceClass, fuel: u32) -> EquivalenceClass<AdaptiveSe
             .map(|m| ClassMember {
                 itemset: m.itemset,
                 tids: AdaptiveSet::with_fuel(m.tids, fuel),
+            })
+            .collect(),
+    }
+}
+
+/// Wrap a tid-list class into the adaptive-galloping representation
+/// (`EclatConfig::gallop`): joins go through
+/// `TidList::intersect_adaptive`, picking the exponential-search kernel
+/// on skewed operands.
+pub(crate) fn gallop_class(class: EquivalenceClass) -> EquivalenceClass<GallopList> {
+    EquivalenceClass {
+        prefix: class.prefix,
+        members: class
+            .members
+            .into_iter()
+            .map(|m| ClassMember {
+                itemset: m.itemset,
+                tids: GallopList(m.tids),
             })
             .collect(),
     }
@@ -432,6 +453,26 @@ mod tests {
             let fs = run(&db, minsup, &cfg, &mut OpMeter::new(), &Serial);
             assert_eq!(fs, base, "{repr:?}");
         }
+    }
+
+    #[test]
+    fn gallop_kernel_agrees_with_merge_kernel() {
+        let db = random_db(23, 120, 10, 5);
+        let minsup = MinSupport::from_percent(8.0);
+        let base = run(
+            &db,
+            minsup,
+            &EclatConfig::default(),
+            &mut OpMeter::new(),
+            &Serial,
+        );
+        let cfg = EclatConfig {
+            gallop: true,
+            ..Default::default()
+        };
+        let mut meter = OpMeter::new();
+        assert_eq!(run(&db, minsup, &cfg, &mut meter, &Serial), base);
+        assert!(meter.tid_cmp > 0, "galloping joins must stay metered");
     }
 
     #[test]

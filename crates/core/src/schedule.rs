@@ -94,12 +94,19 @@ pub fn schedule_weights(
             // class order, making the schedule deterministic).
             let mut order: Vec<usize> = (0..weights.len()).collect();
             order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+            // Min-heap keyed on (load, processor id): popping yields the
+            // least-loaded processor with ties going to the smaller id —
+            // the paper's tie-break — in O(log P) per class instead of an
+            // O(P) scan.
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+                (0..num_procs).map(|p| Reverse((0u64, p))).collect();
             for c in order {
-                // least-loaded processor; ties → smaller id (min_by picks
-                // the first minimum, i.e. the smaller identifier).
-                let p = (0..num_procs).min_by_key(|&p| (load[p], p)).unwrap();
+                let Reverse((l, p)) = heap.pop().expect("heap holds every processor");
                 owner[c] = p;
-                load[p] += weights[c];
+                load[p] = l + weights[c];
+                heap.push(Reverse((load[p], p)));
             }
         }
     }

@@ -32,7 +32,7 @@ pub fn mine_with(
     pipeline::run(db, minsup, cfg, meter, &Serial)
 }
 
-/// [`mine_with`] that also returns the structured [`MiningStats`] report
+/// [`mine_with`] that also returns the structured [`mining_types::MiningStats`] report
 /// (per-phase timings/ops, per-level counts, per-class kernel work).
 pub fn mine_stats(
     db: &HorizontalDb,

@@ -1,10 +1,40 @@
 //! Property-based tests of the §5.2.1 class scheduler.
 
-use eclat::schedule::{schedule_weights, ScheduleHeuristic};
+use eclat::schedule::{schedule_weights, Assignment, ScheduleHeuristic};
 use proptest::prelude::*;
+
+/// Reference implementation of the greedy assignment: the original
+/// O(classes × procs) least-loaded scan that the `BinaryHeap` version
+/// replaced. `min_by_key` returns the first minimum, i.e. the smaller
+/// processor id on load ties — the paper's tie-break.
+fn schedule_weights_scan(weights: &[u64], num_procs: usize) -> Assignment {
+    let mut owner = vec![0usize; weights.len()];
+    let mut load = vec![0u64; num_procs];
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    for c in order {
+        let p = (0..num_procs).min_by_key(|&p| (load[p], p)).unwrap();
+        owner[c] = p;
+        load[p] += weights[c];
+    }
+    Assignment { owner, load }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn heap_and_scan_produce_identical_assignments(
+        weights in proptest::collection::vec(0u64..1000, 0..64),
+        procs in 1usize..9,
+    ) {
+        let reference = schedule_weights_scan(&weights, procs);
+        for h in [ScheduleHeuristic::GreedyPairs, ScheduleHeuristic::SupportWeighted] {
+            let heap = schedule_weights(&weights, procs, h);
+            prop_assert_eq!(&heap.owner, &reference.owner, "{:?}", h);
+            prop_assert_eq!(&heap.load, &reference.load, "{:?}", h);
+        }
+    }
 
     #[test]
     fn every_class_assigned_and_loads_conserved(

@@ -13,12 +13,15 @@
 //! larger than the recursion depth never switches at all.
 //!
 //! All members of one equivalence class share the same fuel (they were
-//! produced by the same number of joins), so a join never sees mixed
-//! representations — that invariant is asserted.
+//! produced by the same number of joins), so within a class a join never
+//! sees mixed representations. Mixed operands can still reach the API
+//! (look-ahead folds, external callers), and are handled exactly rather
+//! than rejected: for a tid side `t ⊆ t(P)` and a diffset side `d` over
+//! the same prefix, `t ∩ t(other) = t − d.diff`.
 
 use crate::diffset::DiffSet;
 use crate::set::TidSet;
-use crate::TidList;
+use crate::{IntersectOutcome, TidList};
 use mining_types::OpMeter;
 
 /// Vertical representation that switches from tid-lists to diffsets after
@@ -49,11 +52,17 @@ impl AdaptiveSet {
     }
 }
 
-/// Both operands of a join, which the class invariant guarantees are in
-/// the same representation.
+/// Both operands of a join. The class invariant makes same-representation
+/// pairs the common case; mixed pairs are legal (look-ahead folds mix
+/// depths) and resolve exactly via the shared prefix.
 enum Pair<'a> {
     Tids(&'a TidList, &'a TidList, u32),
     Diffs(&'a DiffSet, &'a DiffSet),
+    /// One tid-list operand, one diffset operand, both over the same
+    /// class prefix `P`. Because `t ⊆ t(P)` and
+    /// `t(other) = t(P) − d.diff`, the join is exactly `t − d.diff` —
+    /// for either operand order. Carries the tid side's fuel.
+    Mixed(&'a TidList, u32, &'a DiffSet),
 }
 
 fn pair<'a>(a: &'a AdaptiveSet, b: &'a AdaptiveSet) -> Pair<'a> {
@@ -62,10 +71,168 @@ fn pair<'a>(a: &'a AdaptiveSet, b: &'a AdaptiveSet) -> Pair<'a> {
             Pair::Tids(ta, tb, *fuel)
         }
         (AdaptiveSet::Diff(da), AdaptiveSet::Diff(db)) => Pair::Diffs(da, db),
-        _ => unreachable!(
-            "class members must share a representation: all members of an \
-             equivalence class are produced by the same number of joins"
-        ),
+        (AdaptiveSet::Tids { tids, fuel }, AdaptiveSet::Diff(d))
+        | (AdaptiveSet::Diff(d), AdaptiveSet::Tids { tids, fuel }) => Pair::Mixed(tids, *fuel, d),
+    }
+}
+
+/// Fold accumulator: tracks the representation *per join depth* so a
+/// `TidList ∩ TidList` step, a `TidList → DiffSet` conversion step, and a
+/// `DiffSet` difference step can mix in one look-ahead fold.
+enum Acc {
+    /// Still in tid-list form with remaining fuel.
+    Tids { tids: TidList, fuel: u32 },
+    /// Converted mid-fold: `base` is the accumulator's tid-list at
+    /// conversion time (itemset `B`); `diff` accumulates relative to `B`,
+    /// so the candidate's tids are `base − diff`.
+    Based { base: TidList, diff: TidList },
+    /// `self` started in diffset form `d(Px₁)`: `diff` accumulates
+    /// `∪ (d(Px_j) − d(Px₁))`, i.e. the candidate's diff relative to
+    /// `Px₁` (cf. `DiffSet::fold_join_with`).
+    Rel { diff: TidList },
+}
+
+impl AdaptiveSet {
+    /// Multi-way look-ahead fold with per-depth representation tracking.
+    ///
+    /// Folds `self` with every member of `rest` (same-class siblings in
+    /// member order) and returns the representation of the full union, or
+    /// `None` exactly when `minsup = Some(s)` and the union's support is
+    /// below `s` (§5.3 short-circuit applied per step). Each fold step
+    /// burns one unit of fuel, matching the pairwise join semantics: a
+    /// member with fuel `f` converts to diffset form at step `f + 1`.
+    pub fn fold_with(
+        &self,
+        rest: &[&AdaptiveSet],
+        minsup: Option<u32>,
+        meter: &mut OpMeter,
+    ) -> Option<AdaptiveSet> {
+        if let Some(s) = minsup {
+            if self.support() < s {
+                return None;
+            }
+        }
+        if rest.is_empty() {
+            // Zero joins leave the operand unchanged.
+            return Some(self.clone());
+        }
+        let d1 = match self {
+            AdaptiveSet::Diff(d) => Some(d),
+            AdaptiveSet::Tids { .. } => None,
+        };
+        let mut acc = match self {
+            AdaptiveSet::Tids { tids, fuel } => Acc::Tids {
+                tids: tids.clone(),
+                fuel: *fuel,
+            },
+            AdaptiveSet::Diff(_) => Acc::Rel {
+                diff: TidList::new(),
+            },
+        };
+        // Every bounded arm below preserves "accumulator support >= s", so
+        // the `base.support() - s` / `d1.support - s` budgets never
+        // underflow.
+        for &m in rest {
+            acc = match (acc, m) {
+                (Acc::Tids { tids, fuel }, AdaptiveSet::Tids { tids: tm, .. }) => {
+                    if fuel > 0 {
+                        let joined = match minsup {
+                            Some(s) => match tids.intersect_bounded_metered(tm, s, meter) {
+                                IntersectOutcome::Frequent(t) => t,
+                                IntersectOutcome::Infrequent => return None,
+                            },
+                            None => tids.intersect_metered(tm, meter),
+                        };
+                        Acc::Tids {
+                            tids: joined,
+                            fuel: fuel - 1,
+                        }
+                    } else {
+                        // Conversion step: the join at zero fuel produces
+                        // a diffset relative to the accumulator itself.
+                        let d = match minsup {
+                            Some(s) => DiffSet::from_tidlists_bounded_metered(&tids, tm, s, meter)?,
+                            None => DiffSet::from_tidlists_metered(&tids, tm, meter),
+                        };
+                        Acc::Based {
+                            base: tids,
+                            diff: d.diff,
+                        }
+                    }
+                }
+                (Acc::Tids { tids, fuel }, AdaptiveSet::Diff(dm)) => {
+                    // Mixed step: t ⊆ t(P) ⟹ t ∩ t(other) = t − d(other).
+                    let t = tids.difference_metered(&dm.diff, meter);
+                    if let Some(s) = minsup {
+                        if t.support() < s {
+                            return None;
+                        }
+                    }
+                    Acc::Tids {
+                        tids: t,
+                        fuel: fuel.saturating_sub(1),
+                    }
+                }
+                (Acc::Based { base, diff }, m) => {
+                    // Candidate tids are base − diff; the next member
+                    // removes base ∖ t_m (tid side) or base ∩ d_m (diff
+                    // side) — unions only grow, so the §5.3 bail is sound.
+                    let contrib = match m {
+                        AdaptiveSet::Tids { tids: tm, .. } => base.difference_metered(tm, meter),
+                        AdaptiveSet::Diff(dm) => base.intersect_metered(&dm.diff, meter),
+                    };
+                    let diff = diff.union_metered(&contrib, meter);
+                    if let Some(s) = minsup {
+                        if diff.support() > base.support() - s {
+                            return None;
+                        }
+                    }
+                    Acc::Based { base, diff }
+                }
+                (Acc::Rel { diff }, m) => {
+                    let d1 = d1.expect("Rel accumulator implies diffset self");
+                    match m {
+                        AdaptiveSet::Diff(dm) => {
+                            let contrib = dm.diff.difference_metered(&d1.diff, meter);
+                            let diff = diff.union_metered(&contrib, meter);
+                            if let Some(s) = minsup {
+                                if diff.len() > (d1.support - s) as usize {
+                                    return None;
+                                }
+                            }
+                            Acc::Rel { diff }
+                        }
+                        AdaptiveSet::Tids { tids: tm, .. } => {
+                            // Demote to tid form:
+                            // t(C ∪ x) = t_m − d(Px₁) − acc_diff.
+                            let t = tm
+                                .difference_metered(&d1.diff, meter)
+                                .difference_metered(&diff, meter);
+                            if let Some(s) = minsup {
+                                if t.support() < s {
+                                    return None;
+                                }
+                            }
+                            Acc::Tids { tids: t, fuel: 0 }
+                        }
+                    }
+                }
+            };
+        }
+        Some(match acc {
+            Acc::Tids { tids, fuel } => AdaptiveSet::Tids { tids, fuel },
+            Acc::Based { base, diff } => AdaptiveSet::Diff(DiffSet {
+                support: base.support() - diff.support(),
+                diff,
+            }),
+            Acc::Rel { diff } => {
+                let d1 = d1.expect("Rel accumulator implies diffset self");
+                AdaptiveSet::Diff(DiffSet {
+                    support: d1.support - diff.support(),
+                    diff,
+                })
+            }
+        })
     }
 }
 
@@ -92,6 +259,10 @@ impl TidSet for AdaptiveSet {
             },
             Pair::Tids(ta, tb, _) => AdaptiveSet::Diff(DiffSet::from_tidlists(ta, tb)),
             Pair::Diffs(da, db) => AdaptiveSet::Diff(da.join(db)),
+            Pair::Mixed(t, fuel, d) => AdaptiveSet::Tids {
+                tids: t.difference(&d.diff),
+                fuel: fuel.saturating_sub(1),
+            },
         }
     }
 
@@ -108,6 +279,13 @@ impl TidSet for AdaptiveSet {
                 DiffSet::from_tidlists_bounded(ta, tb, minsup).map(AdaptiveSet::Diff)
             }
             Pair::Diffs(da, db) => da.join_bounded(db, minsup).map(AdaptiveSet::Diff),
+            Pair::Mixed(t, fuel, d) => {
+                let tids = t.difference(&d.diff);
+                (tids.support() >= minsup).then(|| AdaptiveSet::Tids {
+                    tids,
+                    fuel: fuel.saturating_sub(1),
+                })
+            }
         }
     }
 
@@ -121,6 +299,10 @@ impl TidSet for AdaptiveSet {
                 AdaptiveSet::Diff(DiffSet::from_tidlists_metered(ta, tb, meter))
             }
             Pair::Diffs(da, db) => AdaptiveSet::Diff(da.join_metered(db, meter)),
+            Pair::Mixed(t, fuel, d) => AdaptiveSet::Tids {
+                tids: t.difference_metered(&d.diff, meter),
+                fuel: fuel.saturating_sub(1),
+            },
         }
     }
 
@@ -128,11 +310,11 @@ impl TidSet for AdaptiveSet {
         match pair(self, other) {
             Pair::Tids(ta, tb, fuel) if fuel > 0 => {
                 match ta.intersect_bounded_metered(tb, minsup, meter) {
-                    crate::IntersectOutcome::Frequent(tids) => Some(AdaptiveSet::Tids {
+                    IntersectOutcome::Frequent(tids) => Some(AdaptiveSet::Tids {
                         tids,
                         fuel: fuel - 1,
                     }),
-                    crate::IntersectOutcome::Infrequent => None,
+                    IntersectOutcome::Infrequent => None,
                 }
             }
             Pair::Tids(ta, tb, _) => {
@@ -141,11 +323,45 @@ impl TidSet for AdaptiveSet {
             Pair::Diffs(da, db) => da
                 .join_bounded_metered(db, minsup, meter)
                 .map(AdaptiveSet::Diff),
+            Pair::Mixed(t, fuel, d) => {
+                let tids = t.difference_metered(&d.diff, meter);
+                (tids.support() >= minsup).then(|| AdaptiveSet::Tids {
+                    tids,
+                    fuel: fuel.saturating_sub(1),
+                })
+            }
         }
     }
 
     fn is_switched(&self) -> bool {
         self.is_diffset()
+    }
+
+    // The look-ahead fold mixes representations across depths, which the
+    // pairwise default cannot (it would pair a converted accumulator with
+    // unconverted siblings): delegate to the per-depth state machine.
+
+    fn fold_join(&self, rest: &[&Self]) -> Self {
+        self.fold_with(rest, None, &mut OpMeter::new())
+            .expect("unbounded fold always completes")
+    }
+
+    fn fold_join_bounded(&self, rest: &[&Self], minsup: u32) -> Option<Self> {
+        self.fold_with(rest, Some(minsup), &mut OpMeter::new())
+    }
+
+    fn fold_join_metered(&self, rest: &[&Self], meter: &mut OpMeter) -> Self {
+        self.fold_with(rest, None, meter)
+            .expect("unbounded fold always completes")
+    }
+
+    fn fold_join_bounded_metered(
+        &self,
+        rest: &[&Self],
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<Self> {
+        self.fold_with(rest, Some(minsup), meter)
     }
 }
 
@@ -228,6 +444,130 @@ mod tests {
         // Plain tid-lists / diffsets report false via the trait default.
         assert!(!TidSet::is_switched(&ta));
         assert!(!TidSet::is_switched(&DiffSet::from_tidlists(&ta, &tb)));
+    }
+
+    #[test]
+    fn mixed_pair_joins_exactly_instead_of_panicking() {
+        // Class prefix P = A: a tid-form member t(AB) and a diffset-form
+        // member d(AC) must join to the correct t(ABC) = t(AB) − d(AC).
+        let (ta, tb, tc) = lists();
+        let tab = ta.intersect(&tb);
+        let expected = tab.intersect(&tc);
+        let tid_side = AdaptiveSet::with_fuel(tab.clone(), 3);
+        let diff_side = AdaptiveSet::Diff(DiffSet::from_tidlists(&ta, &tc));
+        for (x, y) in [(&tid_side, &diff_side), (&diff_side, &tid_side)] {
+            let j = x.join(y);
+            assert!(!j.is_diffset(), "mixed join stays in tid form");
+            assert_eq!(j.support(), expected.support());
+            match &j {
+                AdaptiveSet::Tids { tids, fuel } => {
+                    assert_eq!(tids, &expected);
+                    assert_eq!(*fuel, 2, "mixed join burns one fuel");
+                }
+                _ => unreachable!(),
+            }
+            for minsup in 1..=expected.support() + 2 {
+                assert_eq!(
+                    x.join_bounded(y, minsup).map(|s| s.support()),
+                    (expected.support() >= minsup).then_some(expected.support()),
+                    "minsup {minsup}"
+                );
+            }
+            let mut m = OpMeter::new();
+            assert_eq!(x.join_metered(y, &mut m).support(), expected.support());
+            assert!(m.tid_cmp > 0);
+        }
+    }
+
+    #[test]
+    fn fold_matches_tidlist_ground_truth_across_fuel() {
+        // A 4-member class; the fold crosses the conversion depth for
+        // small fuels and stays tid-list for large ones.
+        let ta = TidList::of(&(0..80).collect::<Vec<_>>());
+        let exts: Vec<TidList> = [2u32, 3, 5, 7]
+            .iter()
+            .map(|&k| TidList::of(&(0..80).filter(|x| x % k != 1).collect::<Vec<_>>()))
+            .collect();
+        let tids: Vec<TidList> = exts.iter().map(|t| ta.intersect(t)).collect();
+        let truth = tids
+            .iter()
+            .skip(1)
+            .fold(tids[0].clone(), |a, t| a.intersect(t));
+        for fuel in [0u32, 1, 2, 10] {
+            let members: Vec<AdaptiveSet> = tids
+                .iter()
+                .map(|t| AdaptiveSet::with_fuel(t.clone(), fuel))
+                .collect();
+            let rest: Vec<&AdaptiveSet> = members[1..].iter().collect();
+            let mut m = OpMeter::new();
+            let folded = members[0]
+                .fold_with(&rest, None, &mut m)
+                .expect("unbounded fold always completes");
+            assert_eq!(folded.support(), truth.support(), "fuel {fuel}");
+            assert!(m.tid_cmp > 0);
+            // 3 fold steps: fuel below 3 must have crossed the switch.
+            assert_eq!(folded.is_diffset(), fuel < 3, "fuel {fuel}");
+            for minsup in 1..=truth.support() + 2 {
+                let bounded = members[0]
+                    .fold_with(&rest, Some(minsup), &mut OpMeter::new())
+                    .map(|s| s.support());
+                assert_eq!(
+                    bounded,
+                    (truth.support() >= minsup).then_some(truth.support()),
+                    "fuel {fuel} minsup {minsup}"
+                );
+            }
+            // Trait surface delegates to the same kernel.
+            assert_eq!(members[0].fold_join(&rest).support(), truth.support());
+            assert_eq!(
+                members[0]
+                    .fold_join_bounded(&rest, truth.support())
+                    .map(|s| s.support()),
+                Some(truth.support())
+            );
+        }
+    }
+
+    #[test]
+    fn fold_from_diffset_self_handles_diff_and_tid_members() {
+        // Rel accumulator: self and siblings in diffset form.
+        let ta = TidList::of(&(0..80).collect::<Vec<_>>());
+        let exts: Vec<TidList> = [2u32, 3, 5]
+            .iter()
+            .map(|&k| TidList::of(&(0..80).filter(|x| x % k != 1).collect::<Vec<_>>()))
+            .collect();
+        let truth = exts.iter().fold(ta.clone(), |a, t| a.intersect(t));
+        let diffs: Vec<AdaptiveSet> = exts
+            .iter()
+            .map(|t| AdaptiveSet::Diff(DiffSet::from_tidlists(&ta, t)))
+            .collect();
+        let rest: Vec<&AdaptiveSet> = diffs[1..].iter().collect();
+        let folded = diffs[0]
+            .fold_with(&rest, None, &mut OpMeter::new())
+            .unwrap();
+        assert_eq!(folded.support(), truth.support());
+        // Mixed rest: a diffset self folded with a tid-form sibling
+        // demotes back to tid form and still gets the support right.
+        let tid_member = AdaptiveSet::with_fuel(ta.intersect(&exts[1]), 5);
+        let mixed_rest = [&tid_member, &diffs[2]];
+        let folded = diffs[0]
+            .fold_with(&mixed_rest, None, &mut OpMeter::new())
+            .unwrap();
+        assert_eq!(folded.support(), truth.support());
+        for minsup in 1..=truth.support() + 2 {
+            assert_eq!(
+                diffs[0]
+                    .fold_with(&mixed_rest, Some(minsup), &mut OpMeter::new())
+                    .map(|s| s.support()),
+                (truth.support() >= minsup).then_some(truth.support()),
+                "minsup {minsup}"
+            );
+        }
+        // Empty rest round-trips self.
+        assert_eq!(
+            diffs[0].fold_with(&[], None, &mut OpMeter::new()),
+            Some(diffs[0].clone())
+        );
     }
 
     #[test]

@@ -150,6 +150,55 @@ impl DiffSet {
     pub fn byte_size(&self) -> u64 {
         self.diff.byte_size() + 4
     }
+
+    /// Multi-way join of class siblings `d(Px₁)` (self), `d(Px₂)`, …,
+    /// `d(Px_k)` (rest), producing `d(Px₁x₂…x_k)` relative to `Px₁`.
+    ///
+    /// Chaining pairwise [`DiffSet::join`]s is **wrong** here: after one
+    /// join the accumulator's diff is relative to `Px₁`, while the
+    /// remaining members' diffs are still relative to `P`, so a second
+    /// pairwise join would subtract incomparable sets and report a bogus
+    /// support. The correct multi-way identity keeps every operand
+    /// relative to `P`:
+    ///
+    /// ```text
+    /// d(Px₁x₂…x_k) rel Px₁ = (d(Px₂) ∪ … ∪ d(Px_k)) − d(Px₁)
+    /// support(Px₁…x_k)     = support(Px₁) − |d(Px₁…x_k)|
+    /// ```
+    ///
+    /// computed incrementally as `acc ∪= (d(Px_j) − d(Px₁))`. With
+    /// `minsup = Some(s)` the fold bails as soon as `|acc|` exceeds
+    /// `support(Px₁) − s` — sound because unions only grow (§5.3 budget
+    /// argument). Returns `None` exactly when the union is infrequent.
+    pub fn fold_join_with(
+        &self,
+        rest: &[&DiffSet],
+        minsup: Option<u32>,
+        meter: &mut OpMeter,
+    ) -> Option<DiffSet> {
+        let budget = match minsup {
+            Some(s) if self.support < s => return None,
+            Some(s) => Some((self.support - s) as usize),
+            None => None,
+        };
+        if rest.is_empty() {
+            // Zero joins leave the operand unchanged (still relative to P),
+            // matching the pairwise chain convention.
+            return Some(self.clone());
+        }
+        let mut acc = TidList::new();
+        for m in rest {
+            let contrib = m.diff.difference_metered(&self.diff, meter);
+            acc = acc.union_metered(&contrib, meter);
+            if let Some(b) = budget {
+                if acc.len() > b {
+                    return None;
+                }
+            }
+        }
+        let support = self.support - acc.support();
+        Some(DiffSet { diff: acc, support })
+    }
 }
 
 /// Cross-check helper: reconstruct `t(Px)` from `t(P)` and `d(Px)`.
@@ -252,6 +301,50 @@ mod tests {
             .expect("frequent");
         assert_eq!(bounded, full);
         assert!(mb.tid_cmp <= m.tid_cmp);
+    }
+
+    #[test]
+    fn fold_join_matches_tidlist_ground_truth() {
+        // Class prefix P = A with four extensions; verify the multi-way
+        // fold against tid-list intersections — including the case where
+        // chained pairwise joins would get the support wrong.
+        let ta = TidList::of(&(0..30).collect::<Vec<_>>());
+        let exts: Vec<TidList> = [2u32, 3, 5, 7]
+            .iter()
+            .map(|&k| TidList::of(&(0..30).filter(|x| x % k != 1).collect::<Vec<_>>()))
+            .collect();
+        let diffs: Vec<DiffSet> = exts
+            .iter()
+            .map(|t| DiffSet::from_tidlists(&ta, t))
+            .collect();
+        // Ground truth: t(A) ∩ all extensions.
+        let truth = exts.iter().fold(ta.clone(), |acc, t| acc.intersect(t));
+        let rest: Vec<&DiffSet> = diffs[1..].iter().collect();
+        let mut m = OpMeter::new();
+        let folded = diffs[0]
+            .fold_join_with(&rest, None, &mut m)
+            .expect("unbounded fold always completes");
+        assert_eq!(folded.support, truth.support());
+        assert!(m.tid_cmp > 0);
+        // Reconstruct: t(Px₁…x_k) = t(Px₁) − d rel Px₁.
+        let tax1 = ta.intersect(&exts[0]);
+        assert_eq!(reconstruct_tidlist(&tax1, &folded), truth);
+        // Bounded fold agrees below/at the support and bails above it.
+        for minsup in 1..=truth.support() {
+            let b = diffs[0]
+                .fold_join_with(&rest, Some(minsup), &mut OpMeter::new())
+                .expect("frequent");
+            assert_eq!(b, folded, "minsup {minsup}");
+        }
+        assert_eq!(
+            diffs[0].fold_join_with(&rest, Some(truth.support() + 1), &mut OpMeter::new()),
+            None
+        );
+        // Empty rest: the fold is just self.
+        assert_eq!(
+            diffs[0].fold_join_with(&[], None, &mut OpMeter::new()),
+            Some(diffs[0].clone())
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //!   comparisons performed, feeding the simulated-cluster cost model.
 //!
 //! On top of the concrete kernels sits the [`TidSet`] trait — support,
-//! (bounded/metered) join, and a byte-size hook — implemented by
-//! [`TidList`], [`diffset::DiffSet`], and the mid-recursion switching
+//! (bounded/metered) join, multi-way look-ahead folds, and a byte-size
+//! hook — implemented by [`TidList`], [`diffset::DiffSet`], the adaptive
+//! galloping wrapper [`GallopList`], and the mid-recursion switching
 //! [`AdaptiveSet`]. The mining recursion in the `eclat` crate is generic
 //! over it, so every algorithm variant can run on any representation.
 
@@ -34,4 +35,4 @@ pub mod set;
 
 pub use adaptive::AdaptiveSet;
 pub use list::{IntersectOutcome, TidList};
-pub use set::TidSet;
+pub use set::{GallopList, TidSet};

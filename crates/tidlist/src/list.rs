@@ -222,73 +222,71 @@ impl TidList {
     /// Galloping intersection: binary-search advances through the longer
     /// list. Asymptotically better when `|A| ≪ |B|`; used adaptively.
     pub fn gallop_intersect(&self, other: &TidList) -> TidList {
+        let (out, _) = self.gallop_dispatch(other);
+        out
+    }
+
+    /// [`TidList::gallop_intersect`] plus search-probe metering: every
+    /// stride-doubling check and binary-search probe counts as one element
+    /// comparison, so galloping runs are visible to the same `tid_cmp`
+    /// counter as the two-pointer kernels.
+    pub fn gallop_intersect_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        let (out, ops) = self.gallop_dispatch(other);
+        meter.tid_cmp += ops;
+        out
+    }
+
+    fn gallop_dispatch(&self, other: &TidList) -> (TidList, u64) {
         let (short, long) = if self.len() <= other.len() {
             (&self.tids, &other.tids)
         } else {
             (&other.tids, &self.tids)
         };
-        let mut out = Vec::with_capacity(short.len());
-        let mut base = 0usize;
-        for &x in short {
-            if base >= long.len() {
-                break;
-            }
-            // Exponential search: find a window end such that
-            // long[end-1] >= x (or end == len), doubling the stride.
-            let mut stride = 1usize;
-            while base + stride < long.len() && long[base + stride] < x {
-                stride <<= 1;
-            }
-            let end = (base + stride + 1).min(long.len());
-            // First position in [base, end) with long[pos] >= x.
-            let pos = base + long[base..end].partition_point(|&v| v < x);
-            if pos < long.len() && long[pos] == x {
-                out.push(x);
-                base = pos + 1;
-            } else {
-                base = pos;
-            }
-        }
-        TidList { tids: out }
+        gallop_inner(short, long)
     }
 
-    /// Adaptive intersection: galloping when the lengths are skewed by more
-    /// than 16×, two-pointer otherwise. The cutover matches the classic
-    /// merge-vs-search tradeoff; the ablation bench measures it.
-    pub fn intersect_adaptive(&self, other: &TidList) -> TidList {
+    /// Whether the operand lengths are skewed enough (more than 16×) for
+    /// galloping to beat the two-pointer merge — the classic
+    /// merge-vs-search cutover; the ablation bench measures it.
+    fn gallop_pays(&self, other: &TidList) -> bool {
         let (a, b) = (self.len().max(1), other.len().max(1));
-        if a * 16 < b || b * 16 < a {
+        a * 16 < b || b * 16 < a
+    }
+
+    /// Adaptive intersection: galloping when [`gallop_pays`] says the
+    /// lengths are skewed, two-pointer otherwise.
+    ///
+    /// [`gallop_pays`]: #method.gallop_pays
+    pub fn intersect_adaptive(&self, other: &TidList) -> TidList {
+        if self.gallop_pays(other) {
             self.gallop_intersect(other)
         } else {
             self.intersect(other)
         }
     }
 
+    /// [`TidList::intersect_adaptive`] plus comparison metering — whichever
+    /// kernel runs, its probes land in `meter.tid_cmp`.
+    pub fn intersect_adaptive_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        if self.gallop_pays(other) {
+            self.gallop_intersect_metered(other, meter)
+        } else {
+            self.intersect_metered(other, meter)
+        }
+    }
+
     /// Sorted union.
     pub fn union(&self, other: &TidList) -> TidList {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        let (a, b) = (&self.tids, &other.tids);
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        TidList { tids: out }
+        let (out, _) = union_inner(&self.tids, &other.tids);
+        out
+    }
+
+    /// [`TidList::union`] plus exact comparison metering — one op per
+    /// three-way merge probe, as in the intersection/difference kernels.
+    pub fn union_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        let (out, ops) = union_inner(&self.tids, &other.tids);
+        meter.tid_cmp += ops;
+        out
     }
 
     /// Sorted difference `self − other` — the d-Eclat *diffset* kernel.
@@ -391,6 +389,70 @@ pub(crate) fn difference_inner(
         }
     }
     (Some(TidList { tids: out }), ops)
+}
+
+/// Galloping (exponential-search) intersection kernel. `short` must be the
+/// shorter operand. Returns the intersection plus an op count comparable to
+/// the two-pointer kernels': one op per stride-doubling probe and
+/// `⌈log2(window)⌉ + 1` ops per binary search over the located window.
+fn gallop_inner(short: &[Tid], long: &[Tid]) -> (TidList, u64) {
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0usize;
+    let mut ops = 0u64;
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        // Exponential search: find a window end such that
+        // long[end-1] >= x (or end == len), doubling the stride.
+        let mut stride = 1usize;
+        ops += 1;
+        while base + stride < long.len() && long[base + stride] < x {
+            stride <<= 1;
+            ops += 1;
+        }
+        let end = (base + stride + 1).min(long.len());
+        // First position in [base, end) with long[pos] >= x.
+        let window = end - base;
+        ops += (usize::BITS - window.leading_zeros()) as u64;
+        let pos = base + long[base..end].partition_point(|&v| v < x);
+        if pos < long.len() && long[pos] == x {
+            out.push(x);
+            base = pos + 1;
+        } else {
+            base = pos;
+        }
+    }
+    (TidList { tids: out }, ops)
+}
+
+/// Shared merge-union kernel. Returns the union plus the number of
+/// three-way `a[i] <=> b[j]` probes performed.
+fn union_inner(a: &[Tid], b: &[Tid]) -> (TidList, u64) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ops = 0u64;
+    while i < a.len() && j < b.len() {
+        ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    (TidList { tids: out }, ops)
 }
 
 impl fmt::Debug for TidList {
@@ -553,6 +615,54 @@ mod tests {
         let last = TidList::of(&[3]);
         assert_eq!(first.gallop_intersect(&a), first);
         assert_eq!(last.gallop_intersect(&a), last);
+    }
+
+    #[test]
+    fn gallop_metered_counts_probes() {
+        let a = TidList::of(&[5, 100, 250, 251, 90_000]);
+        let b = TidList::of(&(0..100_000).step_by(5).collect::<Vec<_>>());
+        let mut m = OpMeter::new();
+        assert_eq!(a.gallop_intersect_metered(&b, &mut m), a.intersect(&b));
+        assert!(m.tid_cmp > 0, "galloping probes must be metered");
+        // Galloping on heavily skewed operands must beat the linear merge.
+        let mut m_two = OpMeter::new();
+        a.intersect_metered(&b, &mut m_two);
+        assert!(
+            m.tid_cmp * 10 < m_two.tid_cmp,
+            "gallop {} vs two-pointer {}",
+            m.tid_cmp,
+            m_two.tid_cmp
+        );
+        // The adaptive dispatch picks galloping here and meters the same.
+        let mut m_ad = OpMeter::new();
+        assert_eq!(a.intersect_adaptive_metered(&b, &mut m_ad), a.intersect(&b));
+        assert_eq!(m_ad.tid_cmp, m.tid_cmp);
+    }
+
+    #[test]
+    fn adaptive_metered_uses_merge_on_balanced_operands() {
+        let a = TidList::of(&[1, 2, 3, 5, 8, 13, 21]);
+        let b = TidList::of(&[2, 3, 5, 7, 11, 13]);
+        let mut m_ad = OpMeter::new();
+        let mut m_two = OpMeter::new();
+        assert_eq!(
+            a.intersect_adaptive_metered(&b, &mut m_ad),
+            a.intersect_metered(&b, &mut m_two)
+        );
+        assert_eq!(m_ad.tid_cmp, m_two.tid_cmp);
+    }
+
+    #[test]
+    fn union_metered_counts_merge_probes() {
+        let a = TidList::of(&[1, 3, 5, 7]);
+        let b = TidList::of(&[3, 4, 7, 8]);
+        let mut m = OpMeter::new();
+        assert_eq!(a.union_metered(&b, &mut m), a.union(&b));
+        assert!(m.tid_cmp > 0 && m.tid_cmp <= 8);
+        // Union with empty never probes.
+        let mut m0 = OpMeter::new();
+        assert_eq!(a.union_metered(&TidList::new(), &mut m0), a);
+        assert_eq!(m0.tid_cmp, 0);
     }
 
     #[test]

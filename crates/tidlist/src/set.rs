@@ -52,6 +52,63 @@ pub trait TidSet: Clone + std::fmt::Debug {
     fn is_switched(&self) -> bool {
         false
     }
+
+    /// Multi-way join: fold `self` with every member of `rest`, producing
+    /// the representation of `self ∪ rest[0] ∪ … ∪ rest[k-1]`. This is the
+    /// MaxEclat look-ahead primitive (§5): one call answers "is the whole
+    /// class union frequent?".
+    ///
+    /// # Contract
+    /// All operands must be members of the **same equivalence class**, in
+    /// member order with `self` first. The default implementation chains
+    /// pairwise [`TidSet::join`]s, which is correct only when each partial
+    /// join result is itself a valid class sibling of the remaining
+    /// members — true for prefix-free representations like tid-lists,
+    /// **wrong** for prefix-relative ones ([`DiffSet`] diffs are relative
+    /// to the shared class prefix, so after one join the accumulator no
+    /// longer shares a prefix with the rest). Prefix-relative
+    /// representations override this with a multi-way kernel.
+    fn fold_join(&self, rest: &[&Self]) -> Self {
+        let mut acc = self.clone();
+        for m in rest {
+            acc = acc.join(m);
+        }
+        acc
+    }
+
+    /// [`TidSet::fold_join`], abandoning with `None` as soon as the fold
+    /// proves the union cannot reach `minsup` (§5.3 applied per step).
+    /// `None` exactly when the union's support is below `minsup`.
+    fn fold_join_bounded(&self, rest: &[&Self], minsup: u32) -> Option<Self> {
+        let mut acc = self.clone();
+        for m in rest {
+            acc = acc.join_bounded(m, minsup)?;
+        }
+        (acc.support() >= minsup).then_some(acc)
+    }
+
+    /// [`TidSet::fold_join`] with comparison metering.
+    fn fold_join_metered(&self, rest: &[&Self], meter: &mut OpMeter) -> Self {
+        let mut acc = self.clone();
+        for m in rest {
+            acc = acc.join_metered(m, meter);
+        }
+        acc
+    }
+
+    /// [`TidSet::fold_join_bounded`] with comparison metering.
+    fn fold_join_bounded_metered(
+        &self,
+        rest: &[&Self],
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<Self> {
+        let mut acc = self.clone();
+        for m in rest {
+            acc = acc.join_bounded_metered(m, minsup, meter)?;
+        }
+        (acc.support() >= minsup).then_some(acc)
+    }
 }
 
 impl TidSet for TidList {
@@ -107,6 +164,73 @@ impl TidSet for DiffSet {
     fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
         DiffSet::join_bounded_metered(self, other, minsup, meter)
     }
+
+    // Diffsets are prefix-relative, so the pairwise default fold is wrong
+    // for them (see `DiffSet::fold_join_with`): override with the
+    // union-based multi-way kernel.
+
+    fn fold_join(&self, rest: &[&Self]) -> Self {
+        self.fold_join_with(rest, None, &mut OpMeter::new())
+            .expect("unbounded fold always completes")
+    }
+
+    fn fold_join_bounded(&self, rest: &[&Self], minsup: u32) -> Option<Self> {
+        self.fold_join_with(rest, Some(minsup), &mut OpMeter::new())
+    }
+
+    fn fold_join_metered(&self, rest: &[&Self], meter: &mut OpMeter) -> Self {
+        self.fold_join_with(rest, None, meter)
+            .expect("unbounded fold always completes")
+    }
+
+    fn fold_join_bounded_metered(
+        &self,
+        rest: &[&Self],
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<Self> {
+        self.fold_join_with(rest, Some(minsup), meter)
+    }
+}
+
+/// A [`TidList`] whose joins go through the adaptive galloping kernel
+/// ([`TidList::intersect_adaptive`]): exponential search through the longer
+/// operand when the lengths are skewed by more than 16×, two-pointer merge
+/// otherwise. Enabled by `EclatConfig::gallop` in the mining kernel.
+///
+/// Galloping has no §5.3 short-circuit analogue (it never walks the
+/// operands linearly), so the bounded joins compute the full intersection
+/// and then apply the threshold — the trait contract (`None` iff
+/// infrequent) still holds exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GallopList(pub TidList);
+
+impl TidSet for GallopList {
+    fn support(&self) -> u32 {
+        self.0.support()
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size()
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        GallopList(self.0.intersect_adaptive(&other.0))
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        let out = self.join(other);
+        (out.support() >= minsup).then_some(out)
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        GallopList(self.0.intersect_adaptive_metered(&other.0, meter))
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        let out = self.join_metered(other, meter);
+        (out.support() >= minsup).then_some(out)
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +261,89 @@ mod tests {
             assert_eq!(ts, ds, "support minsup {minsup}");
             assert_eq!(tbnd, dbnd, "bounded minsup {minsup}");
         }
+    }
+
+    /// A 5-member class over prefix A with tid-list ground truth for the
+    /// full union — the shape the MaxEclat look-ahead folds.
+    fn lookahead_class() -> (Vec<TidList>, Vec<DiffSet>, TidList) {
+        let ta = TidList::of(&(0..60).collect::<Vec<_>>());
+        let exts: Vec<TidList> = [2u32, 3, 5, 7, 11]
+            .iter()
+            .map(|&k| TidList::of(&(0..60).filter(|x| x % k != 1).collect::<Vec<_>>()))
+            .collect();
+        let tids: Vec<TidList> = exts.iter().map(|t| ta.intersect(t)).collect();
+        let diffs: Vec<DiffSet> = exts
+            .iter()
+            .map(|t| DiffSet::from_tidlists(&ta, t))
+            .collect();
+        let truth = tids
+            .iter()
+            .skip(1)
+            .fold(tids[0].clone(), |a, t| a.intersect(t));
+        (tids, diffs, truth)
+    }
+
+    #[test]
+    fn fold_join_agrees_across_representations() {
+        let (tids, diffs, truth) = lookahead_class();
+        let t_rest: Vec<&TidList> = tids[1..].iter().collect();
+        let d_rest: Vec<&DiffSet> = diffs[1..].iter().collect();
+        let mut mt = OpMeter::new();
+        let mut md = OpMeter::new();
+        assert_eq!(tids[0].fold_join(&t_rest), truth);
+        assert_eq!(
+            tids[0].fold_join_metered(&t_rest, &mut mt).support(),
+            truth.support()
+        );
+        assert_eq!(diffs[0].fold_join(&d_rest).support, truth.support());
+        assert_eq!(
+            diffs[0].fold_join_metered(&d_rest, &mut md).support,
+            truth.support()
+        );
+        assert!(mt.tid_cmp > 0 && md.tid_cmp > 0);
+        for minsup in 1..=truth.support() + 2 {
+            let tb = tids[0]
+                .fold_join_bounded(&t_rest, minsup)
+                .map(|s| s.support());
+            let db = diffs[0]
+                .fold_join_bounded(&d_rest, minsup)
+                .map(|s| s.support());
+            let expect = (truth.support() >= minsup).then_some(truth.support());
+            assert_eq!(tb, expect, "tidlist minsup {minsup}");
+            assert_eq!(db, expect, "diffset minsup {minsup}");
+            let mut m = OpMeter::new();
+            assert_eq!(
+                diffs[0]
+                    .fold_join_bounded_metered(&d_rest, minsup, &mut m)
+                    .map(|s| s.support()),
+                expect,
+                "metered diffset minsup {minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn gallop_list_agrees_with_tidlist_through_the_trait() {
+        let (tids, _, truth) = lookahead_class();
+        let galls: Vec<GallopList> = tids.iter().cloned().map(GallopList).collect();
+        let g_rest: Vec<&GallopList> = galls[1..].iter().collect();
+        let mut m = OpMeter::new();
+        assert_eq!(galls[0].fold_join(&g_rest).0, truth);
+        assert_eq!(galls[0].fold_join_metered(&g_rest, &mut m).0, truth);
+        assert!(m.tid_cmp > 0);
+        for minsup in 1..=truth.support() + 2 {
+            assert_eq!(
+                galls[0]
+                    .fold_join_bounded(&g_rest, minsup)
+                    .map(|g| g.support()),
+                (truth.support() >= minsup).then_some(truth.support()),
+                "minsup {minsup}"
+            );
+        }
+        // Skewed pair exercises the galloping branch through the trait.
+        let a = GallopList(TidList::of(&[5, 100, 250]));
+        let b = GallopList(TidList::of(&(0..100_000).step_by(5).collect::<Vec<_>>()));
+        assert_eq!(a.join(&b).0, a.0.intersect(&b.0));
     }
 
     #[test]

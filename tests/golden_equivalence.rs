@@ -151,6 +151,37 @@ fn every_representation_agrees_on_quest_data() {
 }
 
 #[test]
+fn maximal_mining_agrees_across_representations() {
+    use eclat::Representation;
+    let minsup = MinSupport::from_percent(1.5);
+    // A dense database (8-item core present in every transaction) forces
+    // deep look-aheads; the Quest data exercises the sparse regime.
+    let dense = HorizontalDb::from_transactions(
+        (0..200u32)
+            .map(|i| {
+                let mut t: Vec<mining_types::ItemId> = (0..8).map(mining_types::ItemId).collect();
+                t.push(mining_types::ItemId(8 + (i % 7)));
+                t
+            })
+            .collect::<Vec<_>>(),
+    );
+    for (label, db) in [("quest", quest_db(2_000, 42)), ("dense", dense)] {
+        let reference = eclat::maximal::maximal_of(&eclat::sequential::mine(&db, minsup));
+        assert!(!reference.is_empty(), "{label}");
+        for repr in [
+            Representation::TidList,
+            Representation::Diffset,
+            Representation::AutoSwitch { depth: 0 },
+            Representation::AutoSwitch { depth: 2 },
+        ] {
+            let cfg = EclatConfig::with_representation(repr);
+            let got = eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new());
+            assert_eq!(got, reference, "{label} {repr:?}");
+        }
+    }
+}
+
+#[test]
 fn downward_closure_on_quest_output() {
     let db = quest_db(2_500, 1);
     let minsup = MinSupport::from_percent(1.0);

@@ -89,6 +89,29 @@ proptest! {
     }
 
     #[test]
+    fn maximal_matches_oracle(db in arb_db(), pct in 2.0f64..60.0, depth in 0u32..4) {
+        // MaxEclat's representation-aware look-ahead must equal the
+        // subsumption filter over the full frequent set, for every
+        // TidSet representation and with the short-circuit both on/off.
+        let minsup = MinSupport::from_percent(pct);
+        let oracle = eclat::maximal::maximal_of(&eclat::sequential::mine(&db, minsup));
+        for repr in [
+            Representation::TidList,
+            Representation::Diffset,
+            Representation::AutoSwitch { depth },
+        ] {
+            for short_circuit in [true, false] {
+                let cfg = EclatConfig {
+                    short_circuit,
+                    ..EclatConfig::with_representation(repr)
+                };
+                let got = eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new());
+                prop_assert_eq!(&got, &oracle, "{:?} sc={}", repr, short_circuit);
+            }
+        }
+    }
+
+    #[test]
     fn rules_are_internally_consistent(db in arb_db(), pct in 10.0f64..50.0, conf in 0.1f64..0.9) {
         let minsup = MinSupport::from_percent(pct);
         let truth = brute_force(&db, minsup);

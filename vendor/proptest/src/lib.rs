@@ -15,7 +15,7 @@
 //!   entropy plus a persistence file);
 //! * **default cases = 64** (upstream 256) to keep the tier-1 debug-mode
 //!   test run fast; tests that need more pass an explicit
-//!   [`ProptestConfig::with_cases`].
+//!   [`test_runner::ProptestConfig::with_cases`].
 
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
@@ -186,7 +186,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Admissible size arguments for [`vec`].
+    /// Admissible size arguments for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
