@@ -1,0 +1,259 @@
+//! Diff two `results/*.json` stats artifacts.
+//!
+//! Both documents are flattened to `dotted.path = value` leaves; arrays
+//! of objects are keyed by their identifying field (`name`, `database`,
+//! `quantile`, …) when one is present, so per-phase / per-level rows
+//! line up across runs even when row order or row count changed. Numeric
+//! leaves get absolute and relative deltas; string leaves are reported
+//! when they changed; paths present on only one side are listed as
+//! added/removed.
+//!
+//! ```text
+//! cargo run -p repro-bench --bin stats_diff --release -- \
+//!     results/table2_before.json results/table2_after.json \
+//!     [--all] [--tolerance=0.01]
+//! ```
+//!
+//! `--tolerance` suppresses numeric changes whose relative delta is
+//! below the threshold (default `0`: report every change); `--all` also
+//! prints unchanged leaves. Exits `1` when any difference was reported,
+//! `0` when the artifacts are equivalent — usable as a regression gate.
+//!
+//! `scripts/stats_diff` wraps this binary.
+
+use mining_types::json::{parse, Value};
+use repro_bench::Args;
+use std::collections::BTreeMap;
+
+/// Fields that identify a row of an array-of-objects; checked in order.
+const KEY_FIELDS: &[&str] = &[
+    "name", "database", "phase", "level", "size", "quantile", "proc", "bench",
+];
+
+/// A flattened leaf.
+#[derive(Clone, Debug, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Text(String),
+}
+
+impl std::fmt::Display for Leaf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Leaf::Num(n) => write!(f, "{n}"),
+            Leaf::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+fn leaf_of(v: &Value) -> Option<Leaf> {
+    match v {
+        Value::Num(n) => Some(Leaf::Num(*n)),
+        Value::Str(s) => Some(Leaf::Text(s.clone())),
+        Value::Bool(b) => Some(Leaf::Text(b.to_string())),
+        Value::Null => Some(Leaf::Text("null".to_string())),
+        Value::Arr(_) | Value::Obj(_) => None,
+    }
+}
+
+/// The identifying key of an array element, if it is an object carrying
+/// one of the [`KEY_FIELDS`].
+fn row_key(v: &Value) -> Option<String> {
+    for field in KEY_FIELDS {
+        match v.get(field) {
+            Some(Value::Str(s)) => return Some(s.clone()),
+            Some(Value::Num(n)) => return Some(format!("{n}")),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn join(prefix: &str, segment: &str) -> String {
+    if prefix.is_empty() {
+        segment.to_string()
+    } else {
+        format!("{prefix}.{segment}")
+    }
+}
+
+/// Flatten a document into `path → leaf`, recursively.
+fn flatten(v: &Value, prefix: &str, out: &mut BTreeMap<String, Leaf>) {
+    if let Some(leaf) = leaf_of(v) {
+        out.insert(prefix.to_string(), leaf);
+        return;
+    }
+    match v {
+        Value::Obj(fields) => {
+            for (k, val) in fields {
+                flatten(val, &join(prefix, k), out);
+            }
+        }
+        Value::Arr(items) => {
+            // Key rows by their identifying field when every row has one
+            // and the keys are unique; fall back to positional indices.
+            let keys: Vec<Option<String>> = items.iter().map(row_key).collect();
+            let mut unique: Vec<&String> = keys.iter().flatten().collect();
+            unique.sort();
+            unique.dedup();
+            let keyed = !items.is_empty()
+                && keys.iter().all(Option::is_some)
+                && unique.len() == items.len();
+            for (i, item) in items.iter().enumerate() {
+                let segment = if keyed {
+                    format!("[{}]", keys[i].as_ref().unwrap())
+                } else {
+                    format!("[{i}]")
+                };
+                flatten(item, &join(prefix, &segment), out);
+            }
+        }
+        _ => unreachable!("leaf_of covers scalars"),
+    }
+}
+
+fn load(path: &str) -> BTreeMap<String, Leaf> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let mut out = BTreeMap::new();
+    flatten(&doc, "", &mut out);
+    out
+}
+
+fn relative_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        f64::INFINITY
+    } else {
+        (b - a).abs() / a.abs()
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    let args = Args::from_tokens(argv.iter().filter(|a| a.starts_with("--")).cloned());
+    if paths.len() != 2 {
+        eprintln!("usage: stats_diff OLD.json NEW.json [--all] [--tolerance=FRAC]");
+        std::process::exit(2);
+    }
+    let tolerance: f64 = args
+        .get("tolerance")
+        .map(|s| s.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.0);
+    let show_all = args.has("all");
+
+    let old = load(paths[0]);
+    let new = load(paths[1]);
+    println!("stats_diff: {} -> {}", paths[0], paths[1]);
+
+    let mut changed = 0usize;
+    let mut unchanged = 0usize;
+    for (path, a) in &old {
+        match new.get(path) {
+            None => {
+                println!("  - {path} (removed; was {a})");
+                changed += 1;
+            }
+            Some(b) if a == b => {
+                if show_all {
+                    println!("    {path}: {a}");
+                }
+                unchanged += 1;
+            }
+            Some(b) => match (a, b) {
+                (Leaf::Num(x), Leaf::Num(y)) => {
+                    let rel = relative_delta(*x, *y);
+                    if rel < tolerance {
+                        if show_all {
+                            println!("    {path}: {a} ~ {b} (within tolerance)");
+                        }
+                        unchanged += 1;
+                    } else {
+                        let pct = if rel.is_finite() {
+                            format!("{:+.2}%", (y - x) / x.abs() * 100.0)
+                        } else {
+                            "new!=0".to_string()
+                        };
+                        println!("  ~ {path}: {x} -> {y} ({:+} , {pct})", y - x);
+                        changed += 1;
+                    }
+                }
+                _ => {
+                    println!("  ~ {path}: {a} -> {b}");
+                    changed += 1;
+                }
+            },
+        }
+    }
+    for (path, b) in &new {
+        if !old.contains_key(path) {
+            println!("  + {path} = {b}");
+            changed += 1;
+        }
+    }
+
+    println!(
+        "{} leaves compared: {changed} differ, {unchanged} match{}",
+        old.len() + new.keys().filter(|k| !old.contains_key(*k)).count(),
+        if tolerance > 0.0 {
+            format!(" (tolerance {tolerance})")
+        } else {
+            String::new()
+        }
+    );
+    std::process::exit(if changed > 0 { 1 } else { 0 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(doc: &str) -> BTreeMap<String, Leaf> {
+        let mut out = BTreeMap::new();
+        flatten(&parse(doc).unwrap(), "", &mut out);
+        out
+    }
+
+    #[test]
+    fn scalars_and_nesting() {
+        let f = flat(r#"{"a":1,"b":{"c":"x","d":null},"e":true}"#);
+        assert_eq!(f["a"], Leaf::Num(1.0));
+        assert_eq!(f["b.c"], Leaf::Text("x".to_string()));
+        assert_eq!(f["b.d"], Leaf::Text("null".to_string()));
+        assert_eq!(f["e"], Leaf::Text("true".to_string()));
+    }
+
+    #[test]
+    fn keyed_arrays_line_up_regardless_of_order() {
+        let a = flat(r#"{"phases":[{"name":"init","secs":1},{"name":"transform","secs":2}]}"#);
+        let b = flat(r#"{"phases":[{"name":"transform","secs":3},{"name":"init","secs":1}]}"#);
+        assert_eq!(a["phases.[init].secs"], b["phases.[init].secs"]);
+        assert_eq!(a["phases.[transform].secs"], Leaf::Num(2.0));
+        assert_eq!(b["phases.[transform].secs"], Leaf::Num(3.0));
+    }
+
+    #[test]
+    fn unkeyed_and_duplicate_key_arrays_fall_back_to_indices() {
+        let f = flat(r#"{"xs":[10,20],"rows":[{"name":"a"},{"name":"a"}]}"#);
+        assert_eq!(f["xs.[0]"], Leaf::Num(10.0));
+        assert_eq!(f["xs.[1]"], Leaf::Num(20.0));
+        assert!(f.contains_key("rows.[0].name"));
+        assert!(f.contains_key("rows.[1].name"));
+    }
+
+    #[test]
+    fn quantile_rows_key_by_number() {
+        let f = flat(r#"{"latency_ms":[{"quantile":0.5,"ms":1},{"quantile":0.99,"ms":2}]}"#);
+        assert_eq!(f["latency_ms.[0.5].ms"], Leaf::Num(1.0));
+        assert_eq!(f["latency_ms.[0.99].ms"], Leaf::Num(2.0));
+    }
+
+    #[test]
+    fn relative_deltas() {
+        assert_eq!(relative_delta(2.0, 2.0), 0.0);
+        assert_eq!(relative_delta(2.0, 3.0), 0.5);
+        assert!(relative_delta(0.0, 1.0).is_infinite());
+    }
+}

@@ -28,6 +28,22 @@
 //! `simulate` — the per-processor timeline split); `--stats=json` emits
 //! only the machine-readable JSON document.
 //!
+//! ```text
+//! eclat serve    --input data.ech --support PCT [--port P] [--host H]
+//!                [--confidence FRAC] [--shards N] [--cache N] [--workers N]
+//!                [--port-file PATH] [--serve-secs S]
+//! eclat query    --addr HOST:PORT [--ping] [--support-of LIST]
+//!                [--subsets-of LIST] [--supersets-of LIST] [--rules-for LIST]
+//!                [--topk K [--size S]] [--limit N] [--top N] [--server-stats]
+//! ```
+//!
+//! `serve` mines the database, generates rules, and serves both over the
+//! [`assoc_serve`] wire protocol. `--port 0` binds an ephemeral port;
+//! `--port-file` writes the bound port so scripts (and the tests) can
+//! find it; `--serve-secs` serves for a fixed window and then reports
+//! the connection/request counters (omit it to serve until killed).
+//! `query` item lists are comma-separated, e.g. `--rules-for 3,17`.
+//!
 //! Databases are the workspace's binary horizontal format
 //! ([`dbstore::binfmt`]). Every subcommand is a pure function from
 //! parsed arguments to a report string, so the whole surface is
@@ -56,6 +72,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "mine" => cmd_mine(&args),
         "rules" => cmd_rules(&args),
         "simulate" => cmd_simulate(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
     }
@@ -75,7 +93,12 @@ pub fn usage() -> String {
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
                 [--algorithm eclat|hybrid|countdist]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
-                [--stats[=json]]\n"
+                [--stats[=json]]\n\
+       serve    --input FILE --support PCT [--port P] [--host H] [--confidence FRAC]\n\
+                [--shards N] [--cache N] [--workers N] [--port-file PATH] [--serve-secs S]\n\
+       query    --addr HOST:PORT [--ping] [--support-of LIST] [--subsets-of LIST]\n\
+                [--supersets-of LIST] [--rules-for LIST] [--topk K [--size S]]\n\
+                [--limit N] [--top N] [--server-stats]\n"
         .to_string()
 }
 
@@ -460,6 +483,205 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parse a comma-separated item list ("3,17,42") into an [`Itemset`].
+fn parse_items(flag: &str, raw: &str) -> Result<mining_types::Itemset, String> {
+    let mut items = Vec::new();
+    for tok in raw.split(',').filter(|t| !t.trim().is_empty()) {
+        let item: u32 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("--{flag}: '{tok}' is not an item id"))?;
+        items.push(item);
+    }
+    Ok(mining_types::Itemset::of(&items))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let minsup = support_of(flags)?;
+    let confidence: f64 = flags.parse("confidence", 0.5f64)?;
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err("--confidence must be in [0, 1]".to_string());
+    }
+    let shards: usize = flags.parse("shards", 16usize)?;
+    let cache: usize = flags.parse("cache", 4096usize)?;
+    let workers: usize = flags.parse("workers", 8usize)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be > 0".to_string());
+    }
+
+    let t0 = std::time::Instant::now();
+    let frequent = eclat::sequential::mine_with(
+        &db,
+        minsup,
+        &eclat::EclatConfig::with_singletons(),
+        &mut OpMeter::new(),
+    );
+    let rules = assoc_rules::generate(&frequent, confidence);
+    let dataset = assoc_serve::Dataset {
+        frequent,
+        rules,
+        num_transactions: db.num_transactions() as u32,
+    };
+    let store = std::sync::Arc::new(assoc_serve::Store::with_dataset(
+        &dataset,
+        &assoc_serve::StoreConfig {
+            shards,
+            cache_entries: cache,
+        },
+    ));
+    let built = t0.elapsed().as_secs_f64();
+
+    let cfg = assoc_serve::ServerConfig {
+        host: flags.get("host").unwrap_or("127.0.0.1").to_string(),
+        port: flags.parse("port", 0u16)?,
+        workers,
+        ..assoc_serve::ServerConfig::default()
+    };
+    let handle = assoc_serve::start(std::sync::Arc::clone(&store), &cfg)
+        .map_err(|e| format!("bind {}:{}: {e}", cfg.host, cfg.port))?;
+    let addr = handle.local_addr();
+
+    let mut out = String::new();
+    let stats = store.serve_stats(None);
+    let _ = writeln!(
+        out,
+        "serving {} itemsets / {} rules on {addr} ({shards} shards, {workers} workers, built in {built:.2}s)",
+        stats.itemsets, stats.rules
+    );
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    match flags.get("serve-secs") {
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("--serve-secs: cannot parse '{raw}'"))?;
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            let counters = handle.shutdown();
+            let _ = writeln!(
+                out,
+                "served {} connections / {} requests ({} protocol errors, {} timeouts)",
+                counters.connections,
+                counters.requests,
+                counters.protocol_errors,
+                counters.timeouts
+            );
+            let cs = store.cache_stats();
+            let _ = writeln!(
+                out,
+                "cache: {} hits / {} misses ({:.0}% hit rate)",
+                cs.hits,
+                cs.misses,
+                cs.hit_rate() * 100.0
+            );
+            Ok(out)
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
+fn cmd_query(flags: &Flags) -> Result<String, String> {
+    let addr = flags.require("addr")?;
+    let mut client =
+        assoc_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let limit: u32 = flags.parse("limit", 20u32)?;
+    let top: u32 = flags.parse("top", 10u32)?;
+    let err = |e: std::io::Error| format!("query {addr}: {e}");
+
+    let mut out = String::new();
+    let mut ran = false;
+    let list = |out: &mut String, items: Vec<mining_types::Counted>| {
+        for c in items {
+            let _ = writeln!(out, "  {:<40} {:>8}", format!("{}", c.itemset), c.support);
+        }
+    };
+
+    if flags.has("ping") {
+        client.ping().map_err(err)?;
+        out.push_str("pong\n");
+        ran = true;
+    }
+    if let Some(raw) = flags.get("support-of") {
+        let q = parse_items("support-of", raw)?;
+        match client.support(q.clone()).map_err(err)? {
+            Some(s) => {
+                let _ = writeln!(out, "support({q}) = {s}");
+            }
+            None => {
+                let _ = writeln!(out, "support({q}) : not frequent");
+            }
+        }
+        ran = true;
+    }
+    if let Some(raw) = flags.get("subsets-of") {
+        let q = parse_items("subsets-of", raw)?;
+        let v = client.subsets(q.clone(), limit).map_err(err)?;
+        let _ = writeln!(out, "{} frequent subsets of {q}:", v.len());
+        list(&mut out, v);
+        ran = true;
+    }
+    if let Some(raw) = flags.get("supersets-of") {
+        let q = parse_items("supersets-of", raw)?;
+        let v = client.supersets(q.clone(), limit).map_err(err)?;
+        let _ = writeln!(out, "{} frequent supersets of {q}:", v.len());
+        list(&mut out, v);
+        ran = true;
+    }
+    if let Some(raw) = flags.get("rules-for") {
+        let q = parse_items("rules-for", raw)?;
+        let v = client.rules_for(q.clone(), top).map_err(err)?;
+        let _ = writeln!(out, "{} rules for antecedent {q}:", v.len());
+        for r in v {
+            let _ = writeln!(
+                out,
+                "  {q} => {:<18} conf {:.3}  sup {:>6}",
+                format!("{}", r.consequent),
+                r.confidence(),
+                r.support
+            );
+        }
+        ran = true;
+    }
+    if flags.get("topk").is_some() {
+        let k: u32 = flags.parse("topk", 0u32)?;
+        let size: u32 = flags.parse("size", 0u32)?;
+        let v = client.top_k(size, k).map_err(err)?;
+        let label = if size == 0 {
+            "any size".to_string()
+        } else {
+            format!("size {size}")
+        };
+        let _ = writeln!(out, "top {} itemsets by support ({label}):", v.len());
+        list(&mut out, v);
+        ran = true;
+    }
+    if flags.has("server-stats") {
+        let mut json = client.stats_json().map_err(err)?;
+        json.push('\n');
+        out.push_str(&json);
+        ran = true;
+    }
+    if !ran {
+        return Err(
+            "query: nothing to do (use --ping, --support-of, --subsets-of, --supersets-of, \
+             --rules-for, --topk, or --server-stats)"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,6 +994,117 @@ mod tests {
         assert!(out.contains("\"representation\":\"diffset\""), "{out}");
         assert!(out.contains("\"switch_events\""), "{out}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn serve_and_query_round_trip() {
+        let path = tempfile("serve");
+        generate(&path, 1200);
+        let port_file = std::env::temp_dir()
+            .join(format!("eclat-cli-port-{}.txt", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&port_file);
+
+        let serve_args = argv(&[
+            "serve",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--confidence",
+            "0.3",
+            "--port",
+            "0",
+            "--port-file",
+            &port_file,
+            "--serve-secs",
+            "3",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+
+        // Wait for the server to publish its ephemeral port.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        let ping = run(&argv(&["query", "--addr", &addr, "--ping"])).unwrap();
+        assert_eq!(ping, "pong\n");
+
+        let sup = run(&argv(&["query", "--addr", &addr, "--support-of", "999999"])).unwrap();
+        assert!(sup.contains("not frequent"), "{sup}");
+
+        let topk = run(&argv(&[
+            "query", "--addr", &addr, "--topk", "3", "--size", "1",
+        ]))
+        .unwrap();
+        assert!(
+            topk.contains("top 3 itemsets by support (size 1)"),
+            "{topk}"
+        );
+        // Probe the most frequent singleton back through the other queries.
+        let best: Vec<u32> = topk
+            .lines()
+            .nth(1)
+            .unwrap()
+            .trim()
+            .trim_start_matches('{')
+            .split('}')
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let best_list = best
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let sup = run(&argv(&[
+            "query",
+            "--addr",
+            &addr,
+            "--support-of",
+            &best_list,
+        ]))
+        .unwrap();
+        assert!(sup.contains("support("), "{sup}");
+        let sups = run(&argv(&[
+            "query",
+            "--addr",
+            &addr,
+            "--supersets-of",
+            &best_list,
+            "--limit",
+            "5",
+        ]))
+        .unwrap();
+        assert!(sups.contains("frequent supersets of"), "{sups}");
+
+        let stats = run(&argv(&["query", "--addr", &addr, "--server-stats"])).unwrap();
+        assert!(stats.contains("\"cache\""), "{stats}");
+        assert!(stats.contains("\"server\":{"), "{stats}");
+
+        assert!(run(&argv(&["query", "--addr", &addr]))
+            .unwrap_err()
+            .contains("nothing to do"));
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("serving"), "{report}");
+        assert!(report.contains("connections"), "{report}");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&port_file).unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! failed consequent prunes all of its supersets — valid because moving
 //! an item from antecedent to consequent can only lower confidence.
 
-use mining_types::{FrequentSet, Itemset};
+use mining_types::{FrequentSet, FxHashSet, Itemset};
 use std::fmt;
 
 /// One association rule `antecedent ⇒ consequent` with its statistics.
@@ -56,6 +56,30 @@ impl Rule {
     pub fn support_fraction(&self, num_transactions: usize) -> f64 {
         assert!(num_transactions > 0);
         self.support as f64 / num_transactions as f64
+    }
+
+    /// Leverage: observed minus expected co-occurrence frequency,
+    /// `sup(X∪Y)/n − (sup(X)/n)·(sup(Y)/n)`. Zero when antecedent and
+    /// consequent are independent, positive when they co-occur more than
+    /// chance predicts.
+    pub fn leverage(&self, num_transactions: usize) -> f64 {
+        assert!(num_transactions > 0);
+        let n = num_transactions as f64;
+        self.support as f64 / n
+            - (self.antecedent_support as f64 / n) * (self.consequent_support as f64 / n)
+    }
+
+    /// Conviction: `(1 − sup(Y)/n) / (1 − confidence)` — how much more
+    /// often the antecedent appears *without* the consequent than it
+    /// would under independence. `1.0` at independence,
+    /// [`f64::INFINITY`] for exact (confidence 1) rules.
+    pub fn conviction(&self, num_transactions: usize) -> f64 {
+        assert!(num_transactions > 0);
+        let conf = self.confidence();
+        if conf >= 1.0 {
+            return f64::INFINITY;
+        }
+        (1.0 - self.consequent_support as f64 / num_transactions as f64) / (1.0 - conf)
     }
 }
 
@@ -117,16 +141,30 @@ pub fn generate(frequent: &FrequentSet, min_confidence: f64) -> Vec<Rule> {
                 // failed consequents are dropped — their supersets
                 // cannot pass either
             }
-            // grow the next consequent level from the passing ones
+            // Grow the next consequent level from the passing ones. A
+            // candidate is viable only if *every* one of its k-subsets
+            // passed: confidence is antitone in the consequent, so one
+            // failed subset dooms the whole superset. Checking all
+            // subsets (not just the two joined parents) prunes the
+            // candidate before its confidence is ever computed, exactly
+            // like the Apriori candidate-closure check.
+            let passed: FxHashSet<&Itemset> = passing.iter().collect();
+            let mut seen: FxHashSet<Itemset> = FxHashSet::default();
             let mut next: Vec<Itemset> = Vec::new();
             for i in 0..passing.len() {
                 for j in i + 1..passing.len() {
                     if let Some(joined) = passing[i].join(&passing[j]) {
                         if joined.len() < x.len()
                             && joined.is_subset_of(x)
-                            && !next.contains(&joined)
+                            && !seen.contains(&joined)
                         {
-                            next.push(joined);
+                            seen.insert(joined.clone());
+                            if joined
+                                .k_subsets(joined.len() - 1)
+                                .all(|s| passed.contains(&s))
+                            {
+                                next.push(joined);
+                            }
                         }
                     }
                 }
@@ -284,6 +322,59 @@ mod tests {
         // {2}=>{1}: conf 0.8; base rate of {1} = 10/20 → lift 1.6
         assert!((r.lift(20) - 1.6).abs() < 1e-12);
         assert!((r.support_fraction(20) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leverage_and_conviction_hand_computed() {
+        // n = 10, sup({1}) = 6, sup({2}) = 5, sup({1,2}) = 4.
+        let fs: FrequentSet = [(iset(&[1]), 6), (iset(&[2]), 5), (iset(&[1, 2]), 4)]
+            .into_iter()
+            .collect();
+        let rules = generate(&fs, 0.0);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == iset(&[1]))
+            .expect("{1} => {2}");
+        // confidence = 4/6 = 2/3
+        assert!((r.confidence() - 2.0 / 3.0).abs() < 1e-12);
+        // leverage = 4/10 − (6/10)(5/10) = 0.4 − 0.3 = 0.1
+        assert!((r.leverage(10) - 0.1).abs() < 1e-12, "{}", r.leverage(10));
+        // conviction = (1 − 5/10) / (1 − 2/3) = 0.5 / (1/3) = 1.5
+        assert!(
+            (r.conviction(10) - 1.5).abs() < 1e-12,
+            "{}",
+            r.conviction(10)
+        );
+
+        // The mirror rule {2} => {1}: conf 4/5, leverage is symmetric,
+        // conviction = (1 − 6/10) / (1 − 4/5) = 0.4 / 0.2 = 2.0.
+        let m = rules
+            .iter()
+            .find(|r| r.antecedent == iset(&[2]))
+            .expect("{2} => {1}");
+        assert!((m.leverage(10) - 0.1).abs() < 1e-12);
+        assert!((m.conviction(10) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conviction_is_infinite_for_exact_rules() {
+        // {2} always implies {1}: sup({2}) = sup({1,2}) = 4 → conf 1.
+        let fs: FrequentSet = [(iset(&[1]), 8), (iset(&[2]), 4), (iset(&[1, 2]), 4)]
+            .into_iter()
+            .collect();
+        let rules = generate(&fs, 0.9);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].confidence(), 1.0);
+        assert!(rules[0].conviction(10).is_infinite());
+        // An independent rule has conviction 1 and leverage 0:
+        // n = 10, sup({1}) = 5, sup({2}) = 4, sup({1,2}) = 2 → conf 0.4.
+        let ind: FrequentSet = [(iset(&[1]), 5), (iset(&[2]), 4), (iset(&[1, 2]), 2)]
+            .into_iter()
+            .collect();
+        let r = generate(&ind, 0.0);
+        let r = r.iter().find(|r| r.antecedent == iset(&[1])).unwrap();
+        assert!((r.conviction(10) - 1.0).abs() < 1e-12);
+        assert!(r.leverage(10).abs() < 1e-12);
     }
 
     #[test]

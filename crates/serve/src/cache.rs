@@ -1,0 +1,316 @@
+//! Bounded LRU cache over encoded query → encoded response bytes.
+//!
+//! The serving layer caches at the *wire* level: the key is the encoded
+//! request payload and the value the encoded response payload, so one
+//! cache serves both the in-process API and the TCP path, and a hit costs
+//! one hash lookup plus a buffer clone. Entries live in a vector-arena
+//! doubly-linked list (no per-entry allocation for the links); eviction
+//! is exact LRU. Hit/miss counters are atomic so readers never contend on
+//! the map lock just to bump statistics; the counters feed
+//! [`crate::stats::ServeStats`] and the JSON emitters.
+//!
+//! A capacity of `0` disables caching entirely (every lookup is a miss
+//! and nothing is stored) — the oracle property test runs every query
+//! through both a caching and a disabled store and pins identical
+//! answers.
+
+use mining_types::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: u32 = u32::MAX;
+
+struct Entry {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    prev: u32,
+    next: u32,
+}
+
+struct LruInner {
+    map: FxHashMap<Vec<u8>, u32>,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    value_bytes: u64,
+}
+
+impl LruInner {
+    fn unlink(&mut self, at: u32) {
+        let (prev, next) = {
+            let e = &self.entries[at as usize];
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entries[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entries[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, at: u32) {
+        self.entries[at as usize].prev = NIL;
+        self.entries[at as usize].next = self.head;
+        match self.head {
+            NIL => self.tail = at,
+            h => self.entries[h as usize].prev = at,
+        }
+        self.head = at;
+    }
+}
+
+/// Concurrent bounded LRU cache (capacity in entries).
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<LruInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Configured capacity in entries (0 = caching disabled).
+    pub capacity: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Total bytes of cached response payloads.
+    pub value_bytes: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the index.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, `0.0` when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (`0` disables it).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            inner: Mutex::new(LruInner {
+                map: FxHashMap::default(),
+                entries: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                value_bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, bumping it to most-recently-used on a hit.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key).copied() {
+            Some(at) => {
+                inner.unlink(at);
+                inner.push_front(at);
+                let value = inner.entries[at as usize].value.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `key → value`, evicting the least-recently-used entry when
+    /// full. Overwriting an existing key refreshes its recency.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(at) = inner.map.get(&key).copied() {
+            inner.unlink(at);
+            inner.push_front(at);
+            let e = &mut inner.entries[at as usize];
+            let old = std::mem::replace(&mut e.value, value);
+            let new_len = inner.entries[at as usize].value.len();
+            inner.value_bytes = inner.value_bytes - old.len() as u64 + new_len as u64;
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL);
+            inner.unlink(victim);
+            let e = &mut inner.entries[victim as usize];
+            let old_key = std::mem::take(&mut e.key);
+            inner.value_bytes -= inner.entries[victim as usize].value.len() as u64;
+            inner.entries[victim as usize].value = Vec::new();
+            inner.map.remove(&old_key);
+            inner.free.push(victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let at = match inner.free.pop() {
+            Some(at) => {
+                let e = &mut inner.entries[at as usize];
+                e.key = key.clone();
+                e.value = value;
+                at
+            }
+            None => {
+                let at = inner.entries.len() as u32;
+                inner.entries.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                at
+            }
+        };
+        inner.value_bytes += inner.entries[at as usize].value.len() as u64;
+        inner.map.insert(key, at);
+        inner.push_front(at);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every entry (used when the store reloads a new dataset);
+    /// counters are preserved.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.entries.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.value_bytes = 0;
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let (entries, value_bytes) = {
+            let inner = self.inner.lock().expect("cache lock");
+            (inner.map.len() as u64, inner.value_bytes)
+        };
+        CacheStats {
+            capacity: self.capacity as u64,
+            entries,
+            value_bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u8) -> Vec<u8> {
+        vec![n]
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = QueryCache::new(2);
+        assert_eq!(c.get(&k(1)), None);
+        c.put(k(1), vec![10]);
+        assert_eq!(c.get(&k(1)), Some(vec![10]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = QueryCache::new(2);
+        c.put(k(1), vec![1]);
+        c.put(k(2), vec![2]);
+        // touch 1 so 2 becomes LRU
+        assert!(c.get(&k(1)).is_some());
+        c.put(k(3), vec![3]);
+        assert_eq!(c.get(&k(2)), None, "LRU entry should be evicted");
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_refreshes_value_and_recency() {
+        let c = QueryCache::new(2);
+        c.put(k(1), vec![1]);
+        c.put(k(2), vec![2]);
+        c.put(k(1), vec![9, 9]);
+        c.put(k(3), vec![3]);
+        assert_eq!(c.get(&k(1)), Some(vec![9, 9]));
+        assert_eq!(c.get(&k(2)), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.value_bytes, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = QueryCache::new(0);
+        c.put(k(1), vec![1]);
+        assert_eq!(c.get(&k(1)), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 0);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let c = QueryCache::new(4);
+        c.put(k(1), vec![1]);
+        assert!(c.get(&k(1)).is_some());
+        c.clear();
+        assert_eq!(c.get(&k(1)), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let c = QueryCache::new(2);
+        for n in 0..20u8 {
+            c.put(k(n), vec![n]);
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 18);
+        assert!(c.get(&k(19)).is_some());
+        assert!(c.get(&k(18)).is_some());
+    }
+}

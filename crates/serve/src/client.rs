@@ -1,0 +1,115 @@
+//! Blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection; queries run serially over it
+//! (the protocol has no request ids — responses come back in order). The
+//! typed convenience methods turn a server-side [`Response::Error`] into
+//! an [`io::Error`] so callers handle one error channel.
+
+use crate::index::RuleEntry;
+use crate::protocol::{read_frame, write_frame, Frame, Query, Response, MAX_RESPONSE_FRAME};
+use mining_types::{Counted, Itemset};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Set the response read timeout (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Issue one query and read one response.
+    pub fn query(&mut self, query: &Query) -> io::Result<Response> {
+        write_frame(&mut self.stream, &query.encode())?;
+        match read_frame(&mut self.stream, MAX_RESPONSE_FRAME)? {
+            Frame::Payload(payload) => Response::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Frame::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Frame::TooLarge(len) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response frame of {len} bytes exceeds the client limit"),
+            )),
+        }
+    }
+
+    fn expect_err(kind: &str, got: Response) -> io::Error {
+        match got {
+            Response::Error(msg) => io::Error::other(format!("server error: {msg}")),
+            other => io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected {kind} response, got {other:?}"),
+            ),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.query(&Query::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::expect_err("pong", other)),
+        }
+    }
+
+    /// Exact support of `itemset`, if frequent.
+    pub fn support(&mut self, itemset: Itemset) -> io::Result<Option<u32>> {
+        match self.query(&Query::Support { itemset })? {
+            Response::Support(s) => Ok(s),
+            other => Err(Self::expect_err("support", other)),
+        }
+    }
+
+    /// Frequent itemsets ⊆ `of` (lexicographic, at most `limit`).
+    pub fn subsets(&mut self, of: Itemset, limit: u32) -> io::Result<Vec<Counted>> {
+        match self.query(&Query::Subsets { of, limit })? {
+            Response::Itemsets(v) => Ok(v),
+            other => Err(Self::expect_err("itemsets", other)),
+        }
+    }
+
+    /// Frequent itemsets ⊇ `of` (lexicographic, at most `limit`).
+    pub fn supersets(&mut self, of: Itemset, limit: u32) -> io::Result<Vec<Counted>> {
+        match self.query(&Query::Supersets { of, limit })? {
+            Response::Itemsets(v) => Ok(v),
+            other => Err(Self::expect_err("itemsets", other)),
+        }
+    }
+
+    /// Top-`k` rules for an antecedent, confidence descending.
+    pub fn rules_for(&mut self, antecedent: Itemset, k: u32) -> io::Result<Vec<RuleEntry>> {
+        match self.query(&Query::RulesFor { antecedent, k })? {
+            Response::Rules(v) => Ok(v),
+            other => Err(Self::expect_err("rules", other)),
+        }
+    }
+
+    /// Top-`k` itemsets of `size` items (0 = any) by support.
+    pub fn top_k(&mut self, size: u32, k: u32) -> io::Result<Vec<Counted>> {
+        match self.query(&Query::TopK { size, k })? {
+            Response::Itemsets(v) => Ok(v),
+            other => Err(Self::expect_err("itemsets", other)),
+        }
+    }
+
+    /// Server statistics as a JSON document.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        match self.query(&Query::Stats)? {
+            Response::StatsJson(j) => Ok(j),
+            other => Err(Self::expect_err("stats", other)),
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Read-optimized prefix-trie index over mined artifacts.
+//!
+//! One [`IndexShard`] holds every frequent itemset whose *first* (smallest)
+//! item routes to the shard, stored in a [`Trie`] keyed by the sorted item
+//! sequence, plus the pre-generated rules grouped by antecedent and
+//! per-size support-ordered rankings for top-k queries. Shards are built
+//! once and never mutated — the store layer swaps whole shard tables
+//! ([`crate::store`]), so everything here is `&self` and safe to share
+//! across reader threads without locks.
+//!
+//! Result orderings are part of the query contract (the wire protocol
+//! exposes them verbatim and the oracle property test pins them):
+//!
+//! * subset / superset enumeration: lexicographic ascending;
+//! * top-k itemsets: support descending, then lexicographic;
+//! * rules for an antecedent: confidence descending (within one antecedent
+//!   this equals support descending — the antecedent support is shared),
+//!   then consequent lexicographic.
+
+use assoc_rules::Rule;
+use mining_types::{Counted, FrequentSet, FxHashMap, ItemId, Itemset};
+
+/// Everything the serving layer loads: the mined frequent set, the
+/// pre-generated rules, and the database size the statistics (lift,
+/// leverage, conviction) are relative to.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    /// Frequent itemsets with absolute supports (downward-closed sets
+    /// give the most useful subset queries, but any set serves).
+    pub frequent: FrequentSet,
+    /// Rules generated from `frequent` (may be empty).
+    pub rules: Vec<Rule>,
+    /// Number of transactions in the mined database.
+    pub num_transactions: u32,
+}
+
+/// One rule under a fixed antecedent, as stored in the index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleEntry {
+    /// The consequent `Y` of `antecedent ⇒ Y`.
+    pub consequent: Itemset,
+    /// Absolute support of `antecedent ∪ Y`.
+    pub support: u32,
+    /// Absolute support of the antecedent.
+    pub antecedent_support: u32,
+    /// Absolute support of the consequent.
+    pub consequent_support: u32,
+}
+
+impl RuleEntry {
+    /// Confidence `support / antecedent_support`.
+    pub fn confidence(&self) -> f64 {
+        self.support as f64 / self.antecedent_support as f64
+    }
+}
+
+/// A node of the itemset trie: sorted child edges plus the support of the
+/// itemset ending here, if that itemset is frequent.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    children: Vec<(ItemId, u32)>,
+    support: Option<u32>,
+}
+
+impl Node {
+    fn child(&self, item: ItemId) -> Option<u32> {
+        self.children
+            .binary_search_by_key(&item, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.children[pos].1)
+    }
+}
+
+/// Arena-allocated prefix trie over sorted itemsets.
+#[derive(Clone, Debug)]
+pub struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Trie {
+            nodes: vec![Node::default()],
+        }
+    }
+}
+
+impl Trie {
+    /// Insert `items` (sorted ascending) with its support.
+    fn insert(&mut self, items: &[ItemId], support: u32) {
+        let mut at = 0u32;
+        for &item in items {
+            at = match self.nodes[at as usize]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i)
+            {
+                Ok(pos) => self.nodes[at as usize].children[pos].1,
+                Err(pos) => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[at as usize].children.insert(pos, (item, next));
+                    next
+                }
+            };
+        }
+        self.nodes[at as usize].support = Some(support);
+    }
+
+    /// Exact support lookup.
+    pub fn support(&self, items: &[ItemId]) -> Option<u32> {
+        let mut at = 0u32;
+        for &item in items {
+            at = self.nodes[at as usize].child(item)?;
+        }
+        self.nodes[at as usize].support
+    }
+
+    /// Append up to `limit` stored itemsets that are **subsets** of the
+    /// sorted `query` (including `query` itself when stored), in
+    /// lexicographic order.
+    pub fn subsets_of(&self, query: &[ItemId], limit: usize, out: &mut Vec<Counted>) {
+        let mut path = Vec::with_capacity(query.len());
+        self.subsets_rec(0, query, 0, &mut path, limit, out);
+    }
+
+    fn subsets_rec(
+        &self,
+        at: u32,
+        query: &[ItemId],
+        start: usize,
+        path: &mut Vec<ItemId>,
+        limit: usize,
+        out: &mut Vec<Counted>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let node = &self.nodes[at as usize];
+        if let Some(sup) = node.support {
+            out.push(Counted {
+                itemset: Itemset::from_sorted(path.clone()),
+                support: sup,
+            });
+        }
+        for (t, &item) in query.iter().enumerate().skip(start) {
+            if out.len() >= limit {
+                return;
+            }
+            if let Some(child) = node.child(item) {
+                path.push(item);
+                self.subsets_rec(child, query, t + 1, path, limit, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// Append up to `limit` stored itemsets that are **supersets** of the
+    /// sorted `query` (including `query` itself when stored), in
+    /// lexicographic order. An empty query enumerates everything.
+    pub fn supersets_of(&self, query: &[ItemId], limit: usize, out: &mut Vec<Counted>) {
+        let mut path = Vec::new();
+        self.supersets_rec(0, query, 0, &mut path, limit, out);
+    }
+
+    fn supersets_rec(
+        &self,
+        at: u32,
+        query: &[ItemId],
+        qi: usize,
+        path: &mut Vec<ItemId>,
+        limit: usize,
+        out: &mut Vec<Counted>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let node = &self.nodes[at as usize];
+        if qi == query.len() {
+            if let Some(sup) = node.support {
+                if !path.is_empty() {
+                    out.push(Counted {
+                        itemset: Itemset::from_sorted(path.clone()),
+                        support: sup,
+                    });
+                }
+            }
+        }
+        for &(item, child) in &node.children {
+            if out.len() >= limit {
+                return;
+            }
+            // Items are stored ascending, so once an edge passes the next
+            // needed query item, no descendant can contain it.
+            if qi < query.len() && item > query[qi] {
+                break;
+            }
+            let nqi = if qi < query.len() && item == query[qi] {
+                qi + 1
+            } else {
+                qi
+            };
+            path.push(item);
+            self.supersets_rec(child, query, nqi, path, limit, out);
+            path.pop();
+        }
+    }
+
+    /// Number of trie nodes (root included) — a size diagnostic.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// One shard of the read-optimized index: the itemsets (and rules) whose
+/// first item routes here.
+#[derive(Clone, Debug, Default)]
+pub struct IndexShard {
+    trie: Trie,
+    rules: FxHashMap<Itemset, Vec<RuleEntry>>,
+    /// `ranked[k-1]` = all stored `k`-itemsets, support descending then
+    /// lexicographic; `ranked_all` is the same over every size.
+    ranked: Vec<Vec<Counted>>,
+    ranked_all: Vec<Counted>,
+    num_itemsets: usize,
+    num_rules: usize,
+}
+
+impl IndexShard {
+    /// Exact support of `itemset`, if stored.
+    pub fn support(&self, itemset: &Itemset) -> Option<u32> {
+        self.trie.support(itemset.items())
+    }
+
+    /// Lexicographic subset enumeration (see [`Trie::subsets_of`]).
+    pub fn subsets_of(&self, query: &Itemset, limit: usize, out: &mut Vec<Counted>) {
+        self.trie.subsets_of(query.items(), limit, out);
+    }
+
+    /// Lexicographic superset enumeration (see [`Trie::supersets_of`]).
+    pub fn supersets_of(&self, query: &Itemset, limit: usize, out: &mut Vec<Counted>) {
+        self.trie.supersets_of(query.items(), limit, out);
+    }
+
+    /// Up to `k` rules with exactly this antecedent, confidence
+    /// descending then consequent lexicographic.
+    pub fn rules_for(&self, antecedent: &Itemset, k: usize) -> &[RuleEntry] {
+        match self.rules.get(antecedent) {
+            Some(entries) => &entries[..k.min(entries.len())],
+            None => &[],
+        }
+    }
+
+    /// Up to `k` stored itemsets of `size` items (`size == 0` = any
+    /// size), support descending then lexicographic.
+    pub fn top_k(&self, size: usize, k: usize) -> &[Counted] {
+        let ranked = if size == 0 {
+            &self.ranked_all
+        } else {
+            match self.ranked.get(size - 1) {
+                Some(r) => r,
+                None => return &[],
+            }
+        };
+        &ranked[..k.min(ranked.len())]
+    }
+
+    /// Itemsets stored in this shard.
+    pub fn num_itemsets(&self) -> usize {
+        self.num_itemsets
+    }
+
+    /// Rules stored in this shard.
+    pub fn num_rules(&self) -> usize {
+        self.num_rules
+    }
+
+    /// Trie nodes in this shard (root included).
+    pub fn num_trie_nodes(&self) -> usize {
+        self.trie.num_nodes()
+    }
+}
+
+/// Shard index for an itemset: by its first item, modulo `num_shards`.
+/// The empty itemset routes to shard 0 (it is never stored; the store
+/// layer special-cases queries about it).
+pub fn shard_of(itemset: &Itemset, num_shards: usize) -> usize {
+    itemset.first().map(|i| i.index() % num_shards).unwrap_or(0)
+}
+
+/// Build `num_shards` immutable shards from a dataset.
+///
+/// # Panics
+/// Panics if `num_shards == 0`.
+pub fn build_shards(dataset: &Dataset, num_shards: usize) -> Vec<IndexShard> {
+    assert!(num_shards > 0, "need at least one shard");
+    let mut shards = vec![IndexShard::default(); num_shards];
+
+    // Insert itemsets in sorted order so trie children are appended
+    // mostly in order and the ranked lists tie-break deterministically.
+    for c in dataset.frequent.sorted() {
+        let shard = &mut shards[shard_of(&c.itemset, num_shards)];
+        shard.trie.insert(c.itemset.items(), c.support);
+        shard.num_itemsets += 1;
+        let k = c.itemset.len();
+        if shard.ranked.len() < k {
+            shard.ranked.resize(k, Vec::new());
+        }
+        shard.ranked[k - 1].push(c.clone());
+        shard.ranked_all.push(c);
+    }
+    for shard in &mut shards {
+        for ranked in shard
+            .ranked
+            .iter_mut()
+            .chain(std::iter::once(&mut shard.ranked_all))
+        {
+            ranked.sort_by(|a, b| b.support.cmp(&a.support).then(a.itemset.cmp(&b.itemset)));
+        }
+    }
+
+    for rule in &dataset.rules {
+        let shard = &mut shards[shard_of(&rule.antecedent, num_shards)];
+        shard
+            .rules
+            .entry(rule.antecedent.clone())
+            .or_default()
+            .push(RuleEntry {
+                consequent: rule.consequent.clone(),
+                support: rule.support,
+                antecedent_support: rule.antecedent_support,
+                consequent_support: rule.consequent_support,
+            });
+        shard.num_rules += 1;
+    }
+    for shard in &mut shards {
+        for entries in shard.rules.values_mut() {
+            // Within one antecedent every entry shares antecedent_support,
+            // so support descending *is* confidence descending — integer
+            // comparison, no float ties.
+            entries.sort_by(|a, b| {
+                b.support
+                    .cmp(&a.support)
+                    .then(a.consequent.cmp(&b.consequent))
+            });
+        }
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iset(raw: &[u32]) -> Itemset {
+        Itemset::of(raw)
+    }
+
+    fn dataset() -> Dataset {
+        let frequent: FrequentSet = [
+            (iset(&[1]), 10),
+            (iset(&[2]), 8),
+            (iset(&[3]), 6),
+            (iset(&[1, 2]), 5),
+            (iset(&[1, 3]), 4),
+            (iset(&[2, 3]), 4),
+            (iset(&[1, 2, 3]), 3),
+        ]
+        .into_iter()
+        .collect();
+        let rules = assoc_rules::generate(&frequent, 0.0);
+        Dataset {
+            frequent,
+            rules,
+            num_transactions: 12,
+        }
+    }
+
+    fn all_shards_collect(
+        shards: &[IndexShard],
+        f: impl Fn(&IndexShard, &mut Vec<Counted>),
+    ) -> Vec<Counted> {
+        let mut out = Vec::new();
+        for s in shards {
+            f(s, &mut out);
+        }
+        out.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+        out
+    }
+
+    #[test]
+    fn exact_support_across_shards() {
+        for shards in [build_shards(&dataset(), 1), build_shards(&dataset(), 4)] {
+            let q = iset(&[1, 2]);
+            assert_eq!(shards[shard_of(&q, shards.len())].support(&q), Some(5));
+            let missing = iset(&[2, 4]);
+            assert_eq!(
+                shards[shard_of(&missing, shards.len())].support(&missing),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_is_lexicographic() {
+        let shards = build_shards(&dataset(), 3);
+        let q = iset(&[1, 2, 3]);
+        let got = all_shards_collect(&shards, |s, out| s.subsets_of(&q, usize::MAX, out));
+        let names: Vec<Itemset> = got.iter().map(|c| c.itemset.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                iset(&[1]),
+                iset(&[1, 2]),
+                iset(&[1, 2, 3]),
+                iset(&[1, 3]),
+                iset(&[2]),
+                iset(&[2, 3]),
+                iset(&[3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn superset_enumeration_includes_self_and_respects_limit() {
+        let shards = build_shards(&dataset(), 2);
+        let q = iset(&[2]);
+        let got = all_shards_collect(&shards, |s, out| s.supersets_of(&q, usize::MAX, out));
+        let names: Vec<Itemset> = got.iter().map(|c| c.itemset.clone()).collect();
+        assert_eq!(
+            names,
+            vec![iset(&[1, 2]), iset(&[1, 2, 3]), iset(&[2]), iset(&[2, 3])]
+        );
+
+        // Per-shard limit: each shard returns its lexicographically first
+        // `limit` hits, so the global first `limit` survive the merge.
+        let mut limited = Vec::new();
+        for s in &shards {
+            let mut one = Vec::new();
+            s.supersets_of(&q, 2, &mut one);
+            assert!(one.len() <= 2);
+            limited.extend(one);
+        }
+        limited.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+        limited.truncate(2);
+        assert_eq!(limited[0].itemset, iset(&[1, 2]));
+        assert_eq!(limited[1].itemset, iset(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_query_supersets_enumerate_everything() {
+        let shards = build_shards(&dataset(), 2);
+        let q = Itemset::empty();
+        let got = all_shards_collect(&shards, |s, out| s.supersets_of(&q, usize::MAX, out));
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn rules_ranked_by_confidence_then_consequent() {
+        let shards = build_shards(&dataset(), 1);
+        let a = iset(&[1]);
+        let entries = shards[0].rules_for(&a, 10);
+        assert!(!entries.is_empty());
+        for w in entries.windows(2) {
+            assert!(
+                w[0].confidence() > w[1].confidence()
+                    || (w[0].confidence() == w[1].confidence()
+                        && w[0].consequent <= w[1].consequent)
+            );
+        }
+        assert_eq!(shards[0].rules_for(&a, 1).len(), 1);
+        assert!(shards[0].rules_for(&iset(&[9]), 5).is_empty());
+    }
+
+    #[test]
+    fn top_k_ranked_by_support() {
+        let shards = build_shards(&dataset(), 1);
+        let top = shards[0].top_k(1, 2);
+        assert_eq!(top[0].itemset, iset(&[1]));
+        assert_eq!(top[1].itemset, iset(&[2]));
+        let any = shards[0].top_k(0, 3);
+        assert_eq!(any[0].support, 10);
+        assert_eq!(any.len(), 3);
+        assert!(shards[0].top_k(9, 5).is_empty());
+    }
+
+    #[test]
+    fn shard_routing_is_stable() {
+        assert_eq!(shard_of(&iset(&[5, 9]), 4), 1);
+        assert_eq!(shard_of(&Itemset::empty(), 4), 0);
+    }
+}

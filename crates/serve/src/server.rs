@@ -1,0 +1,263 @@
+//! Std-only thread-pool TCP server for the wire protocol.
+//!
+//! No async runtime: the build is offline/vendored, so the server is a
+//! fixed pool of worker threads fed by an accept thread over an mpsc
+//! channel. Each connection is owned by one worker for its whole life and
+//! processes frames serially; concurrency comes from the pool (and the
+//! store's lock-free reads make the workers embarrassingly parallel).
+//!
+//! Robustness contract, pinned by the loopback integration tests:
+//!
+//! * a malformed frame (unknown opcode, truncated body, trailing bytes)
+//!   gets an `Error` response, then the connection is closed;
+//! * an oversized frame (announced length beyond the request limit) gets
+//!   an `Error` response without the payload ever being read, then close;
+//! * a peer that disappears mid-frame, or idles past the per-connection
+//!   read timeout, is dropped silently;
+//! * none of the above ever panics a worker or disturbs other
+//!   connections.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] flips a flag, nudges
+//! the accept loop awake with a loopback connection, and joins every
+//! thread; workers finish their current connection first (bounded by the
+//! read timeout).
+
+use crate::protocol::{read_frame, write_frame, Frame, Query, Response, MAX_REQUEST_FRAME};
+use crate::stats::ServerCounters;
+use crate::store::Store;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Interface to bind (loopback by default).
+    pub host: String,
+    /// Port to bind; `0` asks the OS for an ephemeral port (read it back
+    /// from [`ServerHandle::local_addr`]).
+    pub port: u16,
+    /// Worker threads — the number of connections served concurrently.
+    pub workers: usize,
+    /// Per-connection read timeout; an idle connection is dropped after
+    /// this long between frames.
+    pub read_timeout: Duration,
+    /// Request-frame payload limit.
+    pub max_request_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 8,
+            read_timeout: Duration::from_secs(10),
+            max_request_frame: MAX_REQUEST_FRAME,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// A running server; dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (they keep serving
+/// until the process exits).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<AtomicCounters>,
+    workers: usize,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `port: 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the server counters.
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            workers: self.workers as u64,
+        }
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    /// Returns the final counters.
+    pub fn shutdown(mut self) -> ServerCounters {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.counters()
+    }
+}
+
+/// Bind and start serving `store` with `cfg`.
+///
+/// # Errors
+/// Fails only on bind; everything after runs on the spawned threads.
+pub fn start(store: Arc<Store>, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    assert!(cfg.workers > 0, "need at least one worker");
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(AtomicCounters::default());
+
+    let (tx, rx) = channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut worker_threads = Vec::with_capacity(cfg.workers);
+    for n in 0..cfg.workers {
+        let rx = Arc::clone(&rx);
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        let cfg = cfg.clone();
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("assoc-serve-worker-{n}"))
+                .spawn(move || worker_loop(&rx, &store, &stop, &counters, &cfg))?,
+        );
+    }
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_counters = Arc::clone(&counters);
+    let workers = cfg.workers;
+    let accept_thread = std::thread::Builder::new()
+        .name("assoc-serve-accept".to_string())
+        .spawn(move || {
+            for incoming in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match incoming {
+                    Ok(stream) => {
+                        accept_counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. EMFILE); keep going.
+                        continue;
+                    }
+                }
+            }
+            // Dropping `tx` here wakes every idle worker out of recv().
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        counters,
+        workers,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+    })
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    store: &Store,
+    stop: &AtomicBool,
+    counters: &AtomicCounters,
+    cfg: &ServerConfig,
+) {
+    loop {
+        // Hold the lock only for the recv so other workers can pick up
+        // connections while this one serves.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, store, stop, counters, cfg),
+            Err(_) => return, // accept loop gone: shutdown
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    store: &Store,
+    stop: &AtomicBool,
+    counters: &AtomicCounters,
+    cfg: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream, cfg.max_request_frame) {
+            Ok(Frame::Eof) => return,
+            Ok(Frame::TooLarge(len)) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(format!(
+                    "frame of {len} bytes exceeds request limit of {}",
+                    cfg.max_request_frame
+                ));
+                let _ = write_frame(&mut stream, &err.encode());
+                return;
+            }
+            Ok(Frame::Payload(payload)) => match Query::decode(&payload) {
+                Ok(query) => {
+                    let response = match query {
+                        Query::Stats => {
+                            let server = ServerCounters {
+                                connections: counters.connections.load(Ordering::Relaxed),
+                                requests: counters.requests.load(Ordering::Relaxed),
+                                protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+                                timeouts: counters.timeouts.load(Ordering::Relaxed),
+                                workers: cfg.workers as u64,
+                            };
+                            Response::StatsJson(store.serve_stats(Some(server)).to_json())
+                        }
+                        other => store.execute(&other),
+                    };
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    if write_frame(&mut stream, &response.encode()).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let err = Response::Error(format!("bad request: {e}"));
+                    let _ = write_frame(&mut stream, &err.encode());
+                    return;
+                }
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return, // peer vanished mid-frame
+        }
+    }
+}

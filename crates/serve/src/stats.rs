@@ -1,0 +1,172 @@
+//! Serving-side statistics, exported through the workspace's JSON
+//! machinery ([`mining_types::json`]) exactly like
+//! [`mining_types::MiningStats`] — byte-stable key order, no serde.
+
+use crate::cache::CacheStats;
+use mining_types::json::Obj;
+use std::fmt::Write as _;
+
+/// Bump when the serving-stats JSON layout changes.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Counters maintained by the TCP server ([`crate::server`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered (any response kind).
+    pub requests: u64,
+    /// Connections dropped for malformed or oversized frames.
+    pub protocol_errors: u64,
+    /// Connections dropped for idling past the read timeout.
+    pub timeouts: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+}
+
+impl ServerCounters {
+    fn to_json(self) -> String {
+        Obj::new()
+            .u64("connections", self.connections)
+            .u64("requests", self.requests)
+            .u64("protocol_errors", self.protocol_errors)
+            .u64("timeouts", self.timeouts)
+            .u64("workers", self.workers)
+            .finish()
+    }
+}
+
+/// A point-in-time report over the store (and optionally the server).
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Current dataset generation (0 = nothing loaded yet).
+    pub generation: u64,
+    /// Number of index shards.
+    pub shards: u64,
+    /// Frequent itemsets served.
+    pub itemsets: u64,
+    /// Rules served.
+    pub rules: u64,
+    /// Total prefix-trie nodes.
+    pub trie_nodes: u64,
+    /// Transactions in the mined database.
+    pub num_transactions: u64,
+    /// Query-cache counters.
+    pub cache: CacheStats,
+    /// TCP server counters, when serving over the wire.
+    pub server: Option<ServerCounters>,
+}
+
+impl ServeStats {
+    /// Compact JSON document (stable key order).
+    pub fn to_json(&self) -> String {
+        let cache = Obj::new()
+            .u64("capacity", self.cache.capacity)
+            .u64("entries", self.cache.entries)
+            .u64("value_bytes", self.cache.value_bytes)
+            .u64("hits", self.cache.hits)
+            .u64("misses", self.cache.misses)
+            .u64("insertions", self.cache.insertions)
+            .u64("evictions", self.cache.evictions)
+            .f64("hit_rate", self.cache.hit_rate())
+            .finish();
+        let server = match self.server {
+            Some(s) => s.to_json(),
+            None => "null".to_string(),
+        };
+        Obj::new()
+            .u64("schema_version", SERVE_SCHEMA_VERSION)
+            .u64("generation", self.generation)
+            .u64("shards", self.shards)
+            .u64("itemsets", self.itemsets)
+            .u64("rules", self.rules)
+            .u64("trie_nodes", self.trie_nodes)
+            .u64("num_transactions", self.num_transactions)
+            .raw("cache", &cache)
+            .raw("server", &server)
+            .finish()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve stats: generation {} / {} shards / {} itemsets / {} rules ({} trie nodes)",
+            self.generation, self.shards, self.itemsets, self.rules, self.trie_nodes
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {}/{} entries, {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            self.cache.entries,
+            self.cache.capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions
+        );
+        if let Some(s) = self.server {
+            let _ = writeln!(
+                out,
+                "  server: {} connections, {} requests, {} protocol errors, {} timeouts ({} workers)",
+                s.connections, s.requests, s.protocol_errors, s.timeouts, s.workers
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeStats {
+        ServeStats {
+            generation: 2,
+            shards: 4,
+            itemsets: 100,
+            rules: 30,
+            trie_nodes: 150,
+            num_transactions: 1000,
+            cache: CacheStats {
+                capacity: 64,
+                entries: 10,
+                value_bytes: 500,
+                hits: 9,
+                misses: 1,
+                insertions: 1,
+                evictions: 0,
+            },
+            server: None,
+        }
+    }
+
+    #[test]
+    fn json_shape_without_server() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.contains("\"server\":null"), "{json}");
+        assert!(json.contains("\"hit_rate\":0.9"), "{json}");
+        let keys = mining_types::json::collect_keys(&json);
+        assert!(keys.contains(&"cache".to_string()));
+        assert!(keys.contains(&"evictions".to_string()));
+    }
+
+    #[test]
+    fn json_and_render_with_server() {
+        let mut s = sample();
+        s.server = Some(ServerCounters {
+            connections: 3,
+            requests: 40,
+            protocol_errors: 1,
+            timeouts: 0,
+            workers: 8,
+        });
+        let json = s.to_json();
+        assert!(json.contains("\"server\":{\"connections\":3"), "{json}");
+        let human = s.render();
+        assert!(human.contains("generation 2"), "{human}");
+        assert!(human.contains("90.0% hit rate"), "{human}");
+        assert!(human.contains("8 workers"), "{human}");
+    }
+}

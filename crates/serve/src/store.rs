@@ -1,0 +1,404 @@
+//! The sharded, lock-free-read store and in-process query engine.
+//!
+//! A [`Store`] holds an immutable [`ShardTable`] behind one
+//! `RwLock<Arc<…>>`: readers hold the lock only long enough to clone the
+//! `Arc` (no allocation, no contention with other readers), then run the
+//! whole query against that snapshot. [`Store::load`] builds a complete
+//! replacement table **off to the side** and swaps the pointer — reloads
+//! never block readers, and a reader that started on the old table
+//! finishes on the old table (its `Arc` keeps the data alive). Because the
+//! swap replaces the whole table at once, even multi-shard queries always
+//! see one consistent generation.
+//!
+//! Shard routing is by an itemset's first item ([`shard_of`]): exact
+//! support and rule lookups touch exactly one shard, subset enumeration
+//! touches the shards of the query's items, and superset/top-k queries
+//! fan out across all shards and merge (each shard's partial answer is
+//! bounded by the query limit, so the merge is cheap).
+//!
+//! Answers are cached in a bounded LRU ([`QueryCache`]) keyed by
+//! `(generation, encoded query)` — a reload implicitly invalidates every
+//! cached answer even if an in-flight reader races the [`QueryCache::clear`].
+
+use crate::cache::{CacheStats, QueryCache};
+use crate::index::{build_shards, shard_of, Dataset, IndexShard};
+use crate::protocol::{Query, Response, MAX_RESULT_LIMIT};
+use crate::stats::{ServeStats, ServerCounters};
+use mining_types::{Counted, Itemset};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Store construction knobs.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of index shards (first-item routing).
+    pub shards: usize,
+    /// Query-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            cache_entries: 4096,
+        }
+    }
+}
+
+/// One immutable generation of the index.
+#[derive(Debug, Default)]
+pub struct ShardTable {
+    shards: Vec<IndexShard>,
+    num_transactions: u32,
+    generation: u64,
+}
+
+impl ShardTable {
+    /// Total itemsets across shards.
+    pub fn num_itemsets(&self) -> usize {
+        self.shards.iter().map(|s| s.num_itemsets()).sum()
+    }
+
+    /// Total rules across shards.
+    pub fn num_rules(&self) -> usize {
+        self.shards.iter().map(|s| s.num_rules()).sum()
+    }
+
+    /// Total trie nodes across shards (roots included).
+    pub fn num_trie_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.num_trie_nodes()).sum()
+    }
+
+    /// Monotonic reload counter (starts at 1 for the first load).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Transactions in the mined database this table was built from.
+    pub fn num_transactions(&self) -> u32 {
+        self.num_transactions
+    }
+}
+
+/// The concurrent query-serving store.
+pub struct Store {
+    table: RwLock<Arc<ShardTable>>,
+    cache: QueryCache,
+    num_shards: usize,
+    generations: AtomicU64,
+}
+
+impl Store {
+    /// An empty store (every query answers "nothing") — load a dataset
+    /// with [`Store::load`].
+    pub fn new(cfg: &StoreConfig) -> Store {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let empty = ShardTable {
+            shards: vec![IndexShard::default(); cfg.shards],
+            ..ShardTable::default()
+        };
+        Store {
+            table: RwLock::new(Arc::new(empty)),
+            cache: QueryCache::new(cfg.cache_entries),
+            num_shards: cfg.shards,
+            generations: AtomicU64::new(0),
+        }
+    }
+
+    /// Build a store pre-loaded with `dataset`.
+    pub fn with_dataset(dataset: &Dataset, cfg: &StoreConfig) -> Store {
+        let store = Store::new(cfg);
+        store.load(dataset);
+        store
+    }
+
+    /// Replace the served dataset. The new shard table is built while old
+    /// readers keep serving; only the final pointer swap takes the write
+    /// lock. Returns the new generation.
+    pub fn load(&self, dataset: &Dataset) -> u64 {
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        let next = Arc::new(ShardTable {
+            shards: build_shards(dataset, self.num_shards),
+            num_transactions: dataset.num_transactions,
+            generation,
+        });
+        *self.table.write().expect("store lock") = next;
+        // Stale inserts from racing readers are keyed by the old
+        // generation, so clearing here is an optimization, not required
+        // for correctness.
+        self.cache.clear();
+        generation
+    }
+
+    /// Snapshot the current table (readers run entirely on the snapshot).
+    pub fn snapshot(&self) -> Arc<ShardTable> {
+        self.table.read().expect("store lock").clone()
+    }
+
+    /// Answer a query, consulting the LRU cache for the cacheable kinds.
+    pub fn execute(&self, query: &Query) -> Response {
+        match query {
+            Query::Ping => return Response::Pong,
+            Query::Stats => return Response::StatsJson(self.serve_stats(None).to_json()),
+            _ => {}
+        }
+        let table = self.snapshot();
+        let mut key = table.generation.to_le_bytes().to_vec();
+        key.extend_from_slice(&query.encode());
+        if let Some(hit) = self.cache.get(&key) {
+            return Response::decode(&hit).expect("cache holds only encoded responses");
+        }
+        let response = Self::answer(&table, query);
+        self.cache.put(key, response.encode());
+        response
+    }
+
+    fn answer(table: &ShardTable, query: &Query) -> Response {
+        match query {
+            Query::Ping => Response::Pong,
+            Query::Stats => Response::Error("stats handled above".to_string()),
+            Query::Support { itemset } => {
+                if itemset.is_empty() {
+                    return Response::Support(None);
+                }
+                let shard = &table.shards[shard_of(itemset, table.shards.len())];
+                Response::Support(shard.support(itemset))
+            }
+            Query::Subsets { of, limit } => {
+                let limit = clamp_limit(*limit);
+                let mut out = Vec::new();
+                for si in subset_shards(of, table.shards.len()) {
+                    // Each shard gets a full `limit` of its own: the global
+                    // first-`limit` answers are a subset of the union of the
+                    // per-shard first-`limit` answers, but not of a shared
+                    // buffer that an earlier shard may already have filled.
+                    let mut part = Vec::new();
+                    table.shards[si].subsets_of(of, limit, &mut part);
+                    out.append(&mut part);
+                }
+                merge_lexicographic(&mut out, limit);
+                Response::Itemsets(out)
+            }
+            Query::Supersets { of, limit } => {
+                let limit = clamp_limit(*limit);
+                let mut out = Vec::new();
+                for shard in &table.shards {
+                    let mut part = Vec::new();
+                    shard.supersets_of(of, limit, &mut part);
+                    out.append(&mut part);
+                }
+                merge_lexicographic(&mut out, limit);
+                Response::Itemsets(out)
+            }
+            Query::RulesFor { antecedent, k } => {
+                let k = clamp_limit(*k);
+                if antecedent.is_empty() {
+                    return Response::Rules(Vec::new());
+                }
+                let shard = &table.shards[shard_of(antecedent, table.shards.len())];
+                Response::Rules(shard.rules_for(antecedent, k).to_vec())
+            }
+            Query::TopK { size, k } => {
+                let k = clamp_limit(*k);
+                let mut out = Vec::new();
+                for shard in &table.shards {
+                    out.extend_from_slice(shard.top_k(*size as usize, k));
+                }
+                out.sort_by(|a, b| b.support.cmp(&a.support).then(a.itemset.cmp(&b.itemset)));
+                out.truncate(k);
+                Response::Itemsets(out)
+            }
+        }
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Full statistics report, optionally including the TCP server's
+    /// counters (the server passes its own; in-process callers pass
+    /// `None`).
+    pub fn serve_stats(&self, server: Option<ServerCounters>) -> ServeStats {
+        let table = self.snapshot();
+        ServeStats {
+            generation: table.generation(),
+            shards: table.shards.len() as u64,
+            itemsets: table.num_itemsets() as u64,
+            rules: table.num_rules() as u64,
+            trie_nodes: table.num_trie_nodes() as u64,
+            num_transactions: table.num_transactions() as u64,
+            cache: self.cache_stats(),
+            server,
+        }
+    }
+}
+
+fn clamp_limit(limit: u32) -> usize {
+    limit.min(MAX_RESULT_LIMIT) as usize
+}
+
+/// Shards that can hold a subset of `of`: a subset's first item is one of
+/// `of`'s items.
+fn subset_shards(of: &Itemset, num_shards: usize) -> Vec<usize> {
+    let mut shards: Vec<usize> = of.items().iter().map(|i| i.index() % num_shards).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
+}
+
+/// Per-shard partial answers are each lexicographically sorted and
+/// bounded by `limit`; the global answer is the first `limit` of their
+/// merged union.
+fn merge_lexicographic(out: &mut Vec<Counted>, limit: usize) {
+    out.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+    out.truncate(limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mining_types::FrequentSet;
+
+    fn iset(raw: &[u32]) -> Itemset {
+        Itemset::of(raw)
+    }
+
+    fn dataset() -> Dataset {
+        let frequent: FrequentSet = [
+            (iset(&[1]), 10),
+            (iset(&[2]), 8),
+            (iset(&[3]), 6),
+            (iset(&[1, 2]), 5),
+            (iset(&[1, 3]), 4),
+            (iset(&[2, 3]), 4),
+            (iset(&[1, 2, 3]), 3),
+        ]
+        .into_iter()
+        .collect();
+        let rules = assoc_rules::generate(&frequent, 0.0);
+        Dataset {
+            frequent,
+            rules,
+            num_transactions: 12,
+        }
+    }
+
+    #[test]
+    fn empty_store_answers_nothing() {
+        let store = Store::new(&StoreConfig::default());
+        assert_eq!(
+            store.execute(&Query::Support {
+                itemset: iset(&[1])
+            }),
+            Response::Support(None)
+        );
+        assert_eq!(
+            store.execute(&Query::TopK { size: 0, k: 5 }),
+            Response::Itemsets(Vec::new())
+        );
+    }
+
+    #[test]
+    fn queries_and_cache_agree() {
+        let cached = Store::with_dataset(&dataset(), &StoreConfig::default());
+        let uncached = Store::with_dataset(
+            &dataset(),
+            &StoreConfig {
+                cache_entries: 0,
+                ..Default::default()
+            },
+        );
+        let queries = [
+            Query::Support {
+                itemset: iset(&[1, 2]),
+            },
+            Query::Subsets {
+                of: iset(&[1, 2, 3]),
+                limit: 100,
+            },
+            Query::Supersets {
+                of: iset(&[2]),
+                limit: 100,
+            },
+            Query::RulesFor {
+                antecedent: iset(&[1]),
+                k: 10,
+            },
+            Query::TopK { size: 2, k: 2 },
+        ];
+        for q in &queries {
+            let cold = cached.execute(q);
+            let warm = cached.execute(q);
+            let none = uncached.execute(q);
+            assert_eq!(cold, warm, "{q:?}");
+            assert_eq!(cold, none, "{q:?}");
+        }
+        let cs = cached.cache_stats();
+        assert_eq!(cs.hits, queries.len() as u64);
+        assert_eq!(cs.misses, queries.len() as u64);
+        assert_eq!(uncached.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_invalidates() {
+        let store = Store::with_dataset(&dataset(), &StoreConfig::default());
+        let q = Query::Support {
+            itemset: iset(&[4]),
+        };
+        assert_eq!(store.execute(&q), Response::Support(None));
+
+        let mut bigger = dataset();
+        bigger.frequent.insert(iset(&[4]), 7);
+        let generation = store.load(&bigger);
+        assert_eq!(generation, 2);
+        assert_eq!(store.snapshot().generation(), 2);
+        assert_eq!(store.execute(&q), Response::Support(Some(7)));
+    }
+
+    #[test]
+    fn old_snapshot_survives_reload() {
+        let store = Store::with_dataset(&dataset(), &StoreConfig::default());
+        let old = store.snapshot();
+        store.load(&Dataset::default());
+        assert_eq!(store.snapshot().num_itemsets(), 0);
+        // The pre-reload reader still sees the full old generation.
+        assert_eq!(old.num_itemsets(), 7);
+        assert_eq!(old.generation(), 1);
+    }
+
+    #[test]
+    fn limits_are_clamped_and_zero_means_empty() {
+        let store = Store::with_dataset(&dataset(), &StoreConfig::default());
+        match store.execute(&Query::Supersets {
+            of: Itemset::empty(),
+            limit: 0,
+        }) {
+            Response::Itemsets(v) => assert!(v.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match store.execute(&Query::Supersets {
+            of: Itemset::empty(),
+            limit: u32::MAX,
+        }) {
+            Response::Itemsets(v) => assert_eq!(v.len(), 7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let store = Store::with_dataset(&dataset(), &StoreConfig::default());
+        let stats = store.serve_stats(None);
+        assert_eq!(stats.itemsets, 7);
+        assert!(stats.rules > 0);
+        assert_eq!(stats.num_transactions, 12);
+        let json = stats.to_json();
+        assert!(json.contains("\"itemsets\":7"), "{json}");
+        match store.execute(&Query::Stats) {
+            Response::StatsJson(j) => assert!(j.contains("\"cache\"")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -162,6 +162,211 @@ pub fn collect_keys(json: &str) -> Vec<String> {
     keys.into_iter().collect()
 }
 
+/// A parsed JSON value — the read side of this module's writer.
+///
+/// The workspace's stats artifacts (`results/*.json`) are produced by
+/// [`Obj`]/[`Arr`] above; [`parse`] reads them back so tools like the
+/// `stats_diff` bench binary can compare artifacts across runs without
+/// serde. Object keys keep document order (the writer is
+/// insertion-ordered and the golden tests pin byte-stable output).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (the writer only emits finite values).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+/// A message with the byte offset of the first syntax error (including
+/// trailing non-whitespace after the top-level value).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(text, bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing characters at byte {at}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && bytes[*at].is_ascii_whitespace() {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*at) == Some(&c) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {at}", c as char))
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of document".to_string()),
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, at);
+                let key = parse_string(text, bytes, at)?;
+                skip_ws(bytes, at);
+                expect(bytes, at, b':')?;
+                fields.push((key, parse_value(text, bytes, at)?));
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, at)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(text, bytes, at)?)),
+        Some(b't') if text[*at..].starts_with("true") => {
+            *at += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if text[*at..].starts_with("false") => {
+            *at += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if text[*at..].starts_with("null") => {
+            *at += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *at;
+            while *at < bytes.len()
+                && matches!(bytes[*at], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *at += 1;
+            }
+            text[start..*at]
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(text: &str, bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(bytes, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = text
+                            .get(*at + 1..*at + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {at}"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u codepoint at byte {at}"))?,
+                        );
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {at}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character.
+                let c = text[*at..].chars().next().unwrap();
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +416,78 @@ mod tests {
     fn empty_builders() {
         assert_eq!(Obj::new().finish(), "{}");
         assert_eq!(Arr::new().finish(), "[]");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let mut arr = Arr::new();
+        arr.raw(
+            &Obj::new()
+                .str("name", "tr\"an\nsform")
+                .f64("secs", 1.25)
+                .finish(),
+        );
+        arr.u64(3);
+        let doc = Obj::new()
+            .str("bench", "x")
+            .f64("neg", -0.5)
+            .raw("rows", &arr.finish())
+            .raw("none", "null")
+            .raw("flag", "true")
+            .finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("neg").and_then(Value::as_num), Some(-0.5));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        match v.get("rows") {
+            Some(Value::Arr(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(
+                    items[0].get("name").and_then(Value::as_str),
+                    Some("tr\"an\nsform")
+                );
+                assert_eq!(items[1], Value::Num(3.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_handles_whitespace_escapes_and_exponents() {
+        let v = parse(" { \"a\" : [ 1e3 , -2.5E-1 , \"\\u0041\\t\" ] } ").unwrap();
+        match v.get("a") {
+            Some(Value::Arr(items)) => {
+                assert_eq!(items[0], Value::Num(1000.0));
+                assert_eq!(items[1], Value::Num(-0.25));
+                assert_eq!(items[2], Value::Str("A\t".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_preserves_object_key_order() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        match v {
+            Value::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["z", "a", "m"]);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

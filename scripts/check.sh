@@ -13,6 +13,13 @@ cargo test -q --workspace
 echo "==> cargo test --test stats_schema (stats JSON schema golden)"
 cargo test -q --test stats_schema
 
+echo "==> cargo test -p assoc-serve (serving layer: oracle + wire robustness)"
+cargo test -q -p assoc-serve
+
+echo "==> servload --smoke (one-shot TCP load generator)"
+cargo run -q --release -p repro-bench --bin servload -- --smoke \
+    --json=results/servload_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
