@@ -1,0 +1,130 @@
+//! Distributed-mining speedup bench: real TCP workers on loopback.
+//!
+//! Where `table2`/`fig7` replay the simulator's Memory Channel cost
+//! model, `distbench` measures the real thing — a coordinator and `W`
+//! [`eclat_net`] workers exchanging tid-lists over loopback sockets —
+//! at `W ∈ {1, 2, 4, 8}`. Every run is checked against the sequential
+//! miner, so the table doubles as an end-to-end correctness gate.
+//!
+//! ```text
+//! cargo run -p repro-bench --bin distbench --release [-- \
+//!     --transactions=20000 --support=0.25 --smoke \
+//!     --json=results/distbench.json]
+//! ```
+//!
+//! `--smoke` shrinks the database and stops at `W = 2` for CI. The
+//! `--json` document embeds each run's full [`mining_types::MiningStats`]
+//! report (per-phase timings and the per-worker `cluster` section), so
+//! `scripts/stats_diff` can put a measured artifact next to a simulated
+//! `eclat simulate --stats=json` one — the sim-vs-real Table 2 story.
+
+use dbstore::HorizontalDb;
+use eclat_net::{mine_distributed, start_worker, DistConfig, WorkerConfig};
+use mining_types::json::{Arr, Obj};
+use mining_types::MinSupport;
+use questgen::{QuestGenerator, QuestParams};
+use repro_bench::{row, Args};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let transactions: usize = args
+        .get("transactions")
+        .map(|s| s.parse().expect("--transactions"))
+        .unwrap_or(if smoke { 5_000 } else { 20_000 });
+    let support: f64 = args
+        .get("support")
+        .map(|s| s.parse().expect("--support must be a number (percent)"))
+        .unwrap_or(0.25);
+    let fleet: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let params = QuestParams::t10_i6(transactions).with_seed(0xD157);
+    let name = params.name();
+    eprintln!("[distbench] generating {name} ...");
+    let db = HorizontalDb::from_transactions(QuestGenerator::new(params).generate_all());
+    let minsup = MinSupport::from_percent(support);
+
+    eprintln!("[distbench] sequential oracle at {support}% ...");
+    let t0 = Instant::now();
+    let oracle = eclat::sequential::mine(&db, minsup);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "distbench: {name} @ {support}% — {} frequent itemsets, sequential {seq_secs:.3}s",
+        oracle.len()
+    );
+
+    let widths = [7usize, 10, 8, 10, 14];
+    let header: Vec<String> = ["workers", "wall s", "speedup", "imbalance", "exchange B"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", row(&header, &widths));
+
+    let mut runs = Arr::new();
+    let mut base_secs = None;
+    for &w in fleet {
+        let workers: Vec<_> = (0..w)
+            .map(|_| start_worker(&WorkerConfig::default()).expect("start worker"))
+            .collect();
+        let addrs: Vec<String> = workers.iter().map(|h| h.addr().to_string()).collect();
+        let t = Instant::now();
+        let report =
+            mine_distributed(&db, minsup, &addrs, &DistConfig::default()).expect("distributed run");
+        let wall = t.elapsed().as_secs_f64();
+        assert_eq!(
+            report.frequent, oracle,
+            "W={w} diverged from the sequential miner"
+        );
+        let base = *base_secs.get_or_insert(wall);
+        let speedup = base / wall;
+        let cluster = report
+            .stats
+            .cluster
+            .as_ref()
+            .expect("dist runs carry a cluster section");
+        let bytes: u64 = cluster
+            .procs
+            .iter()
+            .map(|p| p.bytes_sent + p.bytes_received)
+            .sum();
+        println!(
+            "{}",
+            row(
+                &[
+                    w.to_string(),
+                    format!("{wall:.3}"),
+                    format!("{speedup:.2}"),
+                    format!("{:.2}", cluster.load_imbalance),
+                    bytes.to_string(),
+                ],
+                &widths
+            )
+        );
+        runs.raw(
+            &Obj::new()
+                .u64("workers", w as u64)
+                .f64("wall_secs", wall)
+                .f64("speedup", speedup)
+                .f64("load_imbalance", cluster.load_imbalance)
+                .u64("exchange_bytes", bytes)
+                .raw("stats", &report.stats.to_json(false))
+                .finish(),
+        );
+    }
+
+    if let Some(path) = args.json_out() {
+        let doc = Obj::new()
+            .str("bench", "distbench")
+            .raw("smoke", if smoke { "true" } else { "false" })
+            .str("database", &name)
+            .u64("transactions", transactions as u64)
+            .f64("support_percent", support)
+            .u64("num_frequent", oracle.len() as u64)
+            .f64("sequential_secs", seq_secs)
+            .raw("runs", &runs.finish())
+            .finish();
+        repro_bench::write_json(path, &doc).expect("write --json output");
+        eprintln!("[distbench] wrote {path}");
+    }
+}

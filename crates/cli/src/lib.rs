@@ -29,7 +29,24 @@
 //! only the machine-readable JSON document.
 //!
 //! ```text
-//! eclat serve    --input data.ech --support PCT [--port P] [--host H]
+//! eclat worker   [--listen HOST:PORT] [--port-file PATH] [--serve-secs S]
+//! eclat dmine    --input data.ech --support PCT
+//!                (--workers HOST:PORT,... | --spawn-local N)
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
+//!                [--min-size K] [--top N] [--stats[=json]]
+//! ```
+//!
+//! `worker` runs one [`eclat_net`] cluster worker; `dmine` coordinates a
+//! distributed mine over real TCP workers — either ones already running
+//! (`--workers`) or `N` freshly spawned local child processes
+//! (`--spawn-local`, killed when the command exits). The frequent-set
+//! report is identical to `mine`'s after the headline, so the two diff
+//! clean; `--stats=json` emits a `"variant":"dist"` report whose
+//! `cluster` section shares the simulator's schema.
+//!
+//! ```text
+//! eclat serve    (--input data.ech --support PCT | --load snap.ecr)
+//!                [--port P] [--host H]
 //!                [--confidence FRAC] [--shards N] [--cache N] [--workers N]
 //!                [--port-file PATH] [--serve-secs S]
 //! eclat query    --addr HOST:PORT [--ping] [--support-of LIST]
@@ -43,6 +60,11 @@
 //! find it; `--serve-secs` serves for a fixed window and then reports
 //! the connection/request counters (omit it to serve until killed).
 //! `query` item lists are comma-separated, e.g. `--rules-for 3,17`.
+//!
+//! `mine --out snap.ecr` additionally persists the mined itemsets and
+//! rules as a checksummed [`dbstore::binfmt`] snapshot;
+//! `serve --load snap.ecr` boots the query index straight from such a
+//! snapshot without re-mining.
 //!
 //! Databases are the workspace's binary horizontal format
 //! ([`dbstore::binfmt`]). Every subcommand is a pure function from
@@ -72,6 +94,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "mine" => cmd_mine(&args),
         "rules" => cmd_rules(&args),
         "simulate" => cmd_simulate(&args),
+        "worker" => cmd_worker(&args),
+        "dmine" => cmd_dmine(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -89,12 +113,17 @@ pub fn usage() -> String {
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]] (alias --repr)\n\
                 [--maximal] [--min-size K] [--top N] [--stats[=json]]\n\
+                [--out SNAPSHOT [--confidence FRAC]]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
                 [--algorithm eclat|hybrid|countdist]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
                 [--stats[=json]]\n\
-       serve    --input FILE --support PCT [--port P] [--host H] [--confidence FRAC]\n\
+       worker   [--listen HOST:PORT] [--port-file PATH] [--serve-secs S]\n\
+       dmine    --input FILE --support PCT (--workers HOST:PORT,... | --spawn-local N)\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
+                [--min-size K] [--top N] [--stats[=json]]\n\
+       serve    (--input FILE --support PCT | --load SNAPSHOT) [--port P] [--host H] [--confidence FRAC]\n\
                 [--shards N] [--cache N] [--workers N] [--port-file PATH] [--serve-secs S]\n\
        query    --addr HOST:PORT [--ping] [--support-of LIST] [--subsets-of LIST]\n\
                 [--supersets-of LIST] [--rules-for LIST] [--topk K [--size S]]\n\
@@ -300,6 +329,76 @@ fn mine_by_algorithm(
     })
 }
 
+/// Per-size counts plus the top-supported itemsets — shared by `mine`
+/// and `dmine` so their reports are identical after the headline.
+fn render_frequent_body(fs: &FrequentSet, min_size: usize, top: usize) -> String {
+    let mut out = String::new();
+    let counts = fs.counts_by_size();
+    for (k, c) in counts.iter().enumerate() {
+        if *c > 0 {
+            let _ = writeln!(out, "  size {:>2}: {c}", k + 1);
+        }
+    }
+    let mut shown = 0usize;
+    let _ = writeln!(out, "top by support (size >= {min_size}):");
+    let mut sorted = fs.sorted();
+    sorted.sort_by(|a, b| b.support.cmp(&a.support).then(a.itemset.cmp(&b.itemset)));
+    for c in sorted {
+        if c.itemset.len() >= min_size {
+            let _ = writeln!(out, "  {:<40} {:>8}", format!("{}", c.itemset), c.support);
+            shown += 1;
+            if shown >= top {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Mine with singletons, generate rules, and persist everything as a
+/// checksummed results snapshot (the `mine --out` path).
+fn write_snapshot(
+    db: &HorizontalDb,
+    minsup: MinSupport,
+    confidence: f64,
+    path: &str,
+) -> Result<String, String> {
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err("--confidence must be in [0, 1]".to_string());
+    }
+    // Rule generation needs the complete downward-closed set, so the
+    // snapshot is mined with singletons regardless of the display run.
+    let frequent = eclat::sequential::mine_with(
+        db,
+        minsup,
+        &eclat::EclatConfig::with_singletons(),
+        &mut OpMeter::new(),
+    );
+    let rules = assoc_rules::generate(&frequent, confidence);
+    let snap = binfmt::ResultsSnapshot {
+        num_transactions: db.num_transactions() as u32,
+        frequent,
+        rules: rules
+            .into_iter()
+            .map(|r| binfmt::RuleRecord {
+                antecedent: r.antecedent,
+                consequent: r.consequent,
+                support: r.support,
+                antecedent_support: r.antecedent_support,
+                consequent_support: r.consequent_support,
+            })
+            .collect(),
+    };
+    let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    let bytes = binfmt::write_results(&snap, &mut w).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(format!(
+        "snapshot: {} itemsets / {} rules, {bytes} bytes -> {path}\n",
+        snap.frequent.len(),
+        snap.rules.len()
+    ))
+}
+
 fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let db = load_db(flags)?;
     let minsup = support_of(flags)?;
@@ -340,6 +439,14 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     };
     let dt = t0.elapsed().as_secs_f64();
 
+    let snapshot_msg = match flags.get("out") {
+        Some(path) => {
+            let confidence: f64 = flags.parse("confidence", 0.5f64)?;
+            Some(write_snapshot(&db, minsup, confidence, path)?)
+        }
+        None => None,
+    };
+
     if stats == StatsMode::Json {
         let mut json = report
             .expect("json mode always mines with stats")
@@ -359,24 +466,9 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
         "{} {kind} itemsets in {dt:.2}s ({algorithm})",
         fs.len()
     );
-    let counts = fs.counts_by_size();
-    for (k, c) in counts.iter().enumerate() {
-        if *c > 0 {
-            let _ = writeln!(out, "  size {:>2}: {c}", k + 1);
-        }
-    }
-    let mut shown = 0usize;
-    let _ = writeln!(out, "top by support (size >= {min_size}):");
-    let mut sorted = fs.sorted();
-    sorted.sort_by(|a, b| b.support.cmp(&a.support).then(a.itemset.cmp(&b.itemset)));
-    for c in sorted {
-        if c.itemset.len() >= min_size {
-            let _ = writeln!(out, "  {:<40} {:>8}", format!("{}", c.itemset), c.support);
-            shown += 1;
-            if shown >= top {
-                break;
-            }
-        }
+    out.push_str(&render_frequent_body(&fs, min_size, top));
+    if let Some(msg) = snapshot_msg {
+        out.push_str(&msg);
     }
     if let Some(r) = &report {
         out.push('\n');
@@ -496,13 +588,148 @@ fn parse_items(flag: &str, raw: &str) -> Result<mining_types::Itemset, String> {
     Ok(mining_types::Itemset::of(&items))
 }
 
-fn cmd_serve(flags: &Flags) -> Result<String, String> {
+fn cmd_worker(flags: &Flags) -> Result<String, String> {
+    let cfg = eclat_net::WorkerConfig {
+        listen: flags.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        ..eclat_net::WorkerConfig::default()
+    };
+    let mut handle =
+        eclat_net::start_worker(&cfg).map_err(|e| format!("bind {}: {e}", cfg.listen))?;
+    let addr = handle.addr();
+    let mut out = format!("worker listening on {addr}\n");
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    match flags.get("serve-secs") {
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("--serve-secs: cannot parse '{raw}'"))?;
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            handle.shutdown();
+            let _ = writeln!(out, "worker shut down after {secs}s");
+            Ok(out)
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
+/// Child worker processes spawned by `dmine --spawn-local`, killed when
+/// the coordinator finishes (or fails) so no strays outlive the run.
+struct ChildGuard(Vec<std::process::Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawn `n` local `eclat worker` child processes on ephemeral ports and
+/// return their addresses once each has published its port.
+fn spawn_local_workers(n: usize, guard: &mut ChildGuard) -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let port_file =
+            std::env::temp_dir().join(format!("eclat-dmine-{}-{i}.port", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let child = std::process::Command::new(&exe)
+            .arg("worker")
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(&port_file)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn worker {i}: {e}"))?;
+        guard.0.push(child);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!("worker {i} never published its port"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        addrs.push(format!("127.0.0.1:{port}"));
+    }
+    Ok(addrs)
+}
+
+fn cmd_dmine(flags: &Flags) -> Result<String, String> {
     let db = load_db(flags)?;
     let minsup = support_of(flags)?;
-    let confidence: f64 = flags.parse("confidence", 0.5f64)?;
-    if !(0.0..=1.0).contains(&confidence) {
-        return Err("--confidence must be in [0, 1]".to_string());
+    let representation = representation_of(flags)?;
+    let min_size: usize = flags.parse("min-size", 2usize)?;
+    let top: usize = flags.parse("top", 20usize)?;
+    let stats = stats_mode(flags)?;
+
+    let mut guard = ChildGuard(Vec::new());
+    let addrs: Vec<String> = if let Some(raw) = flags.get("workers") {
+        raw.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    } else {
+        let n: usize = flags.parse("spawn-local", 0usize)?;
+        if n == 0 {
+            return Err(
+                "dmine: need --workers HOST:PORT,... or --spawn-local N (N > 0)".to_string(),
+            );
+        }
+        spawn_local_workers(n, &mut guard)?
+    };
+    if addrs.is_empty() {
+        return Err("dmine: --workers list is empty".to_string());
     }
+
+    let dist_cfg = eclat_net::DistConfig {
+        cfg: eclat::EclatConfig::with_representation(representation),
+        ..eclat_net::DistConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let report =
+        eclat_net::mine_distributed(&db, minsup, &addrs, &dist_cfg).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed().as_secs_f64();
+
+    if stats == StatsMode::Json {
+        let mut json = report.stats.to_json(true);
+        json.push('\n');
+        return Ok(json);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} frequent itemsets in {dt:.2}s (dist, {} workers, |L2| = {})",
+        report.frequent.len(),
+        report.num_workers,
+        report.num_l2
+    );
+    out.push_str(&render_frequent_body(&report.frequent, min_size, top));
+    if stats == StatsMode::Human {
+        out.push('\n');
+        out.push_str(&report.stats.render());
+    }
+    Ok(out)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<String, String> {
     let shards: usize = flags.parse("shards", 16usize)?;
     let cache: usize = flags.parse("cache", 4096usize)?;
     let workers: usize = flags.parse("workers", 8usize)?;
@@ -511,17 +738,45 @@ fn cmd_serve(flags: &Flags) -> Result<String, String> {
     }
 
     let t0 = std::time::Instant::now();
-    let frequent = eclat::sequential::mine_with(
-        &db,
-        minsup,
-        &eclat::EclatConfig::with_singletons(),
-        &mut OpMeter::new(),
-    );
-    let rules = assoc_rules::generate(&frequent, confidence);
-    let dataset = assoc_serve::Dataset {
-        frequent,
-        rules,
-        num_transactions: db.num_transactions() as u32,
+    let dataset = if let Some(path) = flags.get("load") {
+        // Boot from a persisted `mine --out` snapshot — no re-mining.
+        let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let (snap, _) = binfmt::read_results(&mut BufReader::new(f))
+            .map_err(|e| format!("read {path}: {e}"))?;
+        assoc_serve::Dataset {
+            frequent: snap.frequent,
+            rules: snap
+                .rules
+                .into_iter()
+                .map(|r| assoc_rules::Rule {
+                    antecedent: r.antecedent,
+                    consequent: r.consequent,
+                    support: r.support,
+                    antecedent_support: r.antecedent_support,
+                    consequent_support: r.consequent_support,
+                })
+                .collect(),
+            num_transactions: snap.num_transactions,
+        }
+    } else {
+        let db = load_db(flags)?;
+        let minsup = support_of(flags)?;
+        let confidence: f64 = flags.parse("confidence", 0.5f64)?;
+        if !(0.0..=1.0).contains(&confidence) {
+            return Err("--confidence must be in [0, 1]".to_string());
+        }
+        let frequent = eclat::sequential::mine_with(
+            &db,
+            minsup,
+            &eclat::EclatConfig::with_singletons(),
+            &mut OpMeter::new(),
+        );
+        let rules = assoc_rules::generate(&frequent, confidence);
+        assoc_serve::Dataset {
+            frequent,
+            rules,
+            num_transactions: db.num_transactions() as u32,
+        }
     };
     let store = std::sync::Arc::new(assoc_serve::Store::with_dataset(
         &dataset,
@@ -1104,6 +1359,144 @@ mod tests {
         assert!(report.contains("serving"), "{report}");
         assert!(report.contains("connections"), "{report}");
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&port_file).unwrap();
+    }
+
+    #[test]
+    fn dmine_matches_mine_modulo_headline() {
+        let path = tempfile("dmine");
+        generate(&path, 1500);
+        let mined = run(&argv(&["mine", "--input", &path, "--support", "0.5"])).unwrap();
+
+        // In-process workers: `--spawn-local` needs the real binary, but
+        // `--workers` happily coordinates threads in this test process.
+        let workers: Vec<_> = (0..3)
+            .map(|_| eclat_net::start_worker(&eclat_net::WorkerConfig::default()).unwrap())
+            .collect();
+        let addrs = workers
+            .iter()
+            .map(|w| w.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let dmined = run(&argv(&[
+            "dmine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--workers",
+            &addrs,
+        ]))
+        .unwrap();
+
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&mined), tail(&dmined), "mine/dmine reports diverged");
+        assert!(dmined.contains("(dist, 3 workers"), "{dmined}");
+
+        let json = run(&argv(&[
+            "dmine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--workers",
+            &addrs,
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"variant\":\"dist\""), "{json}");
+        assert!(json.contains("\"cluster\":{"), "{json}");
+        assert!(json.contains("\"load_imbalance\""), "{json}");
+
+        assert!(run(&argv(&["dmine", "--input", &path, "--support", "0.5"]))
+            .unwrap_err()
+            .contains("--workers"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trip_through_serve() {
+        let path = tempfile("snapdb");
+        generate(&path, 1200);
+        let snap = std::env::temp_dir()
+            .join(format!("eclat-cli-snap-{}.ecr", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+
+        let mined = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--confidence",
+            "0.3",
+            "--out",
+            &snap,
+        ]))
+        .unwrap();
+        assert!(mined.contains("snapshot:"), "{mined}");
+        assert!(mined.contains(&snap), "{mined}");
+
+        // A corrupt snapshot is rejected with a checksum diagnostic.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let bad = std::env::temp_dir()
+            .join(format!("eclat-cli-snapbad-{}.ecr", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = run(&argv(&["serve", "--load", &bad])).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        std::fs::remove_file(&bad).unwrap();
+
+        let port_file = std::env::temp_dir()
+            .join(format!("eclat-cli-snapport-{}.txt", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&port_file);
+        let serve_args = argv(&[
+            "serve",
+            "--load",
+            &snap,
+            "--port",
+            "0",
+            "--port-file",
+            &port_file,
+            "--serve-secs",
+            "3",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        let ping = run(&argv(&["query", "--addr", &addr, "--ping"])).unwrap();
+        assert_eq!(ping, "pong\n");
+        let topk = run(&argv(&[
+            "query", "--addr", &addr, "--topk", "3", "--size", "1",
+        ]))
+        .unwrap();
+        assert!(topk.contains("top 3 itemsets"), "{topk}");
+        let stats = run(&argv(&["query", "--addr", &addr, "--server-stats"])).unwrap();
+        assert!(stats.contains("\"itemsets\""), "{stats}");
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("serving"), "{report}");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&snap).unwrap();
         std::fs::remove_file(&port_file).unwrap();
     }
 

@@ -24,7 +24,7 @@
 use crate::compute::EclatConfig;
 use crate::equivalence::classes_of_l2;
 use crate::pipeline;
-use crate::schedule::{schedule_weights, Assignment};
+use crate::schedule::{schedule_l2, Assignment};
 use crate::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
 use dbstore::{BlockPartition, HorizontalDb};
 use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
@@ -176,34 +176,9 @@ pub fn mine_cluster(
     // Equivalence-class scheduling (concurrent on all processors in the
     // paper — each works from the same global L2, so we compute it once).
     let pairs_only: Vec<(ItemId, ItemId)> = l2.iter().map(|&(a, b, _)| (a, b)).collect();
-    // class boundaries by first item:
-    let mut class_ranges: Vec<std::ops::Range<usize>> = Vec::new();
-    {
-        let mut start = 0usize;
-        for i in 1..=pairs_only.len() {
-            if i == pairs_only.len() || pairs_only[i].0 != pairs_only[start].0 {
-                class_ranges.push(start..i);
-                start = i;
-            }
-        }
-    }
-    let weights: Vec<u64> = class_ranges
-        .iter()
-        .map(|r| match cfg.heuristic {
-            crate::schedule::ScheduleHeuristic::SupportWeighted => {
-                l2[r.clone()].iter().map(|&(_, _, c)| c as u64).sum()
-            }
-            _ => mining_types::itemset::choose2(r.len()),
-        })
-        .collect();
-    let assignment = schedule_weights(&weights, t, cfg.heuristic);
-    // slot → owning processor
-    let mut slot_owner = vec![0usize; pairs_only.len()];
-    for (ci, r) in class_ranges.iter().enumerate() {
-        for s in r.clone() {
-            slot_owner[s] = assignment.owner[ci];
-        }
-    }
+    let plan = schedule_l2(&l2, t, cfg.heuristic);
+    let assignment = plan.assignment;
+    let slot_owner = plan.slot_owner;
 
     let idx = index_pairs(&pairs_only);
     // Per-processor partial tid-lists, and the trace of the second scan.

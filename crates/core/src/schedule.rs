@@ -8,6 +8,9 @@
 //! smaller identifier."*
 
 use crate::equivalence::EquivalenceClass;
+use mining_types::itemset::choose2;
+use mining_types::ItemId;
+use std::ops::Range;
 
 /// Which class-weight heuristic to schedule with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +116,65 @@ pub fn schedule_weights(
     Assignment { owner, load }
 }
 
+/// A complete level-2 schedule derived from the sorted global `L2`:
+/// equivalence-class boundaries, the greedy class assignment, and the
+/// flattened per-pair owner map the tid-list exchange routes by.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct L2Schedule {
+    /// Contiguous index ranges into `l2`, one per equivalence class
+    /// (pairs sharing a first item).
+    pub class_ranges: Vec<Range<usize>>,
+    /// The class→processor assignment.
+    pub assignment: Assignment,
+    /// `slot_owner[s]` is the processor owning `l2[s]`'s class.
+    pub slot_owner: Vec<usize>,
+}
+
+/// Partition a sorted global `L2` (ascending `(i, j)` pairs with their
+/// supports) into first-item equivalence classes and schedule them.
+///
+/// Both the Memory Channel simulation and the TCP runtime compute this
+/// from the same reduced `L2`, so every participant derives an identical
+/// schedule without further coordination.
+///
+/// # Panics
+/// Panics if `num_procs == 0`.
+pub fn schedule_l2(
+    l2: &[(ItemId, ItemId, u32)],
+    num_procs: usize,
+    heuristic: ScheduleHeuristic,
+) -> L2Schedule {
+    let mut class_ranges: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=l2.len() {
+        if i == l2.len() || l2[i].0 != l2[start].0 {
+            class_ranges.push(start..i);
+            start = i;
+        }
+    }
+    let weights: Vec<u64> = class_ranges
+        .iter()
+        .map(|r| match heuristic {
+            ScheduleHeuristic::SupportWeighted => {
+                l2[r.clone()].iter().map(|&(_, _, c)| c as u64).sum()
+            }
+            _ => choose2(r.len()),
+        })
+        .collect();
+    let assignment = schedule_weights(&weights, num_procs, heuristic);
+    let mut slot_owner = vec![0usize; l2.len()];
+    for (ci, r) in class_ranges.iter().enumerate() {
+        for s in r.clone() {
+            slot_owner[s] = assignment.owner[ci];
+        }
+    }
+    L2Schedule {
+        class_ranges,
+        assignment,
+        slot_owner,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +276,37 @@ mod tests {
         let a = schedule(&classes, 1, ScheduleHeuristic::GreedyPairs);
         assert!(a.owner.iter().all(|&p| p == 0));
         assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn schedule_l2_groups_by_first_item_and_maps_slots() {
+        // Classes: {0x} of size 3 (weight 3), {2x} of size 2 (weight 1),
+        // {5x} of size 1 (weight 0).
+        let l2 = vec![
+            (ItemId(0), ItemId(1), 4),
+            (ItemId(0), ItemId(2), 4),
+            (ItemId(0), ItemId(3), 4),
+            (ItemId(2), ItemId(3), 4),
+            (ItemId(2), ItemId(4), 4),
+            (ItemId(5), ItemId(6), 4),
+        ];
+        let s = schedule_l2(&l2, 2, ScheduleHeuristic::GreedyPairs);
+        assert_eq!(s.class_ranges, vec![0..3, 3..5, 5..6]);
+        assert_eq!(s.assignment.owner, vec![0, 1, 1]);
+        assert_eq!(s.slot_owner, vec![0, 0, 0, 1, 1, 1]);
+        for (ci, r) in s.class_ranges.iter().enumerate() {
+            for slot in r.clone() {
+                assert_eq!(s.slot_owner[slot], s.assignment.owner[ci]);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_l2_empty_input() {
+        let s = schedule_l2(&[], 3, ScheduleHeuristic::GreedyPairs);
+        assert!(s.class_ranges.is_empty());
+        assert!(s.slot_owner.is_empty());
+        assert_eq!(s.assignment.load, vec![0, 0, 0]);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Real distributed Eclat: a multi-process TCP cluster runtime.
+//!
+//! Where `eclat::cluster` *simulates* the paper's Memory Channel cluster
+//! against a cost model, this crate runs the same algorithm across real
+//! processes connected by TCP: one coordinator ([`mine_distributed`])
+//! and `W` workers ([`start_worker`]), each holding one horizontal block
+//! of the database.
+//!
+//! The run follows Figure 2 of the paper phase for phase:
+//!
+//! 1. **Initialization** — each worker counts all 2-itemsets of its
+//!    block into a local triangular array; the coordinator sum-reduces
+//!    the arrays into global `L2` (§5.1, §6.2).
+//! 2. **Transformation** — the coordinator schedules the equivalence
+//!    classes greedily (§5.2.1, shared with the simulator through
+//!    `eclat::schedule::schedule_l2`) and broadcasts the plan; workers
+//!    build partial tid-lists and stream them *directly to each class
+//!    owner* in an all-to-all exchange. Owners concatenate partials in
+//!    worker-rank order, so lists arrive globally sorted exactly as in
+//!    §6.3's offset placement.
+//! 3. **Asynchronous phase** — each worker mines its owned classes with
+//!    the shared `eclat::pipeline` kernel; no communication (§5.3).
+//! 4. **Final reduction** — local frequent sets stream back to the
+//!    coordinator and merge.
+//!
+//! The result is bit-identical to sequential Eclat for any worker count
+//! and any partition (a property test pins this). Robustness: connect
+//! retries with backoff, per-socket deadlines, a version-checked
+//! handshake, run-id tagging against cross-talk between concurrent
+//! runs, and fail-fast abort propagation — a worker dying mid-phase
+//! surfaces as a diagnostic error at the coordinator, never a hang.
+
+pub mod coordinator;
+pub mod exchange;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{mine_distributed, DistConfig, DistReport, VARIANT_DIST};
+pub use eclat::pipeline::{PHASE_ASYNC, PHASE_INIT, PHASE_REDUCE, PHASE_TRANSFORM};
+pub use proto::{Message, WorkerStats, MAX_NET_FRAME, PROTOCOL_VERSION};
+pub use worker::{start_worker, WorkerConfig, WorkerHandle};
+
+use std::fmt;
+use std::io;
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// A peer sent something the protocol does not allow here.
+    Protocol(String),
+    /// A specific worker aborted or died; `rank` is `u32::MAX` when the
+    /// abort originated at the coordinator.
+    Worker {
+        /// Rank of the failed/reporting worker.
+        rank: u32,
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Worker { rank, message } if *rank == u32::MAX => {
+                write!(f, "run aborted: {message}")
+            }
+            NetError::Worker { rank, message } => {
+                write!(f, "worker {rank} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<wire::DecodeError> for NetError {
+    fn from(e: wire::DecodeError) -> Self {
+        NetError::Protocol(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_culprit() {
+        let w = NetError::Worker {
+            rank: 3,
+            message: "exchange timed out".into(),
+        };
+        assert_eq!(w.to_string(), "worker 3 failed: exchange timed out");
+        let c = NetError::Worker {
+            rank: u32::MAX,
+            message: "coordinator gone".into(),
+        };
+        assert!(c.to_string().starts_with("run aborted"));
+        let p = NetError::Protocol("bad frame".into());
+        assert!(p.to_string().contains("bad frame"));
+    }
+}

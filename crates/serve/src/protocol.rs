@@ -35,7 +35,11 @@
 use crate::index::RuleEntry;
 use mining_types::{Counted, ItemId, Itemset};
 use std::fmt;
-use std::io::{self, Read, Write};
+
+// The outer framing is shared workspace plumbing (the `wire` crate);
+// `eclat-net` speaks the same frame layout. Re-exported here so this
+// module remains the one-stop description of the serve protocol.
+pub use wire::{read_frame, write_frame, Frame};
 
 /// Largest request payload a server will read. Requests are one itemset
 /// plus a few integers, so this is generous.
@@ -388,57 +392,10 @@ impl Response {
     }
 }
 
-/// Write one frame (header + payload) and flush.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// What [`read_frame`] produced.
-#[derive(Debug)]
-pub enum Frame {
-    /// A complete payload.
-    Payload(Vec<u8>),
-    /// The peer closed the connection cleanly before a header started.
-    Eof,
-    /// The announced length exceeded `max`; nothing further was read.
-    TooLarge(usize),
-}
-
-/// Read one frame with the given payload-size limit.
-///
-/// Returns [`Frame::Eof`] only on a clean close at a frame boundary; a
-/// connection dropped mid-frame surfaces as an
-/// [`io::ErrorKind::UnexpectedEof`] error.
-pub fn read_frame<R: Read>(r: &mut R, max: usize) -> io::Result<Frame> {
-    let mut header = [0u8; 4];
-    let mut got = 0usize;
-    while got < 4 {
-        let n = r.read(&mut header[got..])?;
-        if n == 0 {
-            if got == 0 {
-                return Ok(Frame::Eof);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed inside a frame header",
-            ));
-        }
-        got += n;
-    }
-    let len = u32::from_le_bytes(header) as usize;
-    if len > max {
-        return Ok(Frame::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Frame::Payload(payload))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io;
 
     fn iset(raw: &[u32]) -> Itemset {
         Itemset::of(raw)

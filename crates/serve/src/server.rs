@@ -251,9 +251,7 @@ fn handle_connection(
                     return;
                 }
             },
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+            Err(e) if wire::is_timeout(&e) => {
                 counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 return;
             }

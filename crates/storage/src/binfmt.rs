@@ -8,7 +8,7 @@
 use crate::horizontal::HorizontalDb;
 use crate::vertical::VerticalDb;
 use bytes::{Buf, BufMut, BytesMut};
-use mining_types::ItemId;
+use mining_types::{FrequentSet, ItemId, Itemset};
 use std::io::{self, Read, Write};
 use tidlist::TidList;
 
@@ -16,6 +16,8 @@ use tidlist::TidList;
 pub const MAGIC_HORIZONTAL: u32 = 0x4543_4C48;
 /// Magic for vertical files ("ECLV").
 pub const MAGIC_VERTICAL: u32 = 0x4543_4C56;
+/// Magic for mined-result snapshot files ("ECLR").
+pub const MAGIC_RESULTS: u32 = 0x4543_4C52;
 /// Format version.
 pub const VERSION: u32 = 1;
 
@@ -134,6 +136,173 @@ pub fn read_vertical<R: Read>(r: &mut R) -> io::Result<(VerticalDb, u64)> {
     Ok((VerticalDb::from_lists(lists), read))
 }
 
+/// An association rule in storage form — a mirror of the miner's rule
+/// type with plain fields, so this crate stays independent of the rule
+/// generator. Callers map to/from their rule type field by field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleRecord {
+    /// Left-hand side.
+    pub antecedent: Itemset,
+    /// Right-hand side.
+    pub consequent: Itemset,
+    /// Support count of antecedent ∪ consequent.
+    pub support: u32,
+    /// Support count of the antecedent alone.
+    pub antecedent_support: u32,
+    /// Support count of the consequent alone.
+    pub consequent_support: u32,
+}
+
+/// A persisted mining result: everything a query server needs to boot
+/// without re-mining.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultsSnapshot {
+    /// Transactions in the mined database (denominator for supports).
+    pub num_transactions: u32,
+    /// The mined frequent itemsets.
+    pub frequent: FrequentSet,
+    /// The generated rules.
+    pub rules: Vec<RuleRecord>,
+}
+
+/// FNV-1a 64 over the payload — the snapshot header's checksum. Cheap,
+/// dependency-free, and plenty to catch truncation and bit rot.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn put_itemset(buf: &mut BytesMut, is: &Itemset) {
+    buf.put_u32_le(is.len() as u32);
+    for &it in is.items() {
+        buf.put_u32_le(it.0);
+    }
+}
+
+fn get_itemset(cur: &mut &[u8]) -> io::Result<Itemset> {
+    if cur.remaining() < 4 {
+        return Err(bad_format("truncated itemset length"));
+    }
+    let n = cur.get_u32_le() as usize;
+    if cur.remaining() < n * 4 {
+        return Err(bad_format("truncated itemset"));
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(ItemId(cur.get_u32_le()));
+    }
+    Ok(Itemset::from_sorted(items))
+}
+
+/// Serialize a mined-result snapshot. Returns bytes written.
+///
+/// Layout: `magic, version, checksum:u64, payload_len:u64`, then the
+/// payload: `num_transactions, num_itemsets`, per itemset
+/// `len:u32, items:u32×len, support:u32` (in [`FrequentSet::sorted`]
+/// order, so files are deterministic), then `num_rules` and per rule
+/// the two itemsets and three support counts. The checksum is FNV-1a 64
+/// over the payload; [`read_results`] verifies it before decoding.
+pub fn write_results<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<u64> {
+    let mut payload = BytesMut::with_capacity(4096);
+    payload.put_u32_le(snap.num_transactions);
+    let sorted = snap.frequent.sorted();
+    payload.put_u32_le(sorted.len() as u32);
+    for counted in &sorted {
+        put_itemset(&mut payload, &counted.itemset);
+        payload.put_u32_le(counted.support);
+    }
+    payload.put_u32_le(snap.rules.len() as u32);
+    for rule in &snap.rules {
+        put_itemset(&mut payload, &rule.antecedent);
+        put_itemset(&mut payload, &rule.consequent);
+        payload.put_u32_le(rule.support);
+        payload.put_u32_le(rule.antecedent_support);
+        payload.put_u32_le(rule.consequent_support);
+    }
+
+    let mut header = BytesMut::with_capacity(24);
+    header.put_u32_le(MAGIC_RESULTS);
+    header.put_u32_le(VERSION);
+    header.put_u64_le(fnv1a64(&payload));
+    header.put_u64_le(payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    Ok((header.len() + payload.len()) as u64)
+}
+
+/// Deserialize a mined-result snapshot, verifying the checksum.
+///
+/// # Errors
+/// `InvalidData` on wrong magic/version, a checksum mismatch (file
+/// corrupted or truncated), or malformed payload structure.
+pub fn read_results<R: Read>(r: &mut R) -> io::Result<(ResultsSnapshot, u64)> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let magic = h.get_u32_le();
+    let version = h.get_u32_le();
+    if magic != MAGIC_RESULTS || version != VERSION {
+        return Err(bad_format("not a results snapshot file"));
+    }
+    let checksum = h.get_u64_le();
+    let payload_len = h.get_u64_le() as usize;
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != checksum {
+        return Err(bad_format("results snapshot checksum mismatch"));
+    }
+
+    let mut cur = &payload[..];
+    let err = || bad_format("truncated results payload");
+    if cur.remaining() < 8 {
+        return Err(err());
+    }
+    let num_transactions = cur.get_u32_le();
+    let num_itemsets = cur.get_u32_le() as usize;
+    let mut frequent = FrequentSet::new();
+    for _ in 0..num_itemsets {
+        let itemset = get_itemset(&mut cur)?;
+        if cur.remaining() < 4 {
+            return Err(err());
+        }
+        frequent.insert(itemset, cur.get_u32_le());
+    }
+    if cur.remaining() < 4 {
+        return Err(err());
+    }
+    let num_rules = cur.get_u32_le() as usize;
+    let mut rules = Vec::with_capacity(num_rules);
+    for _ in 0..num_rules {
+        let antecedent = get_itemset(&mut cur)?;
+        let consequent = get_itemset(&mut cur)?;
+        if cur.remaining() < 12 {
+            return Err(err());
+        }
+        rules.push(RuleRecord {
+            antecedent,
+            consequent,
+            support: cur.get_u32_le(),
+            antecedent_support: cur.get_u32_le(),
+            consequent_support: cur.get_u32_le(),
+        });
+    }
+    if cur.remaining() > 0 {
+        return Err(bad_format("trailing bytes in results payload"));
+    }
+    Ok((
+        ResultsSnapshot {
+            num_transactions,
+            frequent,
+            rules,
+        },
+        (header.len() + payload_len) as u64,
+    ))
+}
+
 fn bad_format(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
@@ -210,5 +379,76 @@ mod tests {
         write_horizontal(&db, &mut buf).unwrap();
         let (back, _) = read_horizontal(&mut buf.as_slice()).unwrap();
         assert_eq!(back, db);
+    }
+
+    fn sample_snapshot() -> ResultsSnapshot {
+        let mut frequent = FrequentSet::new();
+        frequent.insert(Itemset::single(ItemId(0)), 4);
+        frequent.insert(Itemset::single(ItemId(2)), 3);
+        frequent.insert(Itemset::pair(ItemId(0), ItemId(2)), 3);
+        frequent.insert(Itemset::of(&[0, 1, 2]), 2);
+        ResultsSnapshot {
+            num_transactions: 5,
+            frequent,
+            rules: vec![RuleRecord {
+                antecedent: Itemset::single(ItemId(0)),
+                consequent: Itemset::single(ItemId(2)),
+                support: 3,
+                antecedent_support: 4,
+                consequent_support: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        let written = write_results(&snap, &mut buf).unwrap();
+        assert_eq!(written, buf.len() as u64);
+        let (back, read) = read_results(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_results_round_trip() {
+        let snap = ResultsSnapshot {
+            num_transactions: 0,
+            frequent: FrequentSet::new(),
+            rules: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        write_results(&snap, &mut buf).unwrap();
+        let (back, _) = read_results(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn results_corruption_caught_by_checksum() {
+        let mut buf = Vec::new();
+        write_results(&sample_snapshot(), &mut buf).unwrap();
+        // Flip one bit in the payload; the header checksum must catch it.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_results(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn results_wrong_magic_rejected() {
+        let db = sample();
+        let mut buf = Vec::new();
+        write_horizontal(&db, &mut buf).unwrap();
+        assert!(read_results(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn results_truncation_rejected() {
+        let mut buf = Vec::new();
+        write_results(&sample_snapshot(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_results(&mut buf.as_slice()).is_err());
     }
 }

@@ -29,6 +29,17 @@ impl TriangleMatrix {
         }
     }
 
+    /// Rebuild a matrix from its flat cell vector, e.g. after a network
+    /// transfer of the per-processor partial counts.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != C(n, 2)`.
+    pub fn from_raw(n: usize, counts: Vec<u32>) -> Self {
+        let cells = n * n.saturating_sub(1) / 2;
+        assert_eq!(counts.len(), cells, "triangle shape mismatch");
+        TriangleMatrix { n, counts }
+    }
+
     /// Number of items the matrix covers.
     #[inline]
     pub fn num_items(&self) -> usize {
@@ -216,6 +227,20 @@ mod tests {
         );
         assert_eq!(m.frequent_pairs(11).count(), 0);
         assert_eq!(m.frequent_pairs(1).count(), 3);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        let mut m = TriangleMatrix::new(4);
+        m.add(ItemId(1), ItemId(3), 9);
+        let rebuilt = TriangleMatrix::from_raw(4, m.raw().to_vec());
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_rejects_wrong_length() {
+        TriangleMatrix::from_raw(4, vec![0; 5]);
     }
 
     #[test]

@@ -20,6 +20,34 @@ echo "==> servload --smoke (one-shot TCP load generator)"
 cargo run -q --release -p repro-bench --bin servload -- --smoke \
     --json=results/servload_smoke.json
 
+echo "==> cargo test -p eclat-net (distributed runtime: oracle + robustness)"
+cargo test -q -p eclat-net
+
+echo "==> distbench --smoke (real loopback workers, checked against sequential)"
+cargo run -q --release -p repro-bench --bin distbench -- --smoke \
+    --json=results/distbench_smoke.json
+
+echo "==> dmine --spawn-local 4 == mine (measured cluster vs sequential CLI)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p eclat-cli -- generate --out "$tmpdir/t10.ech" \
+    --transactions 20000 --seed 7 > /dev/null
+cargo run -q --release -p eclat-cli -- mine --input "$tmpdir/t10.ech" \
+    --support 0.25 > "$tmpdir/mine.out"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 4 > "$tmpdir/dmine.out"
+diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine.out")
+
+echo "==> stats_diff: measured dmine stats vs simulated cluster stats (same schema)"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --stats=json > "$tmpdir/dist_stats.json"
+cargo run -q --release -p eclat-cli -- simulate --input "$tmpdir/t10.ech" \
+    --support 0.25 --hosts 2 --procs 1 --stats=json > "$tmpdir/sim_stats.json"
+# Exit 1 (differences reported) is the expected outcome; 2 would be a
+# schema error.
+./scripts/stats_diff "$tmpdir/dist_stats.json" "$tmpdir/sim_stats.json" \
+    > /dev/null || test $? -eq 1
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -47,17 +47,22 @@
 //! * [`questgen`] — the IBM-Quest synthetic data generator,
 //! * [`dbstore`] — horizontal/vertical layouts and the binary format,
 //! * [`memchannel`] — the simulated DEC Memory Channel cluster,
+//! * [`eclat_net`] — the *real* distributed runtime (coordinator/worker
+//!   mining over TCP, mirroring the simulated phases),
+//! * [`wire`] — the shared length-prefixed frame codec,
 //! * [`assoc_rules`] — rule generation.
 
 pub use apriori;
 pub use assoc_rules;
 pub use dbstore;
 pub use eclat;
+pub use eclat_net;
 pub use memchannel;
 pub use mining_types;
 pub use parbase;
 pub use questgen;
 pub use tidlist;
+pub use wire;
 
 /// Convenient glob-import of the most common types.
 pub mod prelude {
