@@ -2,19 +2,28 @@
 //!
 //! Where `table2`/`fig7` replay the simulator's Memory Channel cost
 //! model, `distbench` measures the real thing — a coordinator and `W`
-//! [`eclat_net`] workers exchanging tid-lists over loopback sockets —
-//! at `W ∈ {1, 2, 4, 8}`. Every run is checked against the sequential
-//! miner, so the table doubles as an end-to-end correctness gate.
+//! [`eclat_net`] workers exchanging tid-lists over loopback sockets.
+//! Each worker is a paper-style host mining its classes on `P` threads,
+//! so the fleet sweeps an `H x P` matrix: pure multi-process rows
+//! (`P = 1`) next to hybrid rows (`W x P` processors on `W` sockets).
+//! Every run is checked against the sequential miner, so the table
+//! doubles as an end-to-end correctness gate.
 //!
 //! ```text
 //! cargo run -p repro-bench --bin distbench --release [-- \
 //!     --transactions=20000 --support=0.25 --smoke \
+//!     --threads=4 --mem-budget=65536 \
 //!     --json=results/distbench.json]
 //! ```
 //!
-//! `--smoke` shrinks the database and stops at `W = 2` for CI. The
-//! `--json` document embeds each run's full [`mining_types::MiningStats`]
-//! report (per-phase timings and the per-worker `cluster` section), so
+//! `--smoke` shrinks the database and stops at `W = 2` for CI.
+//! `--threads=P` pins every row to `P` threads per worker instead of
+//! sweeping the matrix; `--mem-budget=BYTES` caps each worker's
+//! resident exchanged tid-lists, forcing the out-of-core class store
+//! into the measurement (a bounded-RAM axis — the spill column reports
+//! the bytes that moved through disk). The `--json` document embeds
+//! each run's full [`mining_types::MiningStats`] report (per-phase
+//! timings and the per-worker-thread `cluster` section), so
 //! `scripts/stats_diff` can put a measured artifact next to a simulated
 //! `eclat simulate --stats=json` one — the sim-vs-real Table 2 story.
 
@@ -37,7 +46,36 @@ fn main() {
         .get("support")
         .map(|s| s.parse().expect("--support must be a number (percent)"))
         .unwrap_or(0.25);
-    let fleet: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let forced_threads: Option<usize> = args
+        .get("threads")
+        .map(|s| s.parse().expect("--threads must be a thread count"));
+    let mem_budget: Option<u64> = args
+        .get("mem-budget")
+        .map(|s| s.parse().expect("--mem-budget must be bytes"));
+
+    // (workers, threads-per-worker). The baseline is always the first
+    // entry; P = 1 rows reproduce the old pure-process sweep, the rest
+    // are hybrid H x P configurations.
+    let fleet: Vec<(usize, usize)> = if let Some(p) = forced_threads {
+        if smoke {
+            vec![(1, p), (2, p)]
+        } else {
+            vec![(1, p), (2, p), (4, p), (8, p)]
+        }
+    } else if smoke {
+        vec![(1, 1), (2, 1), (2, 2)]
+    } else {
+        vec![
+            (1, 1),
+            (2, 1),
+            (4, 1),
+            (8, 1),
+            (1, 4),
+            (2, 2),
+            (2, 4),
+            (4, 2),
+        ]
+    };
 
     let params = QuestParams::t10_i6(transactions).with_seed(0xD157);
     let name = params.name();
@@ -54,18 +92,31 @@ fn main() {
         oracle.len()
     );
 
-    let widths = [7usize, 10, 8, 10, 14];
-    let header: Vec<String> = ["workers", "wall s", "speedup", "imbalance", "exchange B"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let widths = [7usize, 7, 10, 8, 10, 14, 12];
+    let header: Vec<String> = [
+        "workers",
+        "threads",
+        "wall s",
+        "speedup",
+        "imbalance",
+        "exchange B",
+        "spill B",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     println!("{}", row(&header, &widths));
 
     let mut runs = Arr::new();
     let mut base_secs = None;
-    for &w in fleet {
+    for &(w, p) in &fleet {
+        let worker_cfg = WorkerConfig {
+            threads: p,
+            mem_budget,
+            ..WorkerConfig::default()
+        };
         let workers: Vec<_> = (0..w)
-            .map(|_| start_worker(&WorkerConfig::default()).expect("start worker"))
+            .map(|_| start_worker(&worker_cfg).expect("start worker"))
             .collect();
         let addrs: Vec<String> = workers.iter().map(|h| h.addr().to_string()).collect();
         let t = Instant::now();
@@ -74,7 +125,7 @@ fn main() {
         let wall = t.elapsed().as_secs_f64();
         assert_eq!(
             report.frequent, oracle,
-            "W={w} diverged from the sequential miner"
+            "W={w} P={p} diverged from the sequential miner"
         );
         let base = *base_secs.get_or_insert(wall);
         let speedup = base / wall;
@@ -88,15 +139,18 @@ fn main() {
             .iter()
             .map(|p| p.bytes_sent + p.bytes_received)
             .sum();
+        let spill_bytes = report.spill_bytes_written + report.spill_bytes_read;
         println!(
             "{}",
             row(
                 &[
                     w.to_string(),
+                    p.to_string(),
                     format!("{wall:.3}"),
                     format!("{speedup:.2}"),
                     format!("{:.2}", cluster.load_imbalance),
                     bytes.to_string(),
+                    spill_bytes.to_string(),
                 ],
                 &widths
             )
@@ -104,10 +158,14 @@ fn main() {
         runs.raw(
             &Obj::new()
                 .u64("workers", w as u64)
+                .u64("threads_per_worker", p as u64)
+                .u64("mem_budget_bytes", mem_budget.unwrap_or(u64::MAX))
                 .f64("wall_secs", wall)
                 .f64("speedup", speedup)
                 .f64("load_imbalance", cluster.load_imbalance)
                 .u64("exchange_bytes", bytes)
+                .u64("spill_bytes_written", report.spill_bytes_written)
+                .u64("spill_bytes_read", report.spill_bytes_read)
                 .raw("stats", &report.stats.to_json(false))
                 .finish(),
         );

@@ -29,9 +29,11 @@
 //! only the machine-readable JSON document.
 //!
 //! ```text
-//! eclat worker   [--listen HOST:PORT] [--port-file PATH] [--serve-secs S]
+//! eclat worker   [--listen HOST:PORT] [--threads P] [--mem-budget BYTES]
+//!                [--port-file PATH] [--serve-secs S]
 //! eclat dmine    --input data.ech --support PCT
 //!                (--workers HOST:PORT,... | --spawn-local N)
+//!                [--threads P] [--mem-budget BYTES]
 //!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
 //!                [--min-size K] [--top N] [--stats[=json]]
 //! ```
@@ -39,10 +41,16 @@
 //! `worker` runs one [`eclat_net`] cluster worker; `dmine` coordinates a
 //! distributed mine over real TCP workers — either ones already running
 //! (`--workers`) or `N` freshly spawned local child processes
-//! (`--spawn-local`, killed when the command exits). The frequent-set
-//! report is identical to `mine`'s after the headline, so the two diff
-//! clean; `--stats=json` emits a `"variant":"dist"` report whose
-//! `cluster` section shares the simulator's schema.
+//! (`--spawn-local`, killed when the command exits). Each worker is a
+//! paper-style host: `--threads P` mines its scheduled classes on `P`
+//! OS threads (`0` = one per core), and `--mem-budget BYTES` (suffixes
+//! `k`/`m`/`g` accepted) caps the resident exchanged tid-lists, spilling
+//! the excess through an out-of-core class store. With `--spawn-local`,
+//! `dmine` forwards both flags to every child it spawns. The
+//! frequent-set report is identical to `mine`'s after the headline, so
+//! the two diff clean; `--stats=json` emits a `"variant":"dist"` report
+//! whose `cluster` section shares the simulator's schema (one processor
+//! row per worker thread).
 //!
 //! ```text
 //! eclat serve    (--input data.ech --support PCT | --load snap.ecr)
@@ -119,8 +127,10 @@ pub fn usage() -> String {
                 [--algorithm eclat|hybrid|countdist]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
                 [--stats[=json]]\n\
-       worker   [--listen HOST:PORT] [--port-file PATH] [--serve-secs S]\n\
+       worker   [--listen HOST:PORT] [--threads P] [--mem-budget BYTES]\n\
+                [--port-file PATH] [--serve-secs S]\n\
        dmine    --input FILE --support PCT (--workers HOST:PORT,... | --spawn-local N)\n\
+                [--threads P] [--mem-budget BYTES]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
                 [--min-size K] [--top N] [--stats[=json]]\n\
        serve    (--input FILE --support PCT | --load SNAPSHOT) [--port P] [--host H] [--confidence FRAC]\n\
@@ -588,9 +598,30 @@ fn parse_items(flag: &str, raw: &str) -> Result<mining_types::Itemset, String> {
     Ok(mining_types::Itemset::of(&items))
 }
 
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive): `"65536"`, `"64k"`, `"2m"`, `"1g"`.
+fn parse_mem_budget(raw: &str) -> Result<u64, String> {
+    let s = raw.trim();
+    let (digits, shift) = match s.chars().last().map(|c| c.to_ascii_lowercase()) {
+        Some('k') => (&s[..s.len() - 1], 10),
+        Some('m') => (&s[..s.len() - 1], 20),
+        Some('g') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("--mem-budget: cannot parse '{raw}' (want BYTES[k|m|g])"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("--mem-budget: '{raw}' overflows"))
+}
+
 fn cmd_worker(flags: &Flags) -> Result<String, String> {
     let cfg = eclat_net::WorkerConfig {
         listen: flags.get("listen").unwrap_or("127.0.0.1:0").to_string(),
+        threads: flags.parse("threads", 1usize)?,
+        mem_budget: flags.get("mem-budget").map(parse_mem_budget).transpose()?,
         ..eclat_net::WorkerConfig::default()
     };
     let mut handle =
@@ -634,8 +665,13 @@ impl Drop for ChildGuard {
 }
 
 /// Spawn `n` local `eclat worker` child processes on ephemeral ports and
-/// return their addresses once each has published its port.
-fn spawn_local_workers(n: usize, guard: &mut ChildGuard) -> Result<Vec<String>, String> {
+/// return their addresses once each has published its port. `extra`
+/// holds additional `worker` argv entries (e.g. `--threads`).
+fn spawn_local_workers(
+    n: usize,
+    extra: &[String],
+    guard: &mut ChildGuard,
+) -> Result<Vec<String>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
     let mut addrs = Vec::with_capacity(n);
     for i in 0..n {
@@ -648,6 +684,7 @@ fn spawn_local_workers(n: usize, guard: &mut ChildGuard) -> Result<Vec<String>, 
             .arg("127.0.0.1:0")
             .arg("--port-file")
             .arg(&port_file)
+            .args(extra)
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null())
             .spawn()
@@ -679,8 +716,28 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
     let top: usize = flags.parse("top", 20usize)?;
     let stats = stats_mode(flags)?;
 
+    // Per-worker execution knobs, forwarded verbatim to spawned
+    // children. Pre-started `--workers` configure themselves, so the
+    // flags are rejected there rather than silently ignored.
+    let mut worker_args: Vec<String> = Vec::new();
+    if let Some(raw) = flags.get("threads") {
+        let _: usize = flags.parse("threads", 0usize)?;
+        worker_args.extend(["--threads".to_string(), raw.to_string()]);
+    }
+    if let Some(raw) = flags.get("mem-budget") {
+        parse_mem_budget(raw)?;
+        worker_args.extend(["--mem-budget".to_string(), raw.to_string()]);
+    }
+
     let mut guard = ChildGuard(Vec::new());
     let addrs: Vec<String> = if let Some(raw) = flags.get("workers") {
+        if !worker_args.is_empty() {
+            return Err(
+                "dmine: --threads/--mem-budget apply to --spawn-local workers only; \
+                 pass them to each `eclat worker` instead"
+                    .to_string(),
+            );
+        }
         raw.split(',')
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
@@ -692,7 +749,7 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
                 "dmine: need --workers HOST:PORT,... or --spawn-local N (N > 0)".to_string(),
             );
         }
-        spawn_local_workers(n, &mut guard)?
+        spawn_local_workers(n, &worker_args, &mut guard)?
     };
     if addrs.is_empty() {
         return Err("dmine: --workers list is empty".to_string());
@@ -1203,27 +1260,37 @@ mod tests {
     fn maximal_works_across_representations() {
         let path = tempfile("maxrep");
         generate(&path, 300);
-        let base = run(&argv(&[
-            "mine",
-            "--input",
-            &path,
-            "--support",
-            "1",
-            "--maximal",
-        ]))
-        .unwrap();
-        for repr in ["diffset", "autoswitch:0", "autoswitch:2"] {
-            let out = run(&argv(&[
+        // The headline embeds wall time, so compare count + body only.
+        let split = |s: String| {
+            let count = s.split(' ').next().unwrap().to_string();
+            let body = s.lines().skip(1).collect::<Vec<_>>().join("\n");
+            (count, body)
+        };
+        let base = split(
+            run(&argv(&[
                 "mine",
                 "--input",
                 &path,
                 "--support",
                 "1",
                 "--maximal",
-                "--repr",
-                repr,
             ]))
-            .unwrap();
+            .unwrap(),
+        );
+        for repr in ["diffset", "autoswitch:0", "autoswitch:2"] {
+            let out = split(
+                run(&argv(&[
+                    "mine",
+                    "--input",
+                    &path,
+                    "--support",
+                    "1",
+                    "--maximal",
+                    "--repr",
+                    repr,
+                ]))
+                .unwrap(),
+            );
             assert_eq!(out, base, "representation {repr} diverged");
         }
         std::fs::remove_file(&path).unwrap();
@@ -1411,7 +1478,73 @@ mod tests {
         assert!(run(&argv(&["dmine", "--input", &path, "--support", "0.5"]))
             .unwrap_err()
             .contains("--workers"));
+
+        // Execution knobs only make sense for workers dmine itself spawns.
+        let err = run(&argv(&[
+            "dmine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--workers",
+            &addrs,
+            "--threads",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--spawn-local"), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dmine_hybrid_spilling_workers_match_mine() {
+        let path = tempfile("dminehy");
+        generate(&path, 1500);
+        let mined = run(&argv(&["mine", "--input", &path, "--support", "0.5"])).unwrap();
+
+        // In-process equivalents of `--spawn-local 2 --threads 2
+        // --mem-budget 0`: multithreaded workers whose every class
+        // spills through the out-of-core store.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                eclat_net::start_worker(&eclat_net::WorkerConfig {
+                    threads: 2,
+                    mem_budget: Some(0),
+                    ..eclat_net::WorkerConfig::default()
+                })
+                .unwrap()
+            })
+            .collect();
+        let addrs = workers
+            .iter()
+            .map(|w| w.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let dmined = run(&argv(&[
+            "dmine",
+            "--input",
+            &path,
+            "--support",
+            "0.5",
+            "--workers",
+            &addrs,
+        ]))
+        .unwrap();
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&mined), tail(&dmined), "hybrid spill run diverged");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_budget_parsing() {
+        assert_eq!(parse_mem_budget("65536").unwrap(), 65536);
+        assert_eq!(parse_mem_budget("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_mem_budget("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_mem_budget("1g").unwrap(), 1 << 30);
+        assert_eq!(parse_mem_budget("0").unwrap(), 0);
+        assert!(parse_mem_budget("lots").unwrap_err().contains("mem-budget"));
+        assert!(parse_mem_budget("").is_err());
+        assert!(parse_mem_budget("99999999999g").is_err(), "overflow");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::compute::EclatConfig;
 use crate::equivalence::classes_of_l2;
-use crate::schedule::{schedule_weights, Assignment};
+use crate::schedule::{schedule_weights, shard_classes, Assignment};
 use crate::transform::{build_pair_tidlists, count_pairs, index_pairs};
 use dbstore::{BlockPartition, HorizontalDb};
 use memchannel::collective::{broadcast_all, lockstep_exchange, sum_reduce, BarrierSeq};
@@ -252,17 +252,19 @@ pub fn mine_hybrid(
             .map(|(s, l)| (pairs_only[s].0, pairs_only[s].1, l))
             .collect();
         let classes = classes_of_l2(pairs_with_lists);
-        let w: Vec<u64> = classes.iter().map(|c| c.weight()).collect();
-        let local_assign = schedule_weights(&w, ppn, cfg.heuristic);
-        let mut per_proc_classes: Vec<Vec<crate::equivalence::EquivalenceClass>> =
-            (0..ppn).map(|_| Vec::new()).collect();
-        for (ci, class) in classes.into_iter().enumerate() {
-            per_proc_classes[local_assign.owner[ci]].push(class);
-        }
+        // Intra-host re-balance: the same LPT cost model as the host
+        // schedule, applied at processor granularity (shared with the
+        // TCP worker's in-host thread sharding).
+        let shards = shard_classes(&classes, ppn, cfg.heuristic);
+        let mut slots: Vec<Option<crate::equivalence::EquivalenceClass>> =
+            classes.into_iter().map(Some).collect();
         for (local, p) in cluster.procs_on_host(host).enumerate() {
             let rec = &mut recorders[p];
             rec.phase(PHASE_ASYNC);
-            let my_classes = std::mem::take(&mut per_proc_classes[local]);
+            let my_classes: Vec<crate::equivalence::EquivalenceClass> = shards[local]
+                .iter()
+                .map(|&ci| slots[ci].take().expect("each class is mined exactly once"))
+                .collect();
             let bytes: u64 = my_classes.iter().map(|c| c.byte_size()).sum();
             if bytes > 0 {
                 rec.disk_read(bytes);

@@ -152,6 +152,242 @@ impl ExecutionPolicy for Rayon {
     }
 }
 
+/// Shared-memory execution on exactly `P` scoped OS threads — the shape
+/// a cluster *host* takes in the paper's hybrid model (§8.1): the host
+/// owns a set of scheduled classes and its local processors share them.
+/// Unlike [`Rayon`] (which sizes its pool from the machine), the thread
+/// count is explicit, so a distributed worker can be told to act as a
+/// P-processor host. Classes are split over the threads by the same LPT
+/// cost model the cross-host schedule uses
+/// ([`crate::schedule::shard_classes`]); per-thread meters are merged, so
+/// operation counts match serial runs exactly.
+pub struct FixedThreads {
+    threads: usize,
+}
+
+impl FixedThreads {
+    /// A policy running on `threads` OS threads (`0` and `1` both mean
+    /// single-threaded).
+    pub fn new(threads: usize) -> FixedThreads {
+        FixedThreads {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ExecutionPolicy for FixedThreads {
+    fn count_pairs(&self, db: &HorizontalDb, meter: &mut OpMeter) -> TriangleMatrix {
+        count_pairs_blocked(db, self.threads, meter)
+    }
+
+    fn mine_classes(
+        &self,
+        classes: Vec<EquivalenceClass>,
+        threshold: u32,
+        cfg: &EclatConfig,
+        meter: &mut OpMeter,
+        out: &mut FrequentSet,
+        stats: &mut Vec<ClassStats>,
+    ) {
+        let shards = crate::schedule::shard_classes(&classes, self.threads, cfg.heuristic);
+        let slots: Vec<std::sync::Mutex<Option<EquivalenceClass>>> = classes
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
+        let fetch = |i: usize| {
+            Ok(slots[i]
+                .lock()
+                .expect("class slot poisoned")
+                .take()
+                .expect("each class is fetched exactly once"))
+        };
+        let reports = mine_shards(&shards, &fetch, threshold, cfg, out, stats)
+            .expect("in-memory fetch cannot fail");
+        for r in &reports {
+            meter.merge(&r.ops);
+        }
+    }
+}
+
+/// Phase 1 on `threads` scoped OS threads: split the transaction range
+/// into contiguous blocks, count each block on its own thread, and merge
+/// the partial triangles (sum of partial counts — the same reduction the
+/// cluster variants perform across processors). Per-block meters are
+/// merged into `meter`, so counts equal the serial pass.
+pub fn count_pairs_blocked(
+    db: &HorizontalDb,
+    threads: usize,
+    meter: &mut OpMeter,
+) -> TriangleMatrix {
+    let n = db.num_transactions();
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 * threads {
+        return count_pairs(db, 0..n, meter);
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(n))
+        .collect();
+    let partials: Vec<(TriangleMatrix, OpMeter)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut m = OpMeter::new();
+                    (count_pairs(db, r, &mut m), m)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("counting thread panicked"))
+            .collect()
+    });
+    let mut iter = partials.into_iter();
+    let (mut tri, m) = iter.next().expect("at least one block");
+    meter.merge(&m);
+    for (t, m) in iter {
+        tri.merge_from(&t);
+        meter.merge(&m);
+    }
+    tri
+}
+
+/// Phase 2's tid-list construction on `threads` scoped OS threads: each
+/// thread scans a contiguous sub-range of `range` (ascending tids), then
+/// the per-slot partial lists are stitched in sub-range order — the
+/// intra-host variant of the §6.3 offset placement, so every list comes
+/// out identical to a serial scan. Meters merge to the serial counts.
+pub fn build_pair_tidlists_blocked(
+    db: &HorizontalDb,
+    range: std::ops::Range<usize>,
+    idx: &mining_types::FxHashMap<(ItemId, ItemId), usize>,
+    threads: usize,
+    meter: &mut OpMeter,
+) -> Vec<tidlist::TidList> {
+    let n = range.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 * threads {
+        return build_pair_tidlists(db, range, idx, meter);
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|s| range.start + s..range.start + (s + chunk).min(n))
+        .collect();
+    let partials: Vec<(Vec<tidlist::TidList>, OpMeter)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut m = OpMeter::new();
+                    (build_pair_tidlists(db, r, idx, &mut m), m)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("transform thread panicked"))
+            .collect()
+    });
+    let mut iter = partials.into_iter();
+    let (mut lists, m) = iter.next().expect("at least one block");
+    meter.merge(&m);
+    for (part, m) in iter {
+        meter.merge(&m);
+        for (slot, p) in part.into_iter().enumerate() {
+            lists[slot].append_partial(&p);
+        }
+    }
+    lists
+}
+
+/// What one thread of [`mine_shards`] did: wall-clock spent mining,
+/// wall-clock spent fetching classes (disk faults in an out-of-core run,
+/// ~0 in-memory), and the merged operation counts of its shard.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadReport {
+    /// Seconds this thread spent inside the mining kernel.
+    pub compute_secs: f64,
+    /// Seconds this thread spent fetching classes (out-of-core faults).
+    pub fetch_secs: f64,
+    /// Merged kernel operation counts for the shard.
+    pub ops: OpMeter,
+}
+
+/// Phase 3 across explicit per-thread shards with a pluggable class
+/// source — the execution core shared by [`FixedThreads`] (in-memory)
+/// and the distributed worker's out-of-core path (classes faulted back
+/// from a spill store).
+///
+/// `shards[t]` holds the class indices thread `t` mines; `fetch(i)`
+/// materialises class `i` (the wall-clock it takes — lock wait plus any
+/// disk fault — is accounted to that thread's `fetch_secs`). Results
+/// merge into `out`; per-class stats land in `stats` in ascending
+/// class-index order (= class order, matching the serial pipeline); the
+/// returned reports are indexed by thread.
+///
+/// # Errors
+/// The first `fetch` error aborts that thread's shard and is returned.
+pub fn mine_shards<F>(
+    shards: &[Vec<usize>],
+    fetch: &F,
+    threshold: u32,
+    cfg: &EclatConfig,
+    out: &mut FrequentSet,
+    stats: &mut Vec<ClassStats>,
+) -> Result<Vec<ThreadReport>, String>
+where
+    F: Fn(usize) -> Result<EquivalenceClass, String> + Sync,
+{
+    type ShardOut = Result<(FrequentSet, Vec<(usize, ClassStats)>, ThreadReport), String>;
+    let results: Vec<ShardOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|ids| {
+                scope.spawn(move || -> ShardOut {
+                    let mut local = FrequentSet::new();
+                    let mut tagged = Vec::with_capacity(ids.len());
+                    let mut rep = ThreadReport::default();
+                    for &i in ids {
+                        let t_fetch = Instant::now();
+                        let class = fetch(i)?;
+                        rep.fetch_secs += t_fetch.elapsed().as_secs_f64();
+                        let t_mine = Instant::now();
+                        tagged.push((
+                            i,
+                            mine_class(class, threshold, cfg, &mut rep.ops, &mut local),
+                        ));
+                        rep.compute_secs += t_mine.elapsed().as_secs_f64();
+                    }
+                    Ok((local, tagged, rep))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mining thread panicked"))
+            .collect()
+    });
+    let mut reports = Vec::with_capacity(shards.len());
+    let mut all_tagged: Vec<(usize, ClassStats)> = Vec::new();
+    for r in results {
+        let (local, tagged, rep) = r?;
+        out.merge(local);
+        all_tagged.extend(tagged);
+        reports.push(rep);
+    }
+    all_tagged.sort_by_key(|&(i, _)| i);
+    stats.extend(all_tagged.into_iter().map(|(_, cs)| cs));
+    Ok(reports)
+}
+
 /// Extract the frequent pair list from phase 1's triangular counts.
 pub fn frequent_l2(tri: &TriangleMatrix, threshold: u32) -> Vec<(ItemId, ItemId)> {
     tri.frequent_pairs(threshold)
@@ -431,6 +667,82 @@ mod tests {
         // report the same candidate count as the serial one.
         assert_eq!(m_serial.cand_gen, m_rayon.cand_gen);
         assert_eq!(m_serial.record, m_rayon.record);
+    }
+
+    #[test]
+    fn fixed_threads_policy_matches_serial_for_any_p() {
+        let db = random_db(17, 150, 12, 6);
+        let minsup = MinSupport::from_percent(6.0);
+        let cfg = EclatConfig::default();
+        let mut m_serial = OpMeter::new();
+        let expect = run(&db, minsup, &cfg, &mut m_serial, &Serial);
+        for p in [1, 2, 3, 8] {
+            let mut m = OpMeter::new();
+            let fs = run(&db, minsup, &cfg, &mut m, &FixedThreads::new(p));
+            assert_eq!(fs, expect, "P={p}");
+            // Merged per-thread meters must equal the serial counts.
+            assert_eq!(m, m_serial, "P={p}");
+        }
+        assert_eq!(FixedThreads::new(0).threads(), 1, "0 means single-threaded");
+    }
+
+    #[test]
+    fn fixed_threads_stats_match_serial() {
+        let db = random_db(29, 200, 12, 6);
+        let minsup = MinSupport::from_percent(5.0);
+        let cfg = EclatConfig::default();
+        let (fs_s, seq) = run_stats(&db, minsup, &cfg, &mut OpMeter::new(), &Serial, "x");
+        let (fs_p, par) = run_stats(
+            &db,
+            minsup,
+            &cfg,
+            &mut OpMeter::new(),
+            &FixedThreads::new(3),
+            "x",
+        );
+        assert_eq!(fs_s, fs_p);
+        assert_eq!(seq.total_ops, par.total_ops);
+        assert_eq!(seq.levels, par.levels);
+        // Class stats come back in class order despite the LPT sharding.
+        assert_eq!(seq.classes, par.classes);
+        for (a, b) in seq.phases.iter().zip(&par.phases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.ops, b.ops);
+        }
+    }
+
+    #[test]
+    fn blocked_transform_matches_serial_scan() {
+        let db = random_db(41, 300, 12, 6);
+        let tri = count_pairs(&db, 0..db.num_transactions(), &mut OpMeter::new());
+        let l2 = frequent_l2(&tri, 5);
+        assert!(!l2.is_empty());
+        let idx = index_pairs(&l2);
+        let mut m_serial = OpMeter::new();
+        let serial = build_pair_tidlists(&db, 0..db.num_transactions(), &idx, &mut m_serial);
+        for threads in [1, 2, 5] {
+            let mut m = OpMeter::new();
+            let blocked =
+                build_pair_tidlists_blocked(&db, 0..db.num_transactions(), &idx, threads, &mut m);
+            assert_eq!(blocked, serial, "threads={threads}");
+            assert_eq!(m, m_serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mine_shards_propagates_fetch_errors() {
+        let cfg = EclatConfig::default();
+        let fetch = |_i: usize| Err("spill store gone".to_string());
+        let err = mine_shards(
+            &[vec![0usize]],
+            &fetch,
+            1,
+            &cfg,
+            &mut FrequentSet::new(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("spill store gone"));
     }
 
     #[test]

@@ -74,6 +74,23 @@ pub fn schedule(
     schedule_weights(&weights, num_procs, heuristic)
 }
 
+/// Shard `classes` across the `num_procs` co-located processors of one
+/// host (OS threads of a worker, or the simulated hybrid's intra-host
+/// processors): the same `C(s,2)` / support-weight cost model as the
+/// cross-host schedule, applied at thread granularity. Returns ascending
+/// class indices per processor — the per-thread work lists.
+///
+/// # Panics
+/// Panics if `num_procs == 0`.
+pub fn shard_classes(
+    classes: &[EquivalenceClass],
+    num_procs: usize,
+    heuristic: ScheduleHeuristic,
+) -> Vec<Vec<usize>> {
+    let a = schedule(classes, num_procs, heuristic);
+    (0..num_procs).map(|p| a.classes_of(p)).collect()
+}
+
 /// Schedule by raw weights (exposed for property tests).
 pub fn schedule_weights(
     weights: &[u64],

@@ -72,6 +72,11 @@ pub struct DistReport {
     pub num_l2: usize,
     /// Cluster size.
     pub num_workers: usize,
+    /// Bytes of evicted classes the workers wrote to their spill stores
+    /// (zero unless a worker ran under a memory budget it exceeded).
+    pub spill_bytes_written: u64,
+    /// Bytes of spilled classes the workers faulted back in.
+    pub spill_bytes_read: u64,
 }
 
 struct WorkerConn {
@@ -194,7 +199,7 @@ pub fn mine_distributed(
         });
     }
     match drive(db, threshold, run_id, dist, &mut conns, &mut stats) {
-        Ok((frequent, num_l2)) => {
+        Ok((frequent, num_l2, spill_bytes_written, spill_bytes_read)) => {
             for c in conns.iter_mut() {
                 let _ = c.send(&Message::Goodbye { run_id });
             }
@@ -203,6 +208,8 @@ pub fn mine_distributed(
                 stats,
                 num_l2,
                 num_workers,
+                spill_bytes_written,
+                spill_bytes_read,
             })
         }
         Err(e) => {
@@ -220,7 +227,7 @@ fn drive(
     dist: &DistConfig,
     conns: &mut [WorkerConn],
     stats: &mut MiningStats,
-) -> Result<(FrequentSet, usize), NetError> {
+) -> Result<(FrequentSet, usize, u64, u64), NetError> {
     let num_workers = conns.len();
     for c in conns.iter_mut() {
         c.send(&Message::Hello {
@@ -339,7 +346,7 @@ fn drive(
                 })
                 .collect(),
         });
-        return Ok((out, 0));
+        return Ok((out, 0, 0, 0));
     }
 
     // ---- Transformation (§5.2.1 + §6.3): broadcast the schedule, let
@@ -391,7 +398,7 @@ fn drive(
                 for (items, support) in frequent {
                     out.insert(Itemset::of(&items), support);
                 }
-                worker_stats.push(ws);
+                worker_stats.push(*ws);
             }
             other => {
                 return Err(NetError::Protocol(format!(
@@ -431,21 +438,43 @@ fn drive(
         ops: async_ops,
     });
 
-    let procs: Vec<ProcStats> = worker_stats
+    // One ProcStats row per worker *thread* — the measured counterpart
+    // of the simulator's H×P processor rows. Thread 0 is the session
+    // thread: it carries the serial-phase compute, all socket time, and
+    // the byte counters; every thread carries its own async-mining and
+    // spill-fault time. Idle is *derived* per row as wall minus busy
+    // (clamped at zero) — summing P threads' compute into one row made
+    // the old measured idle go negative as soon as P > 1.
+    let mut procs: Vec<ProcStats> = Vec::new();
+    for ws in &worker_stats {
+        let p = ws.threads.max(1) as usize;
+        for t in 0..p {
+            let thread_compute = ws.thread_compute_secs.get(t).copied().unwrap_or(0.0);
+            let compute = if t == 0 {
+                ws.compute_secs + thread_compute
+            } else {
+                thread_compute
+            };
+            let disk = ws.thread_disk_secs.get(t).copied().unwrap_or(0.0);
+            let net = if t == 0 { ws.net_secs } else { 0.0 };
+            let idle = (ws.finish_secs - compute - disk - net).max(0.0);
+            procs.push(ProcStats {
+                proc: procs.len() as u64,
+                compute_secs: compute,
+                disk_secs: disk,
+                net_secs: net,
+                idle_secs: idle,
+                finish_secs: ws.finish_secs,
+                bytes_sent: if t == 0 { ws.bytes_sent } else { 0 },
+                bytes_received: if t == 0 { ws.bytes_received } else { 0 },
+            });
+        }
+    }
+    // Busy = compute + disk + net, the simulator's load-imbalance base.
+    let busy: Vec<f64> = procs
         .iter()
-        .enumerate()
-        .map(|(p, ws)| ProcStats {
-            proc: p as u64,
-            compute_secs: ws.compute_secs,
-            disk_secs: 0.0,
-            net_secs: ws.net_secs,
-            idle_secs: ws.idle_secs,
-            finish_secs: ws.finish_secs,
-            bytes_sent: ws.bytes_sent,
-            bytes_received: ws.bytes_received,
-        })
+        .map(|p| p.compute_secs + p.disk_secs + p.net_secs)
         .collect();
-    let busy: Vec<f64> = procs.iter().map(|p| p.compute_secs + p.net_secs).collect();
     let mean_busy = busy.iter().sum::<f64>() / busy.len() as f64;
     let max_busy = busy.iter().cloned().fold(0.0, f64::max);
     stats.cluster = Some(ClusterStats {
@@ -469,5 +498,7 @@ fn drive(
         secs: t_reduce.elapsed().as_secs_f64(),
         ops: OpMeter::new(),
     });
-    Ok((out, num_l2))
+    let spill_written = worker_stats.iter().map(|w| w.spill_bytes_written).sum();
+    let spill_read = worker_stats.iter().map(|w| w.spill_bytes_read).sum();
+    Ok((out, num_l2, spill_written, spill_read))
 }

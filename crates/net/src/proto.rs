@@ -18,7 +18,9 @@ use mining_types::OpMeter;
 use wire::{Cursor, DecodeError};
 
 /// Version tag carried by `Hello`; bumped on any wire-format change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 extended [`WorkerStats`] with per-thread timing and spill
+/// I/O (multi-core + out-of-core workers).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame-size ceiling for mining traffic. Tid-list exchanges legitimately
 /// carry tens of megabytes; anything past this is a corrupt length.
@@ -46,10 +48,15 @@ const REPR_DIFFSET: u8 = 1;
 const REPR_AUTOSWITCH: u8 = 2;
 
 /// Per-worker measured statistics returned with [`Message::Result`] —
-/// the real-TCP counterpart of the simulator's per-processor trace.
+/// the real-TCP counterpart of the simulator's per-processor trace. A
+/// worker is a *host* in the paper's hybrid sense: the serial phases run
+/// on the session thread, the asynchronous phase on `threads` local
+/// processors, each reporting its own busy time.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkerStats {
-    /// Seconds spent computing (counting, transform, mining).
+    /// Seconds the session thread spent computing in the serial phases
+    /// (counting, transform, assembly) — async mining is reported per
+    /// thread in `thread_compute_secs`.
     pub compute_secs: f64,
     /// Seconds spent in socket I/O (sends, peer connects, acks).
     pub net_secs: f64,
@@ -61,6 +68,17 @@ pub struct WorkerStats {
     pub bytes_sent: u64,
     /// Frame bytes read (headers included).
     pub bytes_received: u64,
+    /// Mining threads used in the asynchronous phase (≥ 1).
+    pub threads: u32,
+    /// Per-thread seconds inside the mining kernel (`threads` entries).
+    pub thread_compute_secs: Vec<f64>,
+    /// Per-thread seconds of spill I/O: class faults on the owning
+    /// thread, eviction writes on thread 0 (`threads` entries).
+    pub thread_disk_secs: Vec<f64>,
+    /// Bytes of evicted classes written to the spill store.
+    pub spill_bytes_written: u64,
+    /// Bytes of spilled classes faulted back in.
+    pub spill_bytes_read: u64,
     /// Operation counters of the local counting pass.
     pub init_ops: OpMeter,
     /// Operation counters of partial-list construction + assembly.
@@ -161,8 +179,9 @@ pub enum Message {
         rank: u32,
         /// Frequent itemsets mined from the owned classes.
         frequent: Vec<(Vec<u32>, u32)>,
-        /// Measured per-worker statistics.
-        stats: WorkerStats,
+        /// Measured per-worker statistics (boxed: the per-thread
+        /// vectors make this by far the largest variant).
+        stats: Box<WorkerStats>,
     },
     /// Either direction: the run is dead; `message` says why.
     Abort {
@@ -243,6 +262,22 @@ fn read_u32_vec(c: &mut Cursor<'_>) -> Result<Vec<u32>, DecodeError> {
         .chunks_exact(4)
         .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
         .collect())
+}
+
+fn put_f64_vec(buf: &mut Vec<u8>, v: &[f64]) {
+    wire::put_u32(buf, v.len() as u32);
+    for &x in v {
+        wire::put_f64(buf, x);
+    }
+}
+
+fn read_f64_vec(c: &mut Cursor<'_>) -> Result<Vec<f64>, DecodeError> {
+    let n = c.u32()? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        v.push(c.f64()?);
+    }
+    Ok(v)
 }
 
 fn put_meter(buf: &mut Vec<u8>, m: &OpMeter) {
@@ -332,6 +367,11 @@ fn put_worker_stats(buf: &mut Vec<u8>, s: &WorkerStats) {
     wire::put_f64(buf, s.finish_secs);
     wire::put_u64(buf, s.bytes_sent);
     wire::put_u64(buf, s.bytes_received);
+    wire::put_u32(buf, s.threads);
+    put_f64_vec(buf, &s.thread_compute_secs);
+    put_f64_vec(buf, &s.thread_disk_secs);
+    wire::put_u64(buf, s.spill_bytes_written);
+    wire::put_u64(buf, s.spill_bytes_read);
     put_meter(buf, &s.init_ops);
     put_meter(buf, &s.transform_ops);
     put_meter(buf, &s.async_ops);
@@ -349,6 +389,11 @@ fn read_worker_stats(c: &mut Cursor<'_>) -> Result<WorkerStats, DecodeError> {
         finish_secs: c.f64()?,
         bytes_sent: c.u64()?,
         bytes_received: c.u64()?,
+        threads: c.u32()?,
+        thread_compute_secs: read_f64_vec(c)?,
+        thread_disk_secs: read_f64_vec(c)?,
+        spill_bytes_written: c.u64()?,
+        spill_bytes_read: c.u64()?,
         init_ops: read_meter(c)?,
         transform_ops: read_meter(c)?,
         async_ops: read_meter(c)?,
@@ -612,7 +657,7 @@ impl Message {
                     }
                     frequent.push((items, c.u32()?));
                 }
-                let stats = read_worker_stats(&mut c)?;
+                let stats = Box::new(read_worker_stats(&mut c)?);
                 Message::Result {
                     run_id,
                     rank,
@@ -683,13 +728,18 @@ mod tests {
             run_id: 7,
             rank: 2,
             frequent: vec![(vec![0, 1], 9), (vec![0, 1, 3], 5)],
-            stats: WorkerStats {
+            stats: Box::new(WorkerStats {
                 compute_secs: 0.25,
                 net_secs: 0.5,
                 idle_secs: 0.125,
                 finish_secs: 1.0,
                 bytes_sent: 1234,
                 bytes_received: 5678,
+                threads: 2,
+                thread_compute_secs: vec![0.125, 0.0625],
+                thread_disk_secs: vec![0.03125, 0.0],
+                spill_bytes_written: 4096,
+                spill_bytes_read: 4096,
                 init_ops: OpMeter {
                     pair_incr: 42,
                     ..OpMeter::new()
@@ -713,7 +763,7 @@ mod tests {
                         ..KernelStats::new()
                     },
                 }],
-            },
+            }),
         });
         roundtrip(Message::Abort {
             run_id: 7,

@@ -20,18 +20,21 @@
 use crate::exchange::{assemble, route_partials, Entries};
 use crate::proto::{Message, WorkerStats, MAX_NET_FRAME, PROTOCOL_VERSION};
 use crate::NetError;
-use dbstore::binfmt;
-use eclat::equivalence::classes_of_l2;
+use dbstore::{binfmt, SpillMetrics, SpillStore};
+use eclat::equivalence::{classes_of_l2, ClassMember, EquivalenceClass};
 use eclat::pipeline;
-use eclat::transform::{build_pair_tidlists, count_items, count_pairs, index_pairs};
-use mining_types::{ItemId, OpMeter};
+use eclat::schedule::shard_classes;
+use eclat::transform::{count_items, index_pairs};
+use mining_types::{FrequentSet, ItemId, Itemset, OpMeter};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tidlist::TidList;
 use wire::{read_frame, write_frame, Frame};
 
 /// Worker construction knobs.
@@ -49,6 +52,18 @@ pub struct WorkerConfig {
     pub connect_retries: u32,
     /// Initial backoff between peer connect attempts (doubles each try).
     pub connect_backoff: Duration,
+    /// Mining threads per session — the `P` of the paper's H×P hybrid
+    /// model, applied to a real host. `0` means one thread per available
+    /// core; `1` (the default) reproduces the old single-threaded worker.
+    pub threads: usize,
+    /// Resident-byte budget for the post-exchange tid-lists. `None`
+    /// keeps everything in memory; `Some(b)` routes the owned classes
+    /// through a [`SpillStore`], so classes beyond `b` bytes live on
+    /// disk until their turn in the class loop (three-scan style).
+    pub mem_budget: Option<u64>,
+    /// Directory for spill files (a unique per-run subdirectory is
+    /// created inside it). Defaults to the system temp directory.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -59,6 +74,68 @@ impl Default for WorkerConfig {
             exchange_timeout: Duration::from_secs(30),
             connect_retries: 5,
             connect_backoff: Duration::from_millis(20),
+            threads: 1,
+            mem_budget: None,
+            spill_dir: None,
+        }
+    }
+}
+
+/// A class stripped of its tid-lists: prefix + member itemsets, the
+/// small resident part of a spilled class.
+type ClassSkeleton = (Itemset, Vec<Itemset>);
+
+/// Where the asynchronous phase gets its classes: straight from memory,
+/// or faulted back from a [`SpillStore`] (out-of-core mode). Either way
+/// each class is fetched exactly once, by the thread that mines it.
+enum ClassSource {
+    Resident(Vec<Mutex<Option<EquivalenceClass>>>),
+    Spilled {
+        /// The budgeted store holding every class's tid-lists.
+        vault: Mutex<SpillStore>,
+        /// Resident per-class metadata — the part that never spills.
+        skeletons: Vec<Mutex<Option<ClassSkeleton>>>,
+    },
+}
+
+impl ClassSource {
+    fn fetch(&self, i: usize) -> Result<EquivalenceClass, String> {
+        match self {
+            ClassSource::Resident(slots) => Ok(slots[i]
+                .lock()
+                .expect("class slot poisoned")
+                .take()
+                .expect("each class is fetched exactly once")),
+            ClassSource::Spilled { vault, skeletons } => {
+                let lists = vault
+                    .lock()
+                    .expect("spill store poisoned")
+                    .take(i)
+                    .map_err(|e| format!("spill fault for class {i}: {e}"))?;
+                let (prefix, itemsets) = skeletons[i]
+                    .lock()
+                    .expect("skeleton slot poisoned")
+                    .take()
+                    .expect("each class is fetched exactly once");
+                Ok(EquivalenceClass {
+                    prefix,
+                    members: itemsets
+                        .into_iter()
+                        .zip(lists)
+                        .map(|(itemset, tids)| ClassMember { itemset, tids })
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    /// Final I/O counters (zero for the resident source).
+    fn metrics(&self) -> SpillMetrics {
+        match self {
+            ClassSource::Resident(_) => SpillMetrics::default(),
+            ClassSource::Spilled { vault, .. } => {
+                vault.lock().expect("spill store poisoned").metrics()
+            }
         }
     }
 }
@@ -379,6 +456,57 @@ struct Session<'a> {
 }
 
 impl Session<'_> {
+    /// Resolve the configured thread count (`0` = one per core).
+    fn mining_threads(&self) -> usize {
+        match self.cfg.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Move `classes` into a budgeted [`SpillStore`] under a unique
+    /// per-run directory; tid-lists beyond the budget go to disk, the
+    /// per-class metadata stays resident.
+    fn spill_classes(
+        &self,
+        classes: Vec<EquivalenceClass>,
+        budget: u64,
+    ) -> Result<ClassSource, NetError> {
+        let base = self
+            .cfg
+            .spill_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "eclat-spill-{}-{:016x}-r{}",
+            std::process::id(),
+            self.run_id,
+            self.rank
+        ));
+        let spill_err = |e: io::Error| NetError::Worker {
+            rank: self.rank,
+            message: format!("spill store failed: {e}"),
+        };
+        let mut store = SpillStore::create(&dir, budget, classes.len()).map_err(spill_err)?;
+        let mut skeletons = Vec::with_capacity(classes.len());
+        for (i, class) in classes.into_iter().enumerate() {
+            let mut itemsets = Vec::with_capacity(class.members.len());
+            let mut lists: Vec<TidList> = Vec::with_capacity(class.members.len());
+            for m in class.members {
+                itemsets.push(m.itemset);
+                lists.push(m.tids);
+            }
+            skeletons.push(Mutex::new(Some((class.prefix, itemsets))));
+            store.insert(i, lists).map_err(spill_err)?;
+        }
+        Ok(ClassSource::Spilled {
+            vault: Mutex::new(store),
+            skeletons,
+        })
+    }
+
     fn send(&mut self, msg: &Message) -> Result<(), NetError> {
         let t = Instant::now();
         let n = send(&mut self.stream, msg)?;
@@ -438,10 +566,13 @@ impl Session<'_> {
             }
         };
 
-        // ---- Initialization (§5.1): local triangular counting.
+        // ---- Initialization (§5.1): local triangular counting, blocked
+        // over this host's P threads (partial triangles sum-merge, the
+        // intra-host version of the coordinator's reduction).
+        let threads = self.mining_threads();
         let t = Instant::now();
         let mut init_ops = OpMeter::new();
-        let tri = count_pairs(&db, 0..db.num_transactions(), &mut init_ops);
+        let tri = pipeline::count_pairs_blocked(&db, threads, &mut init_ops);
         let items = if want_items {
             count_items(&db, 0..db.num_transactions(), &mut init_ops)
         } else {
@@ -488,7 +619,13 @@ impl Session<'_> {
         let pairs: Vec<(ItemId, ItemId)> =
             l2.iter().map(|&(a, b)| (ItemId(a), ItemId(b))).collect();
         let idx = index_pairs(&pairs);
-        let lists = build_pair_tidlists(&db, 0..db.num_transactions(), &idx, &mut transform_ops);
+        let lists = pipeline::build_pair_tidlists_blocked(
+            &db,
+            0..db.num_transactions(),
+            &idx,
+            threads,
+            &mut transform_ops,
+        );
         let routed = route_partials(&lists, &slot_owner, self.num_workers, tid_offset);
         drop(lists);
         self.stats.compute_secs += t.elapsed().as_secs_f64();
@@ -524,18 +661,59 @@ impl Session<'_> {
         self.stats.compute_secs += t.elapsed().as_secs_f64();
         self.stats.transform_ops = transform_ops;
 
+        // LPT-shard the owned classes over this host's threads — the
+        // same C(s,2) cost model the coordinator used across workers,
+        // reapplied at thread granularity (the hybrid model's intra-host
+        // re-balance, on a real host).
+        let shards = shard_classes(&classes, threads, mine_cfg.heuristic);
+
+        // Under a memory budget, route every owned class through the
+        // spill store now (the paper's transformation-phase disk write:
+        // "The tid-lists of itemsets in G are then written out to
+        // disk"); the class loop faults them back one class at a time.
+        let source = match self.cfg.mem_budget {
+            None => {
+                ClassSource::Resident(classes.into_iter().map(|c| Mutex::new(Some(c))).collect())
+            }
+            Some(budget) => self.spill_classes(classes, budget)?,
+        };
+
         // Non-blocking phase marker: the coordinator splits transform
         // from async wall time on this; the worker mines on immediately.
         self.send(&Message::ExchangeDone {
             run_id: self.run_id,
         })?;
 
-        // ---- Asynchronous phase (§5.3): mine owned classes, no comms.
-        let t = Instant::now();
+        // ---- Asynchronous phase (§5.3): mine owned classes on P
+        // threads through the shared pipeline kernel, no comms.
+        let mut frequent = FrequentSet::new();
+        let mut class_stats = Vec::new();
+        let fetch = |i: usize| source.fetch(i);
+        let reports = pipeline::mine_shards(
+            &shards,
+            &fetch,
+            threshold,
+            &mine_cfg,
+            &mut frequent,
+            &mut class_stats,
+        )
+        .map_err(|message| NetError::Worker {
+            rank: self.rank,
+            message,
+        })?;
+        let spill = source.metrics();
         let mut async_ops = OpMeter::new();
-        let (frequent, class_stats) =
-            pipeline::mine_classes(classes, threshold, &mine_cfg, &mut async_ops);
-        self.stats.compute_secs += t.elapsed().as_secs_f64();
+        for r in &reports {
+            async_ops.merge(&r.ops);
+        }
+        self.stats.threads = threads as u32;
+        self.stats.thread_compute_secs = reports.iter().map(|r| r.compute_secs).collect();
+        // Per-thread spill I/O: faults land on the faulting thread,
+        // eviction writes (session-thread work during insert) on thread 0.
+        self.stats.thread_disk_secs = reports.iter().map(|r| r.fetch_secs).collect();
+        self.stats.thread_disk_secs[0] += spill.write_secs;
+        self.stats.spill_bytes_written = spill.bytes_written;
+        self.stats.spill_bytes_read = spill.bytes_read;
         self.stats.async_ops = async_ops;
         self.stats.classes = class_stats;
 
@@ -549,7 +727,7 @@ impl Session<'_> {
             run_id: self.run_id,
             rank: self.rank,
             frequent,
-            stats: std::mem::take(&mut self.stats),
+            stats: Box::new(std::mem::take(&mut self.stats)),
         };
         self.send(&result)?;
 

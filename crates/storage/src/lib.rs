@@ -13,9 +13,11 @@ pub mod binfmt;
 pub mod disk;
 pub mod horizontal;
 pub mod partition;
+pub mod spill;
 pub mod vertical;
 
 pub use disk::PartitionStore;
 pub use horizontal::HorizontalDb;
 pub use partition::BlockPartition;
+pub use spill::{SpillMetrics, SpillStore};
 pub use vertical::VerticalDb;

@@ -39,6 +39,13 @@ impl VerticalDb {
         VerticalDb { lists }
     }
 
+    /// Decompose back into the per-item lists (inverse of
+    /// [`VerticalDb::from_lists`]; the spill store reads classes back
+    /// through this).
+    pub fn into_lists(self) -> Vec<TidList> {
+        self.lists
+    }
+
     /// The tid-list of `item`.
     #[inline]
     pub fn tidlist(&self, item: ItemId) -> &TidList {

@@ -38,6 +38,17 @@ cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     --support 0.25 --spawn-local 4 > "$tmpdir/dmine.out"
 diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine.out")
 
+echo "==> dmine --spawn-local 2 --threads 2 == mine (hybrid W x P workers)"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --threads 2 > "$tmpdir/dmine_hybrid.out"
+diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_hybrid.out")
+
+echo "==> dmine --mem-budget 64k == mine (out-of-core workers, forced spill)"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --threads 2 --mem-budget 64k \
+    > "$tmpdir/dmine_spill.out"
+diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_spill.out")
+
 echo "==> stats_diff: measured dmine stats vs simulated cluster stats (same schema)"
 cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     --support 0.25 --spawn-local 2 --stats=json > "$tmpdir/dist_stats.json"

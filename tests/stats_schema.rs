@@ -213,6 +213,37 @@ fn simulated_run_schema_is_pinned() {
 }
 
 #[test]
+fn measured_dist_run_schema_is_pinned() {
+    // A real loopback run with hybrid workers (2 hosts x 2 threads,
+    // budget 0 so every class crosses the out-of-core store) fills the
+    // same schema as the simulated cluster: per-thread processor rows
+    // reuse the simulator's timeline keys, nothing more, nothing less.
+    let db = quest_db(1_500, 7);
+    let minsup = MinSupport::from_percent(1.0);
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            eclat_net::start_worker(&eclat_net::WorkerConfig {
+                threads: 2,
+                mem_budget: Some(0),
+                ..eclat_net::WorkerConfig::default()
+            })
+            .expect("start worker")
+        })
+        .collect();
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let report = eclat_net::mine_distributed(&db, minsup, &addrs, &Default::default())
+        .expect("loopback dist run");
+    let cluster = report.stats.cluster.as_ref().expect("dist cluster section");
+    assert_eq!(cluster.procs.len(), 4, "one row per worker thread");
+    assert_eq!(
+        collect_keys(&report.stats.to_json(true)),
+        sorted_union(LIVE_KEYS, CLUSTER_ONLY_KEYS),
+        "measured-dist schema drifted: update the pinned key lists and \
+         bump SCHEMA_VERSION"
+    );
+}
+
+#[test]
 fn all_variants_share_the_schema() {
     let db = quest_db(1_500, 7);
     let minsup = MinSupport::from_percent(1.0);
