@@ -327,6 +327,54 @@ fn main() {
         println!();
     }
 
+    // ---------- bonus: observability overhead ----------
+    {
+        println!("EXT tracing overhead — disabled fast path vs armed rings");
+        let mine_secs = || {
+            let t = std::time::Instant::now();
+            let fs = eclat::sequential::mine_with(
+                &db,
+                minsup,
+                &EclatConfig::default(),
+                &mut OpMeter::new(),
+            );
+            (t.elapsed().as_secs_f64(), fs.len())
+        };
+        let (warm, _) = mine_secs(); // prime caches/allocator
+        let (off_a, _) = mine_secs();
+        let (off_b, _) = mine_secs();
+        let off = off_a.min(off_b);
+        eclat_obs::trace::set_identity(0xAB1A, 0);
+        eclat_obs::trace::set_enabled(true);
+        let (on, _) = mine_secs();
+        eclat_obs::trace::set_enabled(false);
+        let events = eclat_obs::trace::drain().events.len();
+        println!("    disabled: {off:.3}s  (best of 2, warmup {warm:.3}s)");
+        println!("    enabled : {on:.3}s  ({events} events recorded)");
+        // Gate, not just a report: the disabled path is one relaxed
+        // atomic load per span, so two disabled runs must stay in the
+        // same ballpark (generous noise margin for CI), and armed rings
+        // must not blow the run up either.
+        assert!(
+            off_a <= off_b * 1.5 + 0.05 && off_b <= off_a * 1.5 + 0.05,
+            "disabled-tracing runs diverged: {off_a:.3}s vs {off_b:.3}s"
+        );
+        assert!(
+            on <= off * 2.0 + 0.10,
+            "armed tracing too expensive: {on:.3}s vs disabled {off:.3}s"
+        );
+        assert!(events > 0, "armed run recorded no events");
+        jdoc = jdoc.raw(
+            "tracing_overhead",
+            &Obj::new()
+                .f64("disabled_secs", off)
+                .f64("enabled_secs", on)
+                .u64("events_recorded", events as u64)
+                .finish(),
+        );
+        println!();
+    }
+
     if let Some(path) = json_path {
         repro_bench::write_json(path, &jdoc.finish()).expect("write --json output");
         eprintln!("[ablations] wrote {path}");

@@ -17,6 +17,11 @@
 //! ```
 //!
 //! `--smoke` shrinks the database and stops at `W = 2` for CI.
+//! `--trace=PATH` arms the [`eclat_obs`] tracer for the whole sweep and
+//! writes the span timeline as a JSONL artifact — the workers run
+//! in-process here, so coordinator and worker phases land in one
+//! single-process trace (use `eclat dmine --spawn-local --trace` for a
+//! true multi-process cluster timeline).
 //! `--threads=P` pins every row to `P` threads per worker instead of
 //! sweeping the matrix; `--mem-budget=BYTES` caps each worker's
 //! resident exchanged tid-lists, forcing the out-of-core class store
@@ -52,6 +57,11 @@ fn main() {
     let mem_budget: Option<u64> = args
         .get("mem-budget")
         .map(|s| s.parse().expect("--mem-budget must be bytes"));
+    if args.get("trace").is_some() {
+        // Identity (run id + coordinator rank) is stamped by each
+        // mine_distributed call; only the enable flag goes here.
+        eclat_obs::trace::set_enabled(true);
+    }
 
     // (workers, threads-per-worker). The baseline is always the first
     // entry; P = 1 rows reproduce the old pure-process sweep, the rest
@@ -184,5 +194,10 @@ fn main() {
             .finish();
         repro_bench::write_json(path, &doc).expect("write --json output");
         eprintln!("[distbench] wrote {path}");
+    }
+
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, eclat_obs::trace::render_jsonl()).expect("write --trace output");
+        eprintln!("[distbench] wrote trace {path}");
     }
 }

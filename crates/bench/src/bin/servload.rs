@@ -18,10 +18,18 @@
 //! deterministic query mix (support lookups, subset/superset walks, rule
 //! fetches, top-k), so runs are reproducible. `--smoke` shrinks
 //! everything to a seconds-long one-shot for CI.
+//!
+//! Alongside the client-observed percentiles the report prints the
+//! server's own per-query histograms (the `queries` section of the
+//! stats document) and flags any quantile where the two views disagree
+//! by more than 20 % — a queueing/network gap the client-side numbers
+//! alone would hide. `--trace=PATH` arms the [`eclat_obs`] tracer for
+//! the self-hosted setup (generation + mining) and leaves the span
+//! timeline as a JSONL artifact next to the `--json` document.
 
 use assoc_serve::{Client, Dataset, ServerConfig, Store, StoreConfig};
 use dbstore::HorizontalDb;
-use mining_types::json::{Arr, Obj};
+use mining_types::json::{parse, Arr, Obj, Value};
 use mining_types::{Itemset, MinSupport, OpMeter};
 use questgen::{QuestGenerator, QuestParams};
 use repro_bench::Args;
@@ -131,9 +139,32 @@ fn percentile_ms(sorted: &[u64], q: f64) -> f64 {
     sorted[at] as f64 / 1e6
 }
 
+/// The server's own `all` latency digest from a stats JSON document:
+/// `(count, p50_ms, p90_ms, p99_ms)`. `None` when the server predates
+/// the `queries` section.
+fn server_percentiles(stats_json: &str) -> Option<(u64, f64, f64, f64)> {
+    let v = parse(stats_json).ok()?;
+    let Value::Arr(rows) = v.get("queries")? else {
+        return None;
+    };
+    let all = rows
+        .iter()
+        .find(|r| r.get("query").and_then(Value::as_str) == Some("all"))?;
+    Some((
+        all.get("count")?.as_num()? as u64,
+        all.get("p50_ms")?.as_num()?,
+        all.get("p90_ms")?.as_num()?,
+        all.get("p99_ms")?.as_num()?,
+    ))
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.has("smoke");
+    if args.get("trace").is_some() {
+        eclat_obs::trace::set_identity(0x5E4E, 0);
+        eclat_obs::trace::set_enabled(true);
+    }
     let cfg = LoadConfig {
         threads: args
             .get("threads")
@@ -241,6 +272,32 @@ fn main() {
     println!("  throughput : {qps:>10.0} req/s");
     println!("  latency    : p50 {p50:.3} ms  p90 {p90:.3} ms  p99 {p99:.3} ms  mean {mean:.3} ms");
 
+    // The server's own histograms next to the client's view; a gap
+    // beyond 20 % is queueing/network the service time doesn't see (the
+    // histograms themselves quantize at <= 12.5 %).
+    let server_side = server_percentiles(&final_stats);
+    match server_side {
+        Some((count, sp50, sp90, sp99)) => {
+            println!(
+                "  server-side: p50 {sp50:.3} ms  p90 {sp90:.3} ms  p99 {sp99:.3} ms  ({count} requests measured)"
+            );
+            for (label, client, server) in
+                [("p50", p50, sp50), ("p90", p90, sp90), ("p99", p99, sp99)]
+            {
+                let rel = (client - server).abs() / client.max(server).max(1e-9);
+                if rel > 0.20 {
+                    println!(
+                        "  !! {label} disagrees by {:.0}%: client {client:.3} ms vs server {server:.3} ms",
+                        rel * 100.0
+                    );
+                }
+            }
+        }
+        None => {
+            println!("  server-side: no per-query histograms (server predates the metrics surface)")
+        }
+    }
+
     if let Some(path) = args.json_out() {
         let doc = Obj::new()
             .str("bench", "servload")
@@ -257,6 +314,18 @@ fn main() {
             .f64("p90_ms", p90)
             .f64("p99_ms", p99)
             .f64("mean_ms", mean)
+            .raw(
+                "server_side",
+                &match server_side {
+                    Some((count, sp50, sp90, sp99)) => Obj::new()
+                        .u64("count", count)
+                        .f64("p50_ms", sp50)
+                        .f64("p90_ms", sp90)
+                        .f64("p99_ms", sp99)
+                        .finish(),
+                    None => "null".to_string(),
+                },
+            )
             .raw("server_stats", &final_stats)
             .raw("latency_ms", &{
                 // A small fixed quantile grid so artifacts diff cleanly.
@@ -285,5 +354,10 @@ fn main() {
             counters.requests,
             cs.hit_rate() * 100.0
         );
+    }
+
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, eclat_obs::trace::render_jsonl()).expect("write --trace output");
+        eprintln!("[servload] wrote trace {path}");
     }
 }

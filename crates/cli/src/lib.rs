@@ -106,6 +106,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "dmine" => cmd_dmine(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
     }
@@ -137,7 +138,15 @@ pub fn usage() -> String {
                 [--shards N] [--cache N] [--workers N] [--port-file PATH] [--serve-secs S]\n\
        query    --addr HOST:PORT [--ping] [--support-of LIST] [--subsets-of LIST]\n\
                 [--supersets-of LIST] [--rules-for LIST] [--topk K [--size S]]\n\
-                [--limit N] [--top N] [--server-stats]\n"
+                [--limit N] [--top N] [--server-stats] [--metrics]\n\
+       trace    --input FILE[,FILE...] [--merge OUT.jsonl] [--chrome OUT.json]\n\
+     \n\
+     observability:\n\
+       mine/dmine/worker take --trace PATH to record span/event timelines\n\
+       (dmine --spawn-local merges coordinator + worker traces into PATH);\n\
+       `trace` validates/merges trace JSONL and converts it to Chrome\n\
+       trace_event JSON; `query --metrics` fetches Prometheus-style text;\n\
+       ECLAT_LOG=error|warn|info|debug controls runtime diagnostics.\n"
         .to_string()
 }
 
@@ -409,6 +418,19 @@ fn write_snapshot(
     ))
 }
 
+/// Arm the process-wide tracer for a `--trace PATH` run. Single-process
+/// commands have no coordinator to mint a run id, so one is derived
+/// from the wall clock and pid.
+fn arm_tracing(rank: u32) {
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let run_id = (seed ^ u64::from(std::process::id()) << 32).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    eclat_obs::trace::set_identity(run_id.max(1), rank);
+    eclat_obs::trace::set_enabled(true);
+}
+
 fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let db = load_db(flags)?;
     let minsup = support_of(flags)?;
@@ -417,6 +439,10 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     let min_size: usize = flags.parse("min-size", 2usize)?;
     let top: usize = flags.parse("top", 20usize)?;
     let stats = stats_mode(flags)?;
+    let trace_path = flags.get("trace").map(str::to_string);
+    if trace_path.is_some() {
+        arm_tracing(0);
+    }
 
     let t0 = std::time::Instant::now();
     let mut report = None;
@@ -457,6 +483,19 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
         None => None,
     };
 
+    let trace_msg = match &trace_path {
+        Some(path) => {
+            let doc = eclat_obs::trace::render_jsonl();
+            std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+            // One meta line, the rest events/dropped records.
+            Some(format!(
+                "trace: {} records -> {path}\n",
+                doc.lines().count().saturating_sub(1)
+            ))
+        }
+        None => None,
+    };
+
     if stats == StatsMode::Json {
         let mut json = report
             .expect("json mode always mines with stats")
@@ -478,6 +517,9 @@ fn cmd_mine(flags: &Flags) -> Result<String, String> {
     );
     out.push_str(&render_frequent_body(&fs, min_size, top));
     if let Some(msg) = snapshot_msg {
+        out.push_str(&msg);
+    }
+    if let Some(msg) = trace_msg {
         out.push_str(&msg);
     }
     if let Some(r) = &report {
@@ -622,6 +664,7 @@ fn cmd_worker(flags: &Flags) -> Result<String, String> {
         listen: flags.get("listen").unwrap_or("127.0.0.1:0").to_string(),
         threads: flags.parse("threads", 1usize)?,
         mem_budget: flags.get("mem-budget").map(parse_mem_budget).transpose()?,
+        trace: flags.get("trace").map(std::path::PathBuf::from),
         ..eclat_net::WorkerConfig::default()
     };
     let mut handle =
@@ -666,10 +709,13 @@ impl Drop for ChildGuard {
 
 /// Spawn `n` local `eclat worker` child processes on ephemeral ports and
 /// return their addresses once each has published its port. `extra`
-/// holds additional `worker` argv entries (e.g. `--threads`).
+/// holds additional `worker` argv entries (e.g. `--threads`);
+/// `trace_base` gives child `i` a per-process `--trace BASE.w{i}` file
+/// for the coordinator to merge after the run.
 fn spawn_local_workers(
     n: usize,
     extra: &[String],
+    trace_base: Option<&str>,
     guard: &mut ChildGuard,
 ) -> Result<Vec<String>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
@@ -678,13 +724,17 @@ fn spawn_local_workers(
         let port_file =
             std::env::temp_dir().join(format!("eclat-dmine-{}-{i}.port", std::process::id()));
         let _ = std::fs::remove_file(&port_file);
-        let child = std::process::Command::new(&exe)
-            .arg("worker")
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("worker")
             .arg("--listen")
             .arg("127.0.0.1:0")
             .arg("--port-file")
             .arg(&port_file)
-            .args(extra)
+            .args(extra);
+        if let Some(base) = trace_base {
+            cmd.arg("--trace").arg(format!("{base}.w{i}"));
+        }
+        let child = cmd
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null())
             .spawn()
@@ -715,6 +765,12 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
     let min_size: usize = flags.parse("min-size", 2usize)?;
     let top: usize = flags.parse("top", 20usize)?;
     let stats = stats_mode(flags)?;
+    let trace = flags.get("trace").map(str::to_string);
+    if trace.is_some() {
+        // The coordinator mints the run id and stamps its own identity
+        // inside mine_distributed; only the enable flag goes here.
+        eclat_obs::trace::set_enabled(true);
+    }
 
     // Per-worker execution knobs, forwarded verbatim to spawned
     // children. Pre-started `--workers` configure themselves, so the
@@ -730,6 +786,7 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
     }
 
     let mut guard = ChildGuard(Vec::new());
+    let mut spawned = 0usize;
     let addrs: Vec<String> = if let Some(raw) = flags.get("workers") {
         if !worker_args.is_empty() {
             return Err(
@@ -749,7 +806,8 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
                 "dmine: need --workers HOST:PORT,... or --spawn-local N (N > 0)".to_string(),
             );
         }
-        spawn_local_workers(n, &worker_args, &mut guard)?
+        spawned = n;
+        spawn_local_workers(n, &worker_args, trace.as_deref(), &mut guard)?
     };
     if addrs.is_empty() {
         return Err("dmine: --workers list is empty".to_string());
@@ -763,6 +821,11 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
     let report =
         eclat_net::mine_distributed(&db, minsup, &addrs, &dist_cfg).map_err(|e| e.to_string())?;
     let dt = t0.elapsed().as_secs_f64();
+
+    let trace_msg = match &trace {
+        Some(base) => Some(merge_dmine_trace(base, spawned)?),
+        None => None,
+    };
 
     if stats == StatsMode::Json {
         let mut json = report.stats.to_json(true);
@@ -779,11 +842,47 @@ fn cmd_dmine(flags: &Flags) -> Result<String, String> {
         report.num_l2
     );
     out.push_str(&render_frequent_body(&report.frequent, min_size, top));
+    if let Some(msg) = trace_msg {
+        out.push_str(&msg);
+    }
     if stats == StatsMode::Human {
         out.push('\n');
         out.push_str(&report.stats.render());
     }
     Ok(out)
+}
+
+/// Collect the coordinator's own trace plus the per-child worker trace
+/// files written by `--spawn-local` children, merge everything into one
+/// cluster timeline at `base`, and delete the partials. Workers write
+/// their file when the mining session closes, which races the
+/// coordinator receiving the final result frame — hence the poll.
+fn merge_dmine_trace(base: &str, children: usize) -> Result<String, String> {
+    let mut docs = vec![eclat_obs::trace::render_jsonl()];
+    for i in 0..children {
+        let path = format!("{base}.w{i}");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let doc = loop {
+            match std::fs::read_to_string(&path) {
+                Ok(s) if s.ends_with('\n') => break s,
+                _ => {}
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!("dmine: worker {i} never wrote its trace to {path}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_file(&path);
+        docs.push(doc);
+    }
+    let merged = eclat_obs::trace::merge_jsonl(&docs).map_err(|e| format!("merge traces: {e}"))?;
+    std::fs::write(base, &merged).map_err(|e| format!("write {base}: {e}"))?;
+    let summary =
+        eclat_obs::trace::validate_jsonl(&merged).map_err(|e| format!("validate {base}: {e}"))?;
+    Ok(format!(
+        "trace: {} processes / {} events / {} spans -> {base}\n",
+        summary.processes, summary.events, summary.spans
+    ))
 }
 
 fn cmd_serve(flags: &Flags) -> Result<String, String> {
@@ -984,12 +1083,64 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
         out.push_str(&json);
         ran = true;
     }
+    if flags.has("metrics") {
+        let text = client.metrics_text().map_err(err)?;
+        out.push_str(&text);
+        if !text.ends_with('\n') {
+            out.push('\n');
+        }
+        ran = true;
+    }
     if !ran {
         return Err(
             "query: nothing to do (use --ping, --support-of, --subsets-of, --supersets-of, \
-             --rules-for, --topk, or --server-stats)"
+             --rules-for, --topk, --server-stats, or --metrics)"
                 .to_string(),
         );
+    }
+    Ok(out)
+}
+
+/// Validate trace JSONL files (merging first when several are given),
+/// optionally writing the merged timeline and/or a Chrome `trace_event`
+/// conversion.
+fn cmd_trace(flags: &Flags) -> Result<String, String> {
+    let inputs = flags.require("input")?;
+    let mut docs = Vec::new();
+    for path in inputs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        docs.push(std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?);
+    }
+    if docs.is_empty() {
+        return Err("trace: --input lists no files".to_string());
+    }
+    let merged = if docs.len() == 1 {
+        docs.pop().expect("one doc")
+    } else {
+        eclat_obs::trace::merge_jsonl(&docs).map_err(|e| format!("merge: {e}"))?
+    };
+    let summary = eclat_obs::trace::validate_jsonl(&merged)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "valid trace: run {} / {} process(es) / {} events ({} spans, {} instants, {} dropped)",
+        summary.run_id,
+        summary.processes,
+        summary.events,
+        summary.spans,
+        summary.instants,
+        summary.dropped
+    );
+    let _ = writeln!(out, "  pids : {:?}", summary.pids);
+    let _ = writeln!(out, "  names: {}", summary.names.join(", "));
+    if let Some(path) = flags.get("merge") {
+        std::fs::write(path, &merged).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "merged jsonl -> {path}");
+    }
+    if let Some(path) = flags.get("chrome") {
+        let chrome = eclat_obs::trace::chrome_trace(&merged)?;
+        std::fs::write(path, &chrome).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "chrome trace_event json -> {path}");
     }
     Ok(out)
 }
@@ -1417,6 +1568,25 @@ mod tests {
         let stats = run(&argv(&["query", "--addr", &addr, "--server-stats"])).unwrap();
         assert!(stats.contains("\"cache\""), "{stats}");
         assert!(stats.contains("\"server\":{"), "{stats}");
+        assert!(stats.contains("\"queries\":[{\"query\":\"all\""), "{stats}");
+
+        let metrics = run(&argv(&["query", "--addr", &addr, "--metrics"])).unwrap();
+        assert!(
+            metrics.contains("# TYPE eclat_serve_requests_total counter"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("eclat_serve_latency_seconds{query=\"all\",quantile=\"0.99\"}"),
+            "{metrics}"
+        );
+        let all_requests: u64 = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("eclat_serve_requests_total{query=\"all\"} "))
+            .expect("aggregate request counter")
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(all_requests >= 6, "{metrics}");
 
         assert!(run(&argv(&["query", "--addr", &addr]))
             .unwrap_err()

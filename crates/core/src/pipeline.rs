@@ -83,7 +83,8 @@ impl ExecutionPolicy for Serial {
         out: &mut FrequentSet,
         stats: &mut Vec<ClassStats>,
     ) {
-        for class in classes {
+        for (i, class) in classes.into_iter().enumerate() {
+            let _span = eclat_obs::trace::span_arg("class", i as u64);
             stats.push(mine_class(class, threshold, cfg, meter, out));
         }
     }
@@ -135,9 +136,11 @@ impl ExecutionPolicy for Rayon {
         out: &mut FrequentSet,
         stats: &mut Vec<ClassStats>,
     ) {
-        let partials: Vec<(FrequentSet, OpMeter, ClassStats)> = classes
+        let indexed: Vec<(usize, EquivalenceClass)> = classes.into_iter().enumerate().collect();
+        let partials: Vec<(FrequentSet, OpMeter, ClassStats)> = indexed
             .into_par_iter()
-            .map(|class| {
+            .map(|(i, class)| {
+                let _span = eclat_obs::trace::span_arg("class", i as u64);
                 let mut local = FrequentSet::new();
                 let mut m = OpMeter::new();
                 let cs = mine_class(class, threshold, cfg, &mut m, &mut local);
@@ -350,8 +353,10 @@ where
     let results: Vec<ShardOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|ids| {
+            .enumerate()
+            .map(|(t, ids)| {
                 scope.spawn(move || -> ShardOut {
+                    let _shard_span = eclat_obs::trace::span_arg("mine:shard", t as u64);
                     let mut local = FrequentSet::new();
                     let mut tagged = Vec::with_capacity(ids.len());
                     let mut rep = ThreadReport::default();
@@ -359,6 +364,7 @@ where
                         let t_fetch = Instant::now();
                         let class = fetch(i)?;
                         rep.fetch_secs += t_fetch.elapsed().as_secs_f64();
+                        let _class_span = eclat_obs::trace::span_arg("class", i as u64);
                         let t_mine = Instant::now();
                         tagged.push((
                             i,
@@ -600,6 +606,7 @@ pub fn run_stats(
     let start_ops = *meter;
 
     // --- Phase 1 (initialization, §5.1).
+    let span_init = eclat_obs::trace::span(PHASE_INIT);
     let t_init = Instant::now();
     let tri = policy.count_pairs(db, meter);
     let l2 = frequent_l2(&tri, threshold);
@@ -613,6 +620,7 @@ pub fn run_stats(
         secs: t_init.elapsed().as_secs_f64(),
         ops: meter.since(&start_ops),
     });
+    drop(span_init);
     if l2.is_empty() {
         stats.num_frequent = out.len() as u64;
         stats.total_ops = meter.since(&start_ops);
@@ -620,6 +628,7 @@ pub fn run_stats(
     }
 
     // --- Phase 2 (transformation, §5.2.2).
+    let span_transform = eclat_obs::trace::span(PHASE_TRANSFORM);
     let t_transform = Instant::now();
     let ops_before_transform = *meter;
     let classes = vertical_classes(db, &l2, meter);
@@ -628,8 +637,10 @@ pub fn run_stats(
         secs: t_transform.elapsed().as_secs_f64(),
         ops: meter.since(&ops_before_transform),
     });
+    drop(span_transform);
 
     // --- Phase 3 (asynchronous, §5.3).
+    let span_async = eclat_obs::trace::span(PHASE_ASYNC);
     let t_async = Instant::now();
     let ops_before_async = *meter;
     let mut class_stats = Vec::new();
@@ -639,6 +650,7 @@ pub fn run_stats(
         secs: t_async.elapsed().as_secs_f64(),
         ops: meter.since(&ops_before_async),
     });
+    drop(span_async);
     for cs in class_stats {
         stats.add_class(cs);
     }

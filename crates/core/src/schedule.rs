@@ -161,6 +161,7 @@ pub fn schedule_l2(
     num_procs: usize,
     heuristic: ScheduleHeuristic,
 ) -> L2Schedule {
+    let _span = eclat_obs::trace::span_arg("schedule:l2", l2.len() as u64);
     let mut class_ranges: Vec<Range<usize>> = Vec::new();
     let mut start = 0usize;
     for i in 1..=l2.len() {

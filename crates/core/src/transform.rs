@@ -14,6 +14,7 @@ use tidlist::TidList;
 
 /// Count all 2-itemsets of the block `range` into a triangular matrix.
 pub fn count_pairs(db: &HorizontalDb, range: Range<usize>, meter: &mut OpMeter) -> TriangleMatrix {
+    let _span = eclat_obs::trace::span_arg("scan:count_pairs", range.len() as u64);
     let mut tri = TriangleMatrix::new(db.num_items() as usize);
     for (_tid, items) in db.iter_range(range) {
         meter.record += 1;
@@ -48,6 +49,7 @@ pub fn build_pair_tidlists(
     pairs: &FxHashMap<(ItemId, ItemId), usize>,
     meter: &mut OpMeter,
 ) -> Vec<TidList> {
+    let _span = eclat_obs::trace::span_arg("scan:tidlists", range.len() as u64);
     let num_slots = pairs.len();
     let mut lists = vec![TidList::new(); num_slots];
     for (tid, items) in db.iter_range(range) {

@@ -178,6 +178,13 @@ pub fn mine_distributed(
     let num_workers = workers.len();
     let threshold = minsup.count_threshold(db.num_transactions());
     let run_id = dist.run_id.unwrap_or_else(mint_run_id);
+    // Tag this process's trace events with the run and the coordinator
+    // pseudo-rank so per-process trace files merge into one timeline.
+    eclat_obs::trace::set_identity(run_id, eclat_obs::trace::COORDINATOR_RANK);
+    eclat_obs::log_info!(
+        "eclat-net",
+        "run {run_id:#x}: coordinating {num_workers} worker(s)"
+    );
 
     let mut stats = MiningStats::new("eclat", VARIANT_DIST, &dist.cfg.representation.to_string());
     stats.transactions = db.num_transactions() as u64;
@@ -192,6 +199,10 @@ pub fn mine_distributed(
                 message: format!("cannot connect to worker {rank} at {addr}: {e}"),
             })?;
         wire::set_timeouts(&stream, Some(dist.io_timeout), Some(dist.io_timeout))?;
+        eclat_obs::log_debug!(
+            "eclat-net",
+            "run {run_id:#x}: connected to worker {rank} at {addr}"
+        );
         conns.push(WorkerConn {
             rank: rank as u32,
             addr: addr.clone(),
@@ -213,6 +224,7 @@ pub fn mine_distributed(
             })
         }
         Err(e) => {
+            eclat_obs::log_error!("eclat-net", "run {run_id:#x}: aborting all workers: {e}");
             abort_all(&mut conns, run_id, &e.to_string());
             Err(e)
         }
@@ -251,6 +263,7 @@ fn drive(
     }
 
     // ---- Initialization (§5.1): ship blocks, sum-reduce local counts.
+    let span_init = eclat_obs::trace::span(crate::PHASE_INIT);
     let t_init = Instant::now();
     let partition = BlockPartition::equal_blocks(db.num_transactions(), num_workers);
     let (flags, repr_tag, repr_depth) = encode_config(&dist.cfg, dist.cfg.include_singletons);
@@ -329,6 +342,11 @@ fn drive(
         secs: t_init.elapsed().as_secs_f64(),
         ops: OpMeter::new(), // filled from worker meters below
     });
+    drop(span_init);
+    eclat_obs::log_info!(
+        "eclat-net",
+        "run {run_id:#x}: L2 reduced to {num_l2} frequent pairs"
+    );
 
     if l2.is_empty() {
         // Nothing to schedule: the run ends after the sum-reduction.
@@ -351,6 +369,7 @@ fn drive(
 
     // ---- Transformation (§5.2.1 + §6.3): broadcast the schedule, let
     // the workers run the all-to-all partial tid-list exchange.
+    let span_transform = eclat_obs::trace::span(crate::PHASE_TRANSFORM);
     let t_transform = Instant::now();
     let plan = schedule_l2(&l2, num_workers, dist.cfg.heuristic);
     let slot_owner: Vec<u32> = plan.slot_owner.iter().map(|&p| p as u32).collect();
@@ -377,8 +396,10 @@ fn drive(
         }
     }
     let transform_secs = t_transform.elapsed().as_secs_f64();
+    drop(span_transform);
 
     // ---- Asynchronous phase (§5.3) + final reduction.
+    let span_async = eclat_obs::trace::span(crate::PHASE_ASYNC);
     let t_async = Instant::now();
     let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(num_workers);
     for c in conns.iter_mut() {
@@ -410,9 +431,11 @@ fn drive(
         }
     }
     let async_secs = t_async.elapsed().as_secs_f64();
+    drop(span_async);
 
     // ---- Stats assembly: measured wall clock per phase, worker meters
     // summed so op counts match the sequential/simulated reports.
+    let _span_reduce = eclat_obs::trace::span(crate::PHASE_REDUCE);
     let t_reduce = Instant::now();
     let mut init_ops = OpMeter::new();
     let mut transform_ops = OpMeter::new();

@@ -64,6 +64,12 @@ pub struct WorkerConfig {
     /// Directory for spill files (a unique per-run subdirectory is
     /// created inside it). Defaults to the system temp directory.
     pub spill_dir: Option<PathBuf>,
+    /// Record an execution trace (`eclat_obs::trace` JSONL) and append
+    /// it to this path when each session ends. Enables the process-wide
+    /// tracer and tags events with the session's run id and rank, so
+    /// per-worker files merge into one cluster timeline. Intended for
+    /// one traced session at a time (e.g. `--spawn-local` fleets).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -77,6 +83,7 @@ impl Default for WorkerConfig {
             threads: 1,
             mem_budget: None,
             spill_dir: None,
+            trace: None,
         }
     }
 }
@@ -273,6 +280,10 @@ impl Drop for WorkerHandle {
 pub fn start_worker(cfg: &WorkerConfig) -> io::Result<WorkerHandle> {
     let listener = TcpListener::bind(cfg.listen.as_str())?;
     let addr = listener.local_addr()?;
+    if cfg.trace.is_some() {
+        eclat_obs::trace::set_enabled(true);
+    }
+    eclat_obs::log_info!("eclat-net", "worker listening on {addr}");
     let stop = Arc::new(AtomicBool::new(false));
     let registry = Arc::new(Registry::default());
 
@@ -369,6 +380,15 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry, cfg: &WorkerCon
                 return;
             };
             let _guard = InboxGuard { registry, run_id };
+            if cfg.trace.is_some() {
+                // Tag this process's events with the session identity so
+                // the merged cluster timeline attributes them to rank.
+                eclat_obs::trace::set_identity(run_id, rank);
+            }
+            eclat_obs::log_info!(
+                "eclat-net",
+                "run {run_id:#x}: session open as rank {rank}/{num_workers}"
+            );
             let mut session = Session {
                 stream,
                 run_id,
@@ -380,17 +400,39 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry, cfg: &WorkerCon
                 started: Instant::now(),
             };
             session.stats.bytes_received += first_bytes;
-            if let Err(e) = session.run() {
-                // Tell the coordinator why before hanging up; if the
-                // failure *was* the coordinator, the write just fails.
-                let _ = send(
-                    &mut session.stream,
-                    &Message::Abort {
-                        run_id,
-                        rank,
-                        message: e.to_string(),
-                    },
-                );
+            let outcome = session.run();
+            if let Some(path) = &cfg.trace {
+                if let Err(e) = eclat_obs::trace::append_file(path) {
+                    eclat_obs::log_warn!(
+                        "eclat-net",
+                        "run {run_id:#x}: cannot write trace {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+            match outcome {
+                Ok(()) => {
+                    eclat_obs::log_info!(
+                        "eclat-net",
+                        "run {run_id:#x}: rank {rank} session complete"
+                    );
+                }
+                Err(e) => {
+                    eclat_obs::log_error!(
+                        "eclat-net",
+                        "run {run_id:#x}: rank {rank} session failed: {e}"
+                    );
+                    // Tell the coordinator why before hanging up; if the
+                    // failure *was* the coordinator, the write just fails.
+                    let _ = send(
+                        &mut session.stream,
+                        &Message::Abort {
+                            run_id,
+                            rank,
+                            message: e.to_string(),
+                        },
+                    );
+                }
             }
         }
         Ok((
@@ -402,10 +444,18 @@ fn handle_connection(mut stream: TcpStream, registry: &Registry, cfg: &WorkerCon
             frame_bytes,
         )) => match registry.lookup(run_id) {
             Some(inbox) => {
+                eclat_obs::log_debug!(
+                    "eclat-net",
+                    "run {run_id:#x}: partials deposit from rank {from_rank} ({frame_bytes} B)"
+                );
                 inbox.deposit(from_rank, entries, frame_bytes);
                 let _ = send(&mut stream, &Message::PartialsAck { run_id });
             }
             None => {
+                eclat_obs::log_warn!(
+                    "eclat-net",
+                    "run {run_id:#x}: rejecting partials from rank {from_rank}: unknown run"
+                );
                 // Cross-talk guard: a deposit for a run this worker never
                 // started (stale sender, or a different cluster's run id).
                 let _ = send(
@@ -569,6 +619,7 @@ impl Session<'_> {
         // ---- Initialization (§5.1): local triangular counting, blocked
         // over this host's P threads (partial triangles sum-merge, the
         // intra-host version of the coordinator's reduction).
+        let span_init = eclat_obs::trace::span(crate::PHASE_INIT);
         let threads = self.mining_threads();
         let t = Instant::now();
         let mut init_ops = OpMeter::new();
@@ -586,6 +637,7 @@ impl Session<'_> {
             triangle: tri.raw().to_vec(),
             items,
         })?;
+        drop(span_init);
 
         // ---- Plan (or Goodbye when the global L2 came out empty).
         let (l2, slot_owner, peers) = match self.recv()? {
@@ -614,6 +666,7 @@ impl Session<'_> {
         }
 
         // ---- Transformation (§5.2.2 + §6.3): local partials, exchange.
+        let span_transform = eclat_obs::trace::span(crate::PHASE_TRANSFORM);
         let t = Instant::now();
         let mut transform_ops = OpMeter::new();
         let pairs: Vec<(ItemId, ItemId)> =
@@ -683,9 +736,11 @@ impl Session<'_> {
         self.send(&Message::ExchangeDone {
             run_id: self.run_id,
         })?;
+        drop(span_transform);
 
         // ---- Asynchronous phase (§5.3): mine owned classes on P
         // threads through the shared pipeline kernel, no comms.
+        let span_async = eclat_obs::trace::span(crate::PHASE_ASYNC);
         let mut frequent = FrequentSet::new();
         let mut class_stats = Vec::new();
         let fetch = |i: usize| source.fetch(i);
@@ -716,8 +771,10 @@ impl Session<'_> {
         self.stats.spill_bytes_read = spill.bytes_read;
         self.stats.async_ops = async_ops;
         self.stats.classes = class_stats;
+        drop(span_async);
 
         // ---- Final reduction: ship the local result set.
+        let span_reduce = eclat_obs::trace::span(crate::PHASE_REDUCE);
         let frequent: Vec<(Vec<u32>, u32)> = frequent
             .iter()
             .map(|(is, sup)| (is.items().iter().map(|i| i.0).collect(), sup))
@@ -730,6 +787,7 @@ impl Session<'_> {
             stats: Box::new(std::mem::take(&mut self.stats)),
         };
         self.send(&result)?;
+        drop(span_reduce);
 
         // ---- Goodbye (or a clean close) ends the session.
         match self.recv() {

@@ -1,0 +1,142 @@
+//! Leveled stderr logger configured by `ECLAT_LOG`.
+//!
+//! ```text
+//! ECLAT_LOG=debug eclat dmine --spawn-local 2 ...
+//! ```
+//!
+//! Levels are `error < warn < info < debug`; the default is `warn`, so
+//! fleet runs are quiet unless something is wrong. The macros
+//! ([`log_error!`](crate::log_error), [`log_warn!`](crate::log_warn),
+//! [`log_info!`](crate::log_info), [`log_debug!`](crate::log_debug))
+//! build `format_args!` lazily — a suppressed message costs one atomic
+//! load plus a branch, never a formatting pass.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the run cannot ignore.
+    Error = 1,
+    /// Something unexpected but survivable (the default threshold).
+    Warn = 2,
+    /// Progress / lifecycle messages.
+    Info = 3,
+    /// Chatty diagnostics.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = not yet initialized from the environment.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn max_level() -> u8 {
+    let v = MAX_LEVEL.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let from_env = std::env::var("ECLAT_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Level::Warn);
+    MAX_LEVEL.store(from_env as u8, Ordering::Relaxed);
+    from_env as u8
+}
+
+/// Override the threshold programmatically (wins over `ECLAT_LOG`).
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Would a message at `level` be emitted?
+#[inline]
+pub fn level_enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+/// Emit one message (used via the `log_*!` macros).
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    eprintln!("[{} {target}] {args}", level.as_str());
+}
+
+/// Log at [`Level::Error`]: `log_error!("eclat-net", "lost {r}", r = rank)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_and_ordering() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("noise"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn threshold_gates_levels() {
+        set_level(Level::Info);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_level(Level::Error);
+        assert!(!level_enabled(Level::Warn));
+        // Macros compile and are callable at any level.
+        crate::log_debug!("obs-test", "suppressed {}", 1);
+        crate::log_error!("obs-test", "visible only on stderr");
+        set_level(Level::Warn);
+    }
+}

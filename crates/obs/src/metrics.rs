@@ -1,0 +1,405 @@
+//! Metrics registry: counters, gauges, and log-bucketed latency
+//! histograms, rendered as Prometheus-style exposition text.
+//!
+//! All metrics are lock-free atomics; the registry itself is a
+//! name-keyed map behind a mutex that is touched only at registration
+//! and render time. Labels are embedded in the metric name
+//! (`requests_total{query="support"}`), matching Prometheus text syntax,
+//! and histograms render as summaries with `quantile` labels so the
+//! output needs no client-side bucket math.
+//!
+//! Histograms bucket by logarithm with four sub-buckets per octave
+//! (relative quantization error ≤ 12.5 %), which keeps the per-histogram
+//! footprint at 256 words while making quantile estimates sharp enough
+//! to compare against exactly-measured client-side percentiles (the
+//! `servload` bench does exactly that, with a 20 % disagreement flag).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value. For counters that mirror an externally
+    /// accumulated total (synced at snapshot time), not for hot paths.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up or down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets: 0–3 exact, then four sub-buckets per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 256;
+
+/// A log-bucketed histogram of nanosecond observations.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 2
+    let sub = ((v >> (e - 2)) & 3) as usize;
+    (4 + (e - 2) * 4 + sub).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Midpoint of a bucket's value range, the quantile estimate it yields.
+fn bucket_mid(idx: usize) -> f64 {
+    if idx < 4 {
+        return idx as f64;
+    }
+    let e = (idx - 4) / 4 + 2;
+    let sub = (idx - 4) % 4;
+    let lo = (4 + sub as u64) << (e - 2);
+    let width = 1u64 << (e - 2);
+    lo as f64 + width as f64 / 2.0
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one nanosecond observation.
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds; `0.0`
+    /// when empty. Error is bounded by the bucket width (≤ 12.5 %
+    /// relative).
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_mid(idx);
+            }
+        }
+        bucket_mid(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// A name-keyed collection of metrics that renders Prometheus text.
+///
+/// Labels ride inside the name: `requests_total{query="support"}`. All
+/// metrics sharing the text before `{` form one family and get a single
+/// `# TYPE` header.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The quantiles rendered for each histogram.
+pub const RENDERED_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics registry");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("{name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics registry");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("{name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Render every metric as Prometheus-style exposition text, sorted
+    /// by name. Histograms render as summaries: `quantile`-labelled
+    /// rows in seconds plus `_sum` / `_count`.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry");
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in inner.iter() {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                out.push_str(&format!("# TYPE {family} {}\n", metric.kind()));
+                last_family = family.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    for q in RENDERED_QUANTILES {
+                        out.push_str(&format!(
+                            "{} {}\n",
+                            with_label(name, "quantile", &format!("{q}")),
+                            fmt_secs(h.quantile_ns(q) / 1e9)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        suffixed(name, "_sum"),
+                        fmt_secs(h.sum_ns() as f64 / 1e9)
+                    ));
+                    out.push_str(&format!("{} {}\n", suffixed(name, "_count"), h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_secs(v: f64) -> String {
+    // Enough digits for nanosecond latencies, without float noise.
+    let s = format!("{v:.9}");
+    let s = s.trim_end_matches('0');
+    let s = s.trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Add (or extend) the label set embedded in `name`.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(prefix) => format!("{prefix},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// Append a suffix to the metric base name, before any label set.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(at) => format!("{}{}{}", &name[..at], suffix, &name[at..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("reqs_total").get(), 5, "get-or-create shares");
+        let g = r.gauge("generation");
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        c.store(9);
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_tight() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket index must be monotone at {v}");
+            last = b;
+            if v >= 4 {
+                let mid = bucket_mid(b);
+                let rel = (mid - v as f64).abs() / v as f64;
+                assert!(rel <= 0.125, "value {v} bucket mid {mid}: rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_observations() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe_ns(1_000);
+        }
+        for _ in 0..10 {
+            h.observe_ns(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!((p50 - 1_000.0).abs() / 1_000.0 <= 0.125, "p50 {p50}");
+        assert!(
+            (p99 - 1_000_000.0).abs() / 1_000_000.0 <= 0.125,
+            "p99 {p99}"
+        );
+        assert_eq!(h.quantile_ns(0.0), h.quantile_ns(0.001));
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn render_groups_families_and_labels() {
+        let r = Registry::new();
+        r.counter("eclat_requests_total{query=\"ping\"}").inc();
+        r.counter("eclat_requests_total{query=\"support\"}").add(2);
+        r.gauge("eclat_generation").set(1);
+        let h = r.histogram("eclat_latency_seconds{query=\"support\"}");
+        h.observe_ns(2_000_000); // 2ms
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE eclat_requests_total counter"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE eclat_requests_total").count(),
+            1,
+            "one header per family: {text}"
+        );
+        assert!(
+            text.contains("eclat_requests_total{query=\"support\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE eclat_latency_seconds summary"),
+            "{text}"
+        );
+        // A single 2 ms observation lands in the bucket whose midpoint
+        // is 1.96608 ms (≤ 12.5 % quantization).
+        assert!(
+            text.contains("eclat_latency_seconds{query=\"support\",quantile=\"0.5\"} 0.0019"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eclat_latency_seconds_count{query=\"support\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE eclat_generation gauge"), "{text}");
+    }
+}

@@ -112,4 +112,12 @@ impl Client {
             other => Err(Self::expect_err("stats", other)),
         }
     }
+
+    /// Server metrics as Prometheus-style exposition text.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        match self.query(&Query::Metrics)? {
+            Response::MetricsText(t) => Ok(t),
+            other => Err(Self::expect_err("metrics", other)),
+        }
+    }
 }

@@ -27,6 +27,7 @@
 pub mod cache;
 pub mod client;
 pub mod index;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -35,7 +36,8 @@ pub mod store;
 pub use cache::{CacheStats, QueryCache};
 pub use client::Client;
 pub use index::{Dataset, IndexShard, RuleEntry};
+pub use metrics::ServeMetrics;
 pub use protocol::{Query, Response};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use stats::{ServeStats, ServerCounters};
+pub use stats::{QueryStat, ServeStats, ServerCounters};
 pub use store::{Store, StoreConfig};

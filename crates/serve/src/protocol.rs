@@ -16,6 +16,7 @@
 //!           | 0x04 itemset k:u32le                  RulesFor
 //!           | 0x05 size:u32le k:u32le               TopK (size 0 = any)
 //!           | 0x06                                  Stats
+//!           | 0x07                                  Metrics
 //!
 //! response := 0x00                                  Pong
 //!           | 0x01 found:u8 support:u32le           Support
@@ -23,6 +24,7 @@
 //!           | 0x03 count:u32le rule × count         Rules
 //!           | 0x04 len:u16le utf8[len]              Error
 //!           | 0x05 len:u32le utf8[len]              StatsJson
+//!           | 0x06 len:u32le utf8[len]              MetricsText
 //! ```
 //!
 //! All integers are little-endian. Decoding is strict: unknown opcodes,
@@ -136,6 +138,8 @@ pub enum Query {
     },
     /// Server/cache statistics as a JSON document.
     Stats,
+    /// Request/latency metrics as Prometheus-style exposition text.
+    Metrics,
 }
 
 /// A query answer.
@@ -154,6 +158,8 @@ pub enum Response {
     Error(String),
     /// Answer to [`Query::Stats`].
     StatsJson(String),
+    /// Answer to [`Query::Metrics`].
+    MetricsText(String),
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -255,6 +261,7 @@ impl Query {
                 put_u32(&mut buf, *k);
             }
             Query::Stats => buf.push(0x06),
+            Query::Metrics => buf.push(0x07),
         }
         buf
     }
@@ -284,6 +291,7 @@ impl Query {
                 k: c.u32()?,
             },
             0x06 => Query::Stats,
+            0x07 => Query::Metrics,
             op => return Err(ProtoError::BadOpcode(op)),
         };
         c.finish()?;
@@ -333,6 +341,11 @@ impl Response {
                 buf.push(0x05);
                 put_u32(&mut buf, json.len() as u32);
                 buf.extend_from_slice(json.as_bytes());
+            }
+            Response::MetricsText(text) => {
+                buf.push(0x06);
+                put_u32(&mut buf, text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
             }
         }
         buf
@@ -385,6 +398,11 @@ impl Response {
                 let json = std::str::from_utf8(c.take(n)?).map_err(|_| ProtoError::BadUtf8)?;
                 Response::StatsJson(json.to_string())
             }
+            0x06 => {
+                let n = c.u32()? as usize;
+                let text = std::str::from_utf8(c.take(n)?).map_err(|_| ProtoError::BadUtf8)?;
+                Response::MetricsText(text.to_string())
+            }
             op => return Err(ProtoError::BadOpcode(op)),
         };
         c.finish()?;
@@ -422,6 +440,7 @@ mod tests {
             },
             Query::TopK { size: 0, k: 10 },
             Query::Stats,
+            Query::Metrics,
         ];
         for q in queries {
             let enc = q.encode();
@@ -453,6 +472,7 @@ mod tests {
             }]),
             Response::Error("no such thing".to_string()),
             Response::StatsJson("{\"hits\":1}".to_string()),
+            Response::MetricsText("# TYPE x counter\nx 1\n".to_string()),
         ];
         for r in responses {
             let enc = r.encode();

@@ -22,6 +22,7 @@
 //! thread; workers finish their current connection first (bounded by the
 //! read timeout).
 
+use crate::metrics::ServeMetrics;
 use crate::protocol::{read_frame, write_frame, Frame, Query, Response, MAX_REQUEST_FRAME};
 use crate::stats::ServerCounters;
 use crate::store::Store;
@@ -31,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -77,6 +78,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     counters: Arc<AtomicCounters>,
+    metrics: Arc<ServeMetrics>,
     workers: usize,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
@@ -86,6 +88,11 @@ impl ServerHandle {
     /// The bound address (resolves `port: 0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The per-query request/latency metrics this server records.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Snapshot the server counters.
@@ -125,6 +132,7 @@ pub fn start(store: Arc<Store>, cfg: &ServerConfig) -> io::Result<ServerHandle> 
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(AtomicCounters::default());
+    let metrics = Arc::new(ServeMetrics::new());
 
     let (tx, rx) = channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -135,11 +143,12 @@ pub fn start(store: Arc<Store>, cfg: &ServerConfig) -> io::Result<ServerHandle> 
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
         let counters = Arc::clone(&counters);
+        let metrics = Arc::clone(&metrics);
         let cfg = cfg.clone();
         worker_threads.push(
             std::thread::Builder::new()
                 .name(format!("assoc-serve-worker-{n}"))
-                .spawn(move || worker_loop(&rx, &store, &stop, &counters, &cfg))?,
+                .spawn(move || worker_loop(&rx, &store, &stop, &counters, &metrics, &cfg))?,
         );
     }
 
@@ -173,6 +182,7 @@ pub fn start(store: Arc<Store>, cfg: &ServerConfig) -> io::Result<ServerHandle> 
         addr,
         stop,
         counters,
+        metrics,
         workers,
         accept_thread: Some(accept_thread),
         worker_threads,
@@ -184,6 +194,7 @@ fn worker_loop(
     store: &Store,
     stop: &AtomicBool,
     counters: &AtomicCounters,
+    metrics: &ServeMetrics,
     cfg: &ServerConfig,
 ) {
     loop {
@@ -194,7 +205,7 @@ fn worker_loop(
             Err(_) => return,
         };
         match stream {
-            Ok(stream) => handle_connection(stream, store, stop, counters, cfg),
+            Ok(stream) => handle_connection(stream, store, stop, counters, metrics, cfg),
             Err(_) => return, // accept loop gone: shutdown
         }
     }
@@ -205,8 +216,16 @@ fn handle_connection(
     store: &Store,
     stop: &AtomicBool,
     counters: &AtomicCounters,
+    metrics: &ServeMetrics,
     cfg: &ServerConfig,
 ) {
+    let snapshot_counters = |counters: &AtomicCounters| ServerCounters {
+        connections: counters.connections.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+        timeouts: counters.timeouts.load(Ordering::Relaxed),
+        workers: cfg.workers as u64,
+    };
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_nodelay(true);
     loop {
@@ -226,20 +245,23 @@ fn handle_connection(
             }
             Ok(Frame::Payload(payload)) => match Query::decode(&payload) {
                 Ok(query) => {
+                    let start = Instant::now();
+                    let kind = ServeMetrics::kind_of(&query);
                     let response = match query {
                         Query::Stats => {
-                            let server = ServerCounters {
-                                connections: counters.connections.load(Ordering::Relaxed),
-                                requests: counters.requests.load(Ordering::Relaxed),
-                                protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
-                                timeouts: counters.timeouts.load(Ordering::Relaxed),
-                                workers: cfg.workers as u64,
-                            };
-                            Response::StatsJson(store.serve_stats(Some(server)).to_json())
+                            let mut stats = store.serve_stats(Some(snapshot_counters(counters)));
+                            stats.queries = Some(metrics.query_stats());
+                            Response::StatsJson(stats.to_json())
+                        }
+                        Query::Metrics => {
+                            let mut stats = store.serve_stats(Some(snapshot_counters(counters)));
+                            stats.queries = Some(metrics.query_stats());
+                            Response::MetricsText(metrics.render(&stats))
                         }
                         other => store.execute(&other),
                     };
                     counters.requests.fetch_add(1, Ordering::Relaxed);
+                    metrics.observe(kind, start.elapsed());
                     if write_frame(&mut stream, &response.encode()).is_err() {
                         return;
                     }

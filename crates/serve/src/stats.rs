@@ -3,11 +3,12 @@
 //! [`mining_types::MiningStats`] — byte-stable key order, no serde.
 
 use crate::cache::CacheStats;
-use mining_types::json::Obj;
+use mining_types::json::{Arr, Obj};
 use std::fmt::Write as _;
 
 /// Bump when the serving-stats JSON layout changes.
-pub const SERVE_SCHEMA_VERSION: u64 = 1;
+/// v2: added the per-query-kind `queries` latency section.
+pub const SERVE_SCHEMA_VERSION: u64 = 2;
 
 /// Counters maintained by the TCP server ([`crate::server`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,6 +37,35 @@ impl ServerCounters {
     }
 }
 
+/// Per-query-kind latency digest, distilled from the server's
+/// [`crate::metrics::ServeMetrics`] histograms (quantization error is
+/// bounded at ≤ 12.5 % by the log-bucket layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryStat {
+    /// Query kind label (`"all"` aggregates every kind).
+    pub query: String,
+    /// Requests of this kind answered so far.
+    pub count: u64,
+    /// Median service latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile service latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile service latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl QueryStat {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .str("query", &self.query)
+            .u64("count", self.count)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p90_ms", self.p90_ms)
+            .f64("p99_ms", self.p99_ms)
+            .finish()
+    }
+}
+
 /// A point-in-time report over the store (and optionally the server).
 #[derive(Clone, Debug)]
 pub struct ServeStats {
@@ -55,6 +85,9 @@ pub struct ServeStats {
     pub cache: CacheStats,
     /// TCP server counters, when serving over the wire.
     pub server: Option<ServerCounters>,
+    /// Per-query-kind latency digests, when serving over the wire
+    /// (filled from the server's metrics; in-process stores have none).
+    pub queries: Option<Vec<QueryStat>>,
 }
 
 impl ServeStats {
@@ -74,6 +107,16 @@ impl ServeStats {
             Some(s) => s.to_json(),
             None => "null".to_string(),
         };
+        let queries = match &self.queries {
+            Some(rows) => {
+                let mut arr = Arr::new();
+                for row in rows {
+                    arr.raw(&row.to_json());
+                }
+                arr.finish()
+            }
+            None => "null".to_string(),
+        };
         Obj::new()
             .u64("schema_version", SERVE_SCHEMA_VERSION)
             .u64("generation", self.generation)
@@ -84,6 +127,7 @@ impl ServeStats {
             .u64("num_transactions", self.num_transactions)
             .raw("cache", &cache)
             .raw("server", &server)
+            .raw("queries", &queries)
             .finish()
     }
 
@@ -112,6 +156,15 @@ impl ServeStats {
                 s.connections, s.requests, s.protocol_errors, s.timeouts, s.workers
             );
         }
+        if let Some(rows) = &self.queries {
+            for q in rows {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>8} reqs  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms",
+                    q.query, q.count, q.p50_ms, q.p90_ms, q.p99_ms
+                );
+            }
+        }
         out
     }
 }
@@ -138,14 +191,16 @@ mod tests {
                 evictions: 0,
             },
             server: None,
+            queries: None,
         }
     }
 
     #[test]
     fn json_shape_without_server() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
         assert!(json.contains("\"server\":null"), "{json}");
+        assert!(json.contains("\"queries\":null"), "{json}");
         assert!(json.contains("\"hit_rate\":0.9"), "{json}");
         let keys = mining_types::json::collect_keys(&json);
         assert!(keys.contains(&"cache".to_string()));
@@ -162,11 +217,23 @@ mod tests {
             timeouts: 0,
             workers: 8,
         });
+        s.queries = Some(vec![QueryStat {
+            query: "all".to_string(),
+            count: 40,
+            p50_ms: 0.5,
+            p90_ms: 1.25,
+            p99_ms: 4.0,
+        }]);
         let json = s.to_json();
         assert!(json.contains("\"server\":{\"connections\":3"), "{json}");
+        assert!(
+            json.contains("\"queries\":[{\"query\":\"all\",\"count\":40,\"p50_ms\":0.5"),
+            "{json}"
+        );
         let human = s.render();
         assert!(human.contains("generation 2"), "{human}");
         assert!(human.contains("90.0% hit rate"), "{human}");
         assert!(human.contains("8 workers"), "{human}");
+        assert!(human.contains("p99 4.000 ms"), "{human}");
     }
 }

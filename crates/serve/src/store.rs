@@ -141,6 +141,11 @@ impl Store {
         match query {
             Query::Ping => return Response::Pong,
             Query::Stats => return Response::StatsJson(self.serve_stats(None).to_json()),
+            // Request metrics live with the TCP server, which intercepts
+            // this query before it reaches the store.
+            Query::Metrics => {
+                return Response::Error("metrics are only served over the wire".to_string())
+            }
             _ => {}
         }
         let table = self.snapshot();
@@ -157,7 +162,9 @@ impl Store {
     fn answer(table: &ShardTable, query: &Query) -> Response {
         match query {
             Query::Ping => Response::Pong,
-            Query::Stats => Response::Error("stats handled above".to_string()),
+            Query::Stats | Query::Metrics => {
+                Response::Error("stats and metrics handled above".to_string())
+            }
             Query::Support { itemset } => {
                 if itemset.is_empty() {
                     return Response::Support(None);
@@ -231,6 +238,7 @@ impl Store {
             num_transactions: table.num_transactions() as u64,
             cache: self.cache_stats(),
             server,
+            queries: None,
         }
     }
 }

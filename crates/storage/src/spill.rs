@@ -146,12 +146,14 @@ impl SpillStore {
                 _ => unreachable!("eviction queue only holds residents"),
             };
             self.resident_bytes -= Self::list_bytes(&lists);
+            let _span = eclat_obs::trace::span_arg("spill:write", victim as u64);
             let t = Instant::now();
             let mut w = BufWriter::new(File::create(self.class_path(victim))?);
             let written = binfmt::write_vertical(&VerticalDb::from_lists(lists), &mut w)?;
             self.metrics.write_secs += t.elapsed().as_secs_f64();
             self.metrics.bytes_written += written;
             self.metrics.classes_spilled += 1;
+            eclat_obs::trace::instant("spill:written_bytes", written);
         }
         Ok(())
     }
@@ -172,6 +174,7 @@ impl SpillStore {
                 Ok(lists)
             }
             Slot::Spilled => {
+                let _span = eclat_obs::trace::span_arg("spill:fault", id as u64);
                 let t = Instant::now();
                 let path = self.class_path(id);
                 let mut r = BufReader::new(File::open(&path)?);
@@ -180,6 +183,7 @@ impl SpillStore {
                 self.metrics.read_secs += t.elapsed().as_secs_f64();
                 self.metrics.bytes_read += read;
                 self.metrics.faults += 1;
+                eclat_obs::trace::instant("spill:faulted_bytes", read);
                 Ok(db.into_lists())
             }
             Slot::Empty => panic!("class {id} taken twice (or never inserted)"),

@@ -49,6 +49,22 @@ cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     > "$tmpdir/dmine_spill.out"
 diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_spill.out")
 
+echo "==> dmine --trace: merged cluster timeline validates + converts to Chrome JSON"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --threads 2 --trace "$tmpdir/run.jsonl" \
+    > /dev/null
+test ! -e "$tmpdir/run.jsonl.w0"   # partial worker files must be cleaned up
+cargo run -q --release -p eclat-cli -- trace --input "$tmpdir/run.jsonl" \
+    --chrome "$tmpdir/run.json" > "$tmpdir/trace.out"
+grep -q "valid trace" "$tmpdir/trace.out"
+grep -q "3 process(es)" "$tmpdir/trace.out"
+grep -q '"traceEvents"' "$tmpdir/run.json"
+
+echo "==> ablations --scale=tiny (incl. disabled-tracing overhead gate)"
+cargo run -q --release -p repro-bench --bin ablations -- --scale=tiny \
+    > "$tmpdir/ablations.out"
+grep -q "tracing overhead" "$tmpdir/ablations.out"
+
 echo "==> stats_diff: measured dmine stats vs simulated cluster stats (same schema)"
 cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     --support 0.25 --spawn-local 2 --stats=json > "$tmpdir/dist_stats.json"

@@ -4,10 +4,17 @@
 //! execution variant — sequential, rayon-parallel, simulated cluster,
 //! and hybrid — fills the *same* schema with the same counters.
 //!
+//! The serving-stats document ([`assoc_serve::ServeStats`]) and the
+//! trace JSONL records ([`eclat_obs::trace`]) are pinned here too —
+//! they are wire surfaces with their own schema versions.
+//!
 //! `scripts/check.sh` runs this file explicitly: schema drift (adding,
 //! renaming, or dropping a key) fails here first, and the fix is to bump
-//! [`mining_types::stats::SCHEMA_VERSION`] and update the pinned lists.
+//! [`mining_types::stats::SCHEMA_VERSION`] (or the serve/trace
+//! counterpart) and update the pinned lists.
 
+use assoc_serve::stats::SERVE_SCHEMA_VERSION;
+use assoc_serve::{CacheStats, QueryStat, ServeStats, ServerCounters};
 use dbstore::HorizontalDb;
 use eclat::EclatConfig;
 use memchannel::{ClusterConfig, CostModel};
@@ -269,6 +276,137 @@ fn all_variants_share_the_schema() {
             CLUSTER_ONLY_KEYS
         )
     );
+}
+
+/// Every key the serving-stats JSON emits with both the `server` and
+/// per-query-kind `queries` sections populated, sorted as
+/// [`collect_keys`] returns them.
+const SERVE_KEYS: &[&str] = &[
+    "cache",
+    "capacity",
+    "connections",
+    "count",
+    "entries",
+    "evictions",
+    "generation",
+    "hit_rate",
+    "hits",
+    "insertions",
+    "itemsets",
+    "misses",
+    "num_transactions",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "protocol_errors",
+    "queries",
+    "query",
+    "requests",
+    "rules",
+    "schema_version",
+    "server",
+    "shards",
+    "timeouts",
+    "trie_nodes",
+    "value_bytes",
+    "workers",
+];
+
+#[test]
+fn serve_stats_schema_is_pinned() {
+    let stats = ServeStats {
+        generation: 1,
+        shards: 4,
+        itemsets: 200,
+        rules: 50,
+        trie_nodes: 300,
+        num_transactions: 1_000,
+        cache: CacheStats {
+            capacity: 64,
+            entries: 8,
+            value_bytes: 512,
+            hits: 7,
+            misses: 1,
+            insertions: 1,
+            evictions: 0,
+        },
+        server: Some(ServerCounters {
+            connections: 2,
+            requests: 9,
+            protocol_errors: 0,
+            timeouts: 0,
+            workers: 4,
+        }),
+        queries: Some(vec![QueryStat {
+            query: "all".to_string(),
+            count: 9,
+            p50_ms: 0.5,
+            p90_ms: 1.0,
+            p99_ms: 2.0,
+        }]),
+    };
+    let json = stats.to_json();
+    assert!(json.starts_with(&format!("{{\"schema_version\":{SERVE_SCHEMA_VERSION},")));
+    assert_eq!(
+        collect_keys(&json),
+        SERVE_KEYS.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "serve-stats schema drifted: update the pinned key list and bump \
+         SERVE_SCHEMA_VERSION"
+    );
+}
+
+#[test]
+fn trace_jsonl_schema_is_pinned() {
+    use eclat_obs::trace;
+
+    const META_KEYS: &[&str] = &["pid", "run_id", "schema_version", "type", "unix_us"];
+    const EVENT_KEYS: &[&str] = &["arg", "name", "ph", "pid", "t_us", "tid", "type"];
+    const DROPPED_KEYS: &[&str] = &["dropped_events", "pid", "tid", "type"];
+    let pin = |keys: &[&str]| keys.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+    // A 4-slot ring guarantees an overflow marker; libtest gives this
+    // test its own thread, so the shrunken capacity applies to a fresh
+    // ring and the drain below owns every event this thread recorded.
+    trace::set_ring_capacity(4);
+    trace::set_identity(0x5EED, 3);
+    trace::set_enabled(true);
+    {
+        let _outer = trace::span("outer");
+        let _inner = trace::span_arg("inner", 7);
+        for i in 0..16 {
+            trace::instant("tick", i);
+        }
+    }
+    trace::set_enabled(false);
+    let doc = trace::render_jsonl();
+    trace::set_ring_capacity(trace::DEFAULT_RING_CAPACITY);
+
+    let lines: Vec<&str> = doc.lines().collect();
+    assert!(lines.len() >= 3, "expected meta + events + dropped: {doc}");
+    assert_eq!(collect_keys(lines[0]), pin(META_KEYS), "meta drifted");
+    assert!(lines[0].contains("\"run_id\":\"0x5eed\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"pid\":3,"), "{}", lines[0]);
+    let (mut events, mut dropped) = (0usize, 0usize);
+    for line in &lines[1..] {
+        if line.starts_with("{\"type\":\"event\"") {
+            assert_eq!(collect_keys(line), pin(EVENT_KEYS), "event drifted: {line}");
+            events += 1;
+        } else if line.starts_with("{\"type\":\"dropped\"") {
+            assert_eq!(
+                collect_keys(line),
+                pin(DROPPED_KEYS),
+                "dropped drifted: {line}"
+            );
+            dropped += 1;
+        } else {
+            panic!("unknown trace record type: {line}");
+        }
+    }
+    assert!(events > 0, "no event lines in {doc}");
+    assert!(dropped > 0, "ring overflow left no dropped marker in {doc}");
+    let summary = trace::validate_jsonl(&doc).expect("rendered trace must validate");
+    assert_eq!(summary.run_id, "0x5eed");
+    assert!(summary.dropped > 0);
 }
 
 #[test]
