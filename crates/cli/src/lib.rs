@@ -6,7 +6,7 @@
 //! eclat generate --out data.ech --family t10i6 --transactions 100000 [--seed N]
 //! eclat stats    --input data.ech
 //! eclat mine     --input data.ech --support 0.1 [--algorithm eclat|parallel|apriori|clique]
-//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]
 //!                [--maximal] [--min-size K] [--top N] [--stats[=json]]
 //! ```
 //!
@@ -19,7 +19,7 @@
 //! eclat rules    --input data.ech --support 0.5 --confidence 0.8 [--top N]
 //! eclat simulate --input data.ech --support 0.1 --hosts 8 --procs 4
 //!                [--algorithm eclat|hybrid|countdist]
-//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]
 //!                [--stats[=json]]
 //! ```
 //!
@@ -34,7 +34,7 @@
 //! eclat dmine    --input data.ech --support PCT
 //!                (--workers HOST:PORT,... | --spawn-local N)
 //!                [--threads P] [--mem-budget BYTES]
-//!                [--representation tidlist|diffset|autoswitch[:DEPTH]]
+//!                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]
 //!                [--min-size K] [--top N] [--stats[=json]]
 //! ```
 //!
@@ -120,19 +120,19 @@ pub fn usage() -> String {
        generate --out FILE --transactions N [--family t10i6|t5i2|t20i4|t20i6] [--seed N]\n\
        stats    --input FILE\n\
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
-                [--representation tidlist|diffset|autoswitch[:DEPTH]] (alias --repr)\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]] (alias --repr)\n\
                 [--maximal] [--min-size K] [--top N] [--stats[=json]]\n\
                 [--out SNAPSHOT [--confidence FRAC]]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
                 [--algorithm eclat|hybrid|countdist]\n\
-                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]\n\
                 [--stats[=json]]\n\
        worker   [--listen HOST:PORT] [--threads P] [--mem-budget BYTES]\n\
                 [--port-file PATH] [--serve-secs S]\n\
        dmine    --input FILE --support PCT (--workers HOST:PORT,... | --spawn-local N)\n\
                 [--threads P] [--mem-budget BYTES]\n\
-                [--representation tidlist|diffset|autoswitch[:DEPTH]]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]\n\
                 [--min-size K] [--top N] [--stats[=json]]\n\
        serve    (--input FILE --support PCT | --load SNAPSHOT) [--port P] [--host H] [--confidence FRAC]\n\
                 [--shards N] [--cache N] [--workers N] [--port-file PATH] [--serve-secs S]\n\
@@ -299,8 +299,9 @@ fn stats_mode(flags: &Flags) -> Result<StatsMode, String> {
     }
 }
 
-/// Parse `--representation tidlist|diffset|autoswitch[:DEPTH]` (also
-/// accepted under the `--repr` shorthand).
+/// Parse `--representation
+/// tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]`
+/// (also accepted under the `--repr` shorthand).
 fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
     let Some(raw) = flags.get("representation").or_else(|| flags.get("repr")) else {
         return Ok(eclat::Representation::default());
@@ -310,8 +311,12 @@ fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
             "tidlist" => Ok(eclat::Representation::TidList),
             "diffset" => Ok(eclat::Representation::Diffset),
             "autoswitch" => Ok(eclat::Representation::AutoSwitch { depth: 2 }),
+            "bitmap" => Ok(eclat::Representation::Bitmap),
+            "auto-density" => Ok(eclat::Representation::AutoDensity {
+                permille: eclat::DEFAULT_DENSITY_PERMILLE,
+            }),
             other => Err(format!(
-                "unknown representation '{other}' (tidlist|diffset|autoswitch[:DEPTH])"
+                "unknown representation '{other}' (tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE])"
             )),
         },
         Some(("autoswitch", d)) => {
@@ -320,8 +325,19 @@ fn representation_of(flags: &Flags) -> Result<eclat::Representation, String> {
                 .map_err(|_| format!("bad autoswitch depth '{d}'"))?;
             Ok(eclat::Representation::AutoSwitch { depth })
         }
+        Some(("auto-density", p)) => {
+            let permille: u32 = p
+                .parse()
+                .map_err(|_| format!("bad auto-density permille '{p}'"))?;
+            if permille > 1000 {
+                return Err(format!(
+                    "auto-density permille must be 0..=1000, got {permille}"
+                ));
+            }
+            Ok(eclat::Representation::AutoDensity { permille })
+        }
         Some((other, _)) => Err(format!(
-            "unknown representation '{other}' (only autoswitch takes a :DEPTH)"
+            "unknown representation '{other}' (only autoswitch takes a :DEPTH, auto-density a :PERMILLE)"
         )),
     }
 }
@@ -1428,7 +1444,14 @@ mod tests {
             ]))
             .unwrap(),
         );
-        for repr in ["diffset", "autoswitch:0", "autoswitch:2"] {
+        for repr in [
+            "diffset",
+            "autoswitch:0",
+            "autoswitch:2",
+            "bitmap",
+            "auto-density",
+            "auto-density:1000",
+        ] {
             let out = split(
                 run(&argv(&[
                     "mine",
@@ -1443,6 +1466,61 @@ mod tests {
                 .unwrap(),
             );
             assert_eq!(out, base, "representation {repr} diverged");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mine_agrees_across_bitmap_and_auto_density() {
+        let path = tempfile("bitmaprep");
+        generate(&path, 300);
+        let base = run(&argv(&["mine", "--input", &path, "--support", "1"])).unwrap();
+        let body = |s: String| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let base_body = body(base);
+        for repr in ["bitmap", "auto-density", "auto-density:0", "auto-density:8"] {
+            let out = run(&argv(&[
+                "mine",
+                "--input",
+                &path,
+                "--support",
+                "1",
+                "--repr",
+                repr,
+            ]))
+            .unwrap();
+            assert_eq!(body(out), base_body, "representation {repr} diverged");
+        }
+        // Stats JSON carries the stable representation name.
+        let out = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--repr",
+            "auto-density",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("\"representation\":\"auto-density:8\""),
+            "{out}"
+        );
+        // Bad values are rejected with the full menu.
+        for bad in ["auto-density:1001", "auto-density:x", "bitmaps"] {
+            assert!(
+                run(&argv(&[
+                    "mine",
+                    "--input",
+                    &path,
+                    "--support",
+                    "1",
+                    "--repr",
+                    bad
+                ]))
+                .is_err(),
+                "{bad} should be rejected"
+            );
         }
         std::fs::remove_file(&path).unwrap();
     }
@@ -1690,18 +1768,29 @@ mod tests {
             .map(|w| w.addr().to_string())
             .collect::<Vec<_>>()
             .join(",");
-        let dmined = run(&argv(&[
-            "dmine",
-            "--input",
-            &path,
-            "--support",
-            "0.5",
-            "--workers",
-            &addrs,
-        ]))
-        .unwrap();
         let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
-        assert_eq!(tail(&mined), tail(&dmined), "hybrid spill run diverged");
+        // Every wire-encodable representation must survive the hybrid
+        // spilling round trip bit-identically (bodies differ only in the
+        // header line naming the runtime).
+        for repr in ["tidlist", "diffset", "bitmap", "auto-density:8"] {
+            let dmined = run(&argv(&[
+                "dmine",
+                "--input",
+                &path,
+                "--support",
+                "0.5",
+                "--repr",
+                repr,
+                "--workers",
+                &addrs,
+            ]))
+            .unwrap();
+            assert_eq!(
+                tail(&mined),
+                tail(&dmined),
+                "hybrid spill run diverged for --repr {repr}"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

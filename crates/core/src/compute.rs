@@ -50,16 +50,43 @@ pub enum Representation {
         /// Tid-list join levels below `L2` before the switch.
         depth: u32,
     },
+    /// Fixed-width bitmaps: every class converts to `u64` bitmap words
+    /// over the class's tid window and joins become word `AND` +
+    /// popcount (`tidlist::BitmapSet`). A big win on dense databases,
+    /// a memory/work loss on sparse ones — `AutoDensity` picks per class.
+    ///
+    /// [`AutoDensity`]: Representation::AutoDensity
+    Bitmap,
+    /// Per-class density dispatch: a class whose average member density
+    /// (`Σ support / (members · window span)`) is at least
+    /// `permille / 1000` mines on bitmaps; sparser classes mine on the
+    /// explicitly vectorized chunked tid-list kernels
+    /// (`tidlist::ChunkedList`).
+    AutoDensity {
+        /// Density threshold in thousandths. The default
+        /// [`DEFAULT_DENSITY_PERMILLE`] sits at the op-count crossover:
+        /// a `w`-word bitmap join costs `w` word ops while the merge
+        /// costs about `2·d·64·w` element probes, so the bitmap is
+        /// cheaper once density `d ≳ 1/128 ≈ 8‰`.
+        permille: u32,
+    },
 }
+
+/// Default `auto-density` threshold (8‰ ≈ the bitmap-vs-merge op-count
+/// crossover; see [`Representation::AutoDensity`]).
+pub const DEFAULT_DENSITY_PERMILLE: u32 = 8;
 
 impl std::fmt::Display for Representation {
     /// Stable lowercase form used by the CLI flag parser and the stats
-    /// JSON: `tidlist`, `diffset`, `autoswitch:N`.
+    /// JSON: `tidlist`, `diffset`, `autoswitch:N`, `bitmap`,
+    /// `auto-density:N`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Representation::TidList => f.write_str("tidlist"),
             Representation::Diffset => f.write_str("diffset"),
             Representation::AutoSwitch { depth } => write!(f, "autoswitch:{depth}"),
+            Representation::Bitmap => f.write_str("bitmap"),
+            Representation::AutoDensity { permille } => write!(f, "auto-density:{permille}"),
         }
     }
 }

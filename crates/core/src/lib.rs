@@ -56,5 +56,5 @@ pub mod schedule;
 pub mod sequential;
 pub mod transform;
 
-pub use compute::{EclatConfig, Representation};
+pub use compute::{EclatConfig, Representation, DEFAULT_DENSITY_PERMILLE};
 pub use schedule::ScheduleHeuristic;

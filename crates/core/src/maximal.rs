@@ -187,6 +187,37 @@ fn max_class(
             found,
             stats,
         ),
+        Representation::Bitmap => max_search(
+            pipeline::bitmap_class(class),
+            minsup,
+            cfg,
+            meter,
+            found,
+            stats,
+        ),
+        Representation::AutoDensity { permille } => {
+            // Same per-class density split as the full miner: dense
+            // classes fold on bitmaps, sparse ones on the chunked kernels.
+            if pipeline::class_is_dense(&class, permille) {
+                max_search(
+                    pipeline::bitmap_class(class),
+                    minsup,
+                    cfg,
+                    meter,
+                    found,
+                    stats,
+                )
+            } else {
+                max_search(
+                    pipeline::chunked_class(class),
+                    minsup,
+                    cfg,
+                    meter,
+                    found,
+                    stats,
+                )
+            }
+        }
     }
 }
 
@@ -331,6 +362,11 @@ mod tests {
             Representation::Diffset,
             Representation::AutoSwitch { depth: 0 },
             Representation::AutoSwitch { depth: 2 },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: 8 },
+            // Extreme thresholds force the all-chunked / all-bitmap arms.
+            Representation::AutoDensity { permille: 1000 },
+            Representation::AutoDensity { permille: 0 },
         ]
     }
 

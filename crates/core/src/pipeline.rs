@@ -31,7 +31,7 @@ use mining_types::stats::{ClassStats, KernelStats, MiningStats, PhaseStats};
 use mining_types::{FrequentSet, ItemId, Itemset, MinSupport, OpMeter, TriangleMatrix};
 use rayon::prelude::*;
 use std::time::Instant;
-use tidlist::{AdaptiveSet, GallopList};
+use tidlist::{AdaptiveSet, BitmapSet, ChunkedList, GallopList};
 
 /// Trace/stats label of the initialization phase (§5.1 counting).
 pub const PHASE_INIT: &str = "init";
@@ -516,6 +516,16 @@ pub fn compute_class_stats(
         Representation::AutoSwitch { depth } => {
             compute_frequent_stats(fuel_class(class, depth), threshold, cfg, meter, out, stats)
         }
+        Representation::Bitmap => {
+            compute_frequent_stats(bitmap_class(class), threshold, cfg, meter, out, stats)
+        }
+        Representation::AutoDensity { permille } => {
+            if class_is_dense(&class, permille) {
+                compute_frequent_stats(bitmap_class(class), threshold, cfg, meter, out, stats)
+            } else {
+                compute_frequent_stats(chunked_class(class), threshold, cfg, meter, out, stats)
+            }
+        }
     }
 }
 
@@ -551,6 +561,58 @@ pub(crate) fn gallop_class(class: EquivalenceClass) -> EquivalenceClass<GallopLi
             })
             .collect(),
     }
+}
+
+/// Convert a tid-list class to fixed-width bitmaps sharing one
+/// word-aligned frame (`BitmapSet::frame_of` over the members), so every
+/// join below `L2` is an aligned word `AND` + popcount.
+pub(crate) fn bitmap_class(class: EquivalenceClass) -> EquivalenceClass<BitmapSet> {
+    let (base, words) = BitmapSet::frame_of(class.members.iter().map(|m| &m.tids));
+    EquivalenceClass {
+        prefix: class.prefix,
+        members: class
+            .members
+            .into_iter()
+            .map(|m| ClassMember {
+                tids: BitmapSet::from_tidlist(&m.tids, base, words),
+                itemset: m.itemset,
+            })
+            .collect(),
+    }
+}
+
+/// Wrap a tid-list class into the chunked-kernel representation: joins
+/// run the 8-wide unrolled block merge / chunked galloping kernels — the
+/// sparse side of `auto-density`.
+pub(crate) fn chunked_class(class: EquivalenceClass) -> EquivalenceClass<ChunkedList> {
+    EquivalenceClass {
+        prefix: class.prefix,
+        members: class
+            .members
+            .into_iter()
+            .map(|m| ClassMember {
+                itemset: m.itemset,
+                tids: ChunkedList(m.tids),
+            })
+            .collect(),
+    }
+}
+
+/// The `auto-density` decision: a class is dense when its average member
+/// density over the class's word-aligned tid window reaches
+/// `permille / 1000`, i.e. `Σ support · 1000 ≥ permille · members · span`.
+/// Integer arithmetic throughout so the decision is exactly reproducible
+/// across hosts; an empty window (all members empty) counts as dense —
+/// the zero-width bitmap is free.
+pub(crate) fn class_is_dense(class: &EquivalenceClass, permille: u32) -> bool {
+    let (_, words) = BitmapSet::frame_of(class.members.iter().map(|m| &m.tids));
+    let span = words as u64 * 64;
+    let sum: u64 = class
+        .members
+        .iter()
+        .map(|m| u64::from(m.tids.support()))
+        .sum();
+    sum * 1000 >= u64::from(permille) * class.members.len() as u64 * span
 }
 
 /// The full three-phase pipeline under a policy. This is the whole
@@ -772,6 +834,10 @@ mod tests {
             Representation::Diffset,
             Representation::AutoSwitch { depth: 1 },
             Representation::AutoSwitch { depth: 3 },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: 8 },
+            Representation::AutoDensity { permille: 1000 },
+            Representation::AutoDensity { permille: 0 },
         ] {
             let cfg = EclatConfig::with_representation(repr);
             let fs = run(&db, minsup, &cfg, &mut OpMeter::new(), &Serial);

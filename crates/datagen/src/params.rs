@@ -115,6 +115,43 @@ impl QuestParams {
         }
     }
 
+    /// A *dense* synthetic database: long baskets drawn from a tiny item
+    /// universe, so each item lands in a large fraction of transactions
+    /// (per-item density ≈ `|T| / N` ≈ 25%). This is the regime the
+    /// bitmap representation is built for — the representation × density
+    /// ablation mines it against [`QuestParams::sparse`].
+    pub fn dense(d: usize, seed: u64) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 12.0,
+            avg_pattern_len: 5.0,
+            num_patterns: 40,
+            num_items: 48,
+            correlation: 0.25,
+            corruption_mean: 0.3,
+            corruption_sd: 0.1f64.sqrt(),
+            seed,
+        }
+    }
+
+    /// A *sparse* synthetic database: short baskets over a wide item
+    /// universe (per-item density ≈ `|T| / N` ≈ 0.5%), where tid-list
+    /// merges beat word-wise bitmaps. Counterpart of
+    /// [`QuestParams::dense`] in the representation × density ablation.
+    pub fn sparse(d: usize, seed: u64) -> Self {
+        QuestParams {
+            num_transactions: d,
+            avg_transaction_len: 6.0,
+            avg_pattern_len: 3.0,
+            num_patterns: 300,
+            num_items: 1200,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed,
+        }
+    }
+
     /// The paper's name for this database, e.g. `T10.I6.D800K`.
     pub fn name(&self) -> String {
         let d = self.num_transactions;

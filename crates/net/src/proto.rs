@@ -46,6 +46,9 @@ const FLAG_GALLOP: u8 = 1 << 3;
 const REPR_TIDLIST: u8 = 0;
 const REPR_DIFFSET: u8 = 1;
 const REPR_AUTOSWITCH: u8 = 2;
+const REPR_BITMAP: u8 = 3;
+// The `repr_depth` field carries the density threshold (permille).
+const REPR_AUTODENSITY: u8 = 4;
 
 /// Per-worker measured statistics returned with [`Message::Result`] —
 /// the real-TCP counterpart of the simulator's per-processor trace. A
@@ -219,6 +222,8 @@ pub fn encode_config(cfg: &EclatConfig, count_items: bool) -> (u8, u8, u32) {
         Representation::TidList => (REPR_TIDLIST, 0),
         Representation::Diffset => (REPR_DIFFSET, 0),
         Representation::AutoSwitch { depth } => (REPR_AUTOSWITCH, depth),
+        Representation::Bitmap => (REPR_BITMAP, 0),
+        Representation::AutoDensity { permille } => (REPR_AUTODENSITY, permille),
     };
     (flags, tag, depth)
 }
@@ -236,6 +241,10 @@ pub fn decode_config(
         REPR_TIDLIST => Representation::TidList,
         REPR_DIFFSET => Representation::Diffset,
         REPR_AUTOSWITCH => Representation::AutoSwitch { depth: repr_depth },
+        REPR_BITMAP => Representation::Bitmap,
+        REPR_AUTODENSITY => Representation::AutoDensity {
+            permille: repr_depth,
+        },
         other => return Err(DecodeError::BadOpcode(other)),
     };
     let cfg = EclatConfig {
@@ -790,6 +799,8 @@ mod tests {
             Representation::TidList,
             Representation::Diffset,
             Representation::AutoSwitch { depth: 4 },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: 8 },
         ] {
             let cfg = EclatConfig {
                 prune: true,

@@ -44,6 +44,8 @@ fn hybrid_and_spilled_runs_match_sequential_across_representations() {
         Representation::TidList,
         Representation::Diffset,
         Representation::AutoSwitch { depth: 2 },
+        Representation::Bitmap,
+        Representation::AutoDensity { permille: 8 },
     ];
     for repr in representations {
         let cfg = EclatConfig::with_representation(repr);

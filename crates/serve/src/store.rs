@@ -376,6 +376,85 @@ mod tests {
         assert_eq!(old.generation(), 1);
     }
 
+    /// Reload race: readers hammer the (cached) store while another
+    /// thread keeps swapping between two generations whose supports are
+    /// disjoint ranges. Every answer — cache hit or miss, single- or
+    /// multi-shard — must come from *exactly one* generation: all
+    /// supports below 100, or all at least 100, never a mix and never a
+    /// stale generation resurrected through the LRU after a reload.
+    #[test]
+    fn reload_race_serves_exactly_one_generation() {
+        use std::sync::atomic::AtomicBool;
+
+        let low = dataset(); // supports 3..=10
+        let mut high = dataset(); // same itemsets, supports +100
+        high.frequent = low
+            .frequent
+            .iter()
+            .map(|(itemset, support)| (itemset.clone(), support + 100))
+            .collect();
+        high.rules = assoc_rules::generate(&high.frequent, 0.0);
+
+        // Small cache + few shards keeps eviction and fan-out in play.
+        let store = Arc::new(Store::with_dataset(
+            &low,
+            &StoreConfig {
+                shards: 4,
+                cache_entries: 8,
+            },
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let all = Query::Supersets {
+                        of: Itemset::empty(),
+                        limit: 100,
+                    };
+                    let one = Query::Support {
+                        itemset: iset(&[1, 2]),
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        match store.execute(&all) {
+                            Response::Itemsets(v) => {
+                                assert_eq!(v.len(), 7, "whole table in every generation");
+                                let highs = v.iter().filter(|c| c.support >= 100).count();
+                                assert!(
+                                    highs == 0 || highs == v.len(),
+                                    "mixed-generation answer: {v:?}"
+                                );
+                            }
+                            other => panic!("{other:?}"),
+                        }
+                        match store.execute(&one) {
+                            Response::Support(Some(s)) => {
+                                assert!(s == 5 || s == 105, "stale or torn support {s}")
+                            }
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            store.load(&high);
+            store.load(&low);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // After the dust settles the final generation (low) answers alone.
+        assert_eq!(
+            store.execute(&Query::Support {
+                itemset: iset(&[1, 2])
+            }),
+            Response::Support(Some(5))
+        );
+    }
+
     #[test]
     fn limits_are_clamped_and_zero_means_empty() {
         let store = Store::with_dataset(&dataset(), &StoreConfig::default());

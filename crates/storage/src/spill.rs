@@ -274,6 +274,63 @@ mod tests {
     }
 
     #[test]
+    fn fault_respill_cycle_keeps_accounting_exact() {
+        // A class that is spilled, faulted back, re-inserted, and spilled
+        // again must not double-count bytes anywhere: `resident_bytes`
+        // must stay within the budget after every operation and return to
+        // exactly zero once everything is taken, and the lifetime
+        // counters must grow by exactly one spill/fault per cycle.
+        let class = lists(1, 3);
+        let class_bytes = SpillStore::list_bytes(&class);
+        let dir = tempdir("cycle");
+        // Budget one byte short of the class: every insert self-evicts,
+        // every take is a fault — a pure fault→respill loop.
+        let mut s = SpillStore::create(&dir, class_bytes - 1, 1).unwrap();
+        s.insert(0, class.clone()).unwrap();
+        assert_eq!(s.resident_bytes(), 0, "class self-evicts on insert");
+        assert_eq!(s.metrics().classes_spilled, 1);
+        let first_written = s.metrics().bytes_written;
+        assert!(first_written > 0);
+
+        // Fault → re-insert → re-evict, three times round.
+        for cycle in 1..=3u64 {
+            let back = s.take(0).unwrap();
+            assert_eq!(back, class, "fault returns the exact lists (cycle {cycle})");
+            assert_eq!(s.metrics().faults, cycle);
+            assert_eq!(
+                s.resident_bytes(),
+                0,
+                "faulted lists belong to the caller, not the resident set"
+            );
+            assert_eq!(
+                s.metrics().bytes_read,
+                first_written * cycle,
+                "each fault reads the file once"
+            );
+            s.insert(0, back).unwrap();
+            assert!(
+                s.resident_bytes() <= s.budget_bytes(),
+                "re-insert must re-evict down to the budget (cycle {cycle})"
+            );
+            assert_eq!(
+                s.metrics().classes_spilled,
+                1 + cycle,
+                "exactly one respill per cycle"
+            );
+            assert_eq!(
+                s.metrics().bytes_written,
+                first_written * (1 + cycle),
+                "respill writes the class's bytes once, not twice"
+            );
+        }
+
+        // Drain and verify the books close at zero.
+        assert_eq!(s.take(0).unwrap(), class);
+        assert_eq!(s.resident_bytes(), 0, "accounting returns to zero");
+        assert_eq!(s.metrics().faults, 4);
+    }
+
+    #[test]
     fn empty_tidlists_survive_the_round_trip() {
         let dir = tempdir("empty");
         let mut s = SpillStore::create(&dir, 0, 1).unwrap();

@@ -21,18 +21,27 @@
 //! * `_metered` variants of the hot kernels that report the element
 //!   comparisons performed, feeding the simulated-cluster cost model.
 //!
+//! * [`TidList::intersect_chunked`] / [`TidList::gallop_intersect_chunked`]
+//!   — explicitly vectorized 8-wide unrolled block kernels for the sparse
+//!   case (branchless lane sweeps the optimizer turns into packed
+//!   compares).
+//!
 //! On top of the concrete kernels sits the [`TidSet`] trait — support,
 //! (bounded/metered) join, multi-way look-ahead folds, and a byte-size
 //! hook — implemented by [`TidList`], [`diffset::DiffSet`], the adaptive
-//! galloping wrapper [`GallopList`], and the mid-recursion switching
+//! galloping wrapper [`GallopList`], the chunked-kernel wrapper
+//! [`ChunkedList`], the fixed-width bitmap [`BitmapSet`] (word `AND` +
+//! popcount joins for dense classes), and the mid-recursion switching
 //! [`AdaptiveSet`]. The mining recursion in the `eclat` crate is generic
 //! over it, so every algorithm variant can run on any representation.
 
 pub mod adaptive;
+pub mod bitmap;
 pub mod diffset;
 mod list;
 pub mod set;
 
 pub use adaptive::AdaptiveSet;
-pub use list::{IntersectOutcome, TidList};
-pub use set::{GallopList, TidSet};
+pub use bitmap::BitmapSet;
+pub use list::{IntersectOutcome, TidList, LANES};
+pub use set::{ChunkedList, GallopList, TidSet};

@@ -248,7 +248,7 @@ impl TidList {
     /// Whether the operand lengths are skewed enough (more than 16×) for
     /// galloping to beat the two-pointer merge — the classic
     /// merge-vs-search cutover; the ablation bench measures it.
-    fn gallop_pays(&self, other: &TidList) -> bool {
+    pub(crate) fn gallop_pays(&self, other: &TidList) -> bool {
         let (a, b) = (self.len().max(1), other.len().max(1));
         a * 16 < b || b * 16 < a
     }
@@ -272,6 +272,100 @@ impl TidList {
             self.gallop_intersect_metered(other, meter)
         } else {
             self.intersect_metered(other, meter)
+        }
+    }
+
+    /// Chunked (8-wide unrolled) two-pointer intersection — the
+    /// explicitly vectorized sparse kernel. See `chunked_inner` for the
+    /// block algorithm and op accounting.
+    pub fn intersect_chunked(&self, other: &TidList) -> TidList {
+        let (r, _) = chunked_inner(&self.tids, &other.tids, None);
+        r.expect("unbounded intersection always completes")
+    }
+
+    /// [`TidList::intersect_chunked`] plus lane-op metering.
+    pub fn intersect_chunked_metered(&self, other: &TidList, meter: &mut OpMeter) -> TidList {
+        let (r, ops) = chunked_inner(&self.tids, &other.tids, None);
+        meter.tid_cmp += ops;
+        r.expect("unbounded intersection always completes")
+    }
+
+    /// Chunked intersection with the §5.3 short-circuit: the
+    /// remaining-elements bound is re-checked after every block step, so
+    /// a hopeless candidate is abandoned within one block of where the
+    /// scalar kernel would stop.
+    pub fn intersect_chunked_bounded(&self, other: &TidList, minsup: u32) -> IntersectOutcome {
+        let (r, _) = chunked_inner(&self.tids, &other.tids, Some(minsup));
+        match r {
+            Some(list) if list.support() >= minsup => IntersectOutcome::Frequent(list),
+            _ => IntersectOutcome::Infrequent,
+        }
+    }
+
+    /// [`TidList::intersect_chunked_bounded`] plus lane-op metering.
+    pub fn intersect_chunked_bounded_metered(
+        &self,
+        other: &TidList,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> IntersectOutcome {
+        let (r, ops) = chunked_inner(&self.tids, &other.tids, Some(minsup));
+        meter.tid_cmp += ops;
+        match r {
+            Some(list) if list.support() >= minsup => IntersectOutcome::Frequent(list),
+            _ => IntersectOutcome::Infrequent,
+        }
+    }
+
+    /// Galloping intersection whose located window is resolved with a
+    /// chunked final block: binary search narrows only to [`LANES`]
+    /// elements and one branchless 8-lane sweep finds the position.
+    pub fn gallop_intersect_chunked(&self, other: &TidList) -> TidList {
+        let (out, _) = self.gallop_chunked_dispatch(other);
+        out
+    }
+
+    /// [`TidList::gallop_intersect_chunked`] plus probe metering.
+    pub fn gallop_intersect_chunked_metered(
+        &self,
+        other: &TidList,
+        meter: &mut OpMeter,
+    ) -> TidList {
+        let (out, ops) = self.gallop_chunked_dispatch(other);
+        meter.tid_cmp += ops;
+        out
+    }
+
+    fn gallop_chunked_dispatch(&self, other: &TidList) -> (TidList, u64) {
+        let (short, long) = if self.len() <= other.len() {
+            (&self.tids, &other.tids)
+        } else {
+            (&other.tids, &self.tids)
+        };
+        gallop_chunked_inner(short, long)
+    }
+
+    /// Chunked adaptive intersection: chunked galloping on 16×-skewed
+    /// operands, the 8-wide block merge otherwise — the sparse side of
+    /// the `auto-density` representation.
+    pub fn intersect_chunked_adaptive(&self, other: &TidList) -> TidList {
+        if self.gallop_pays(other) {
+            self.gallop_intersect_chunked(other)
+        } else {
+            self.intersect_chunked(other)
+        }
+    }
+
+    /// [`TidList::intersect_chunked_adaptive`] plus metering.
+    pub fn intersect_chunked_adaptive_metered(
+        &self,
+        other: &TidList,
+        meter: &mut OpMeter,
+    ) -> TidList {
+        if self.gallop_pays(other) {
+            self.gallop_intersect_chunked_metered(other, meter)
+        } else {
+            self.intersect_chunked_metered(other, meter)
         }
     }
 
@@ -416,6 +510,151 @@ fn gallop_inner(short: &[Tid], long: &[Tid]) -> (TidList, u64) {
         let window = end - base;
         ops += (usize::BITS - window.leading_zeros()) as u64;
         let pos = base + long[base..end].partition_point(|&v| v < x);
+        if pos < long.len() && long[pos] == x {
+            out.push(x);
+            base = pos + 1;
+        } else {
+            base = pos;
+        }
+    }
+    (TidList { tids: out }, ops)
+}
+
+/// Lane width of the chunked kernels: 8 × `u32` tids = two 128-bit (or
+/// one 256-bit) vector register(s), the shape the compiler's
+/// auto-vectorizer turns the branchless sweeps below into packed compares.
+pub const LANES: usize = 8;
+
+/// One branchless 8-lane membership sweep: is `x` present in the block?
+/// The fold compiles to eight data-independent equality tests OR-ed
+/// together — no early exit, so the optimizer can keep the whole block in
+/// vector registers.
+#[inline]
+fn lane_contains(block: &[Tid; LANES], x: Tid) -> bool {
+    block.iter().fold(false, |acc, &y| acc | (y == x))
+}
+
+/// Chunked (8-wide unrolled) two-pointer kernel. Works on whole blocks of
+/// [`LANES`] tids:
+///
+/// * disjoint blocks (`max(A-block) < min(B-block)` or vice versa) are
+///   skipped in one probe;
+/// * overlapping blocks run a branchless 8×8 membership sweep (one
+///   [`lane_contains`] per element of the A-block), then the block whose
+///   maximum is smaller advances — every cross-block match ≤ that maximum
+///   has already been tested, so no pair is missed;
+/// * the scalar two-pointer tail finishes the sub-`LANES` remainders.
+///
+/// With `minsup = Some(s)`, re-checks the §5.3 remaining-elements bound
+/// after every block step and scalar-tail probe, returning `None` on
+/// early exit exactly like [`intersect_inner`].
+///
+/// Op accounting: 1 per disjoint-block skip, [`LANES`] per 8×8 sweep (one
+/// per 8-lane compare issued), 1 per scalar-tail probe — so a chunked run
+/// over dense overlapping data costs about the same `tid_cmp` as the
+/// scalar merge while touching memory a block at a time.
+fn chunked_inner(a: &[Tid], b: &[Tid], minsup: Option<u32>) -> (Option<TidList>, u64) {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut ops = 0u64;
+    while i + LANES <= a.len() && j + LANES <= b.len() {
+        let ab: &[Tid; LANES] = a[i..i + LANES].try_into().expect("block is LANES wide");
+        let bb: &[Tid; LANES] = b[j..j + LANES].try_into().expect("block is LANES wide");
+        let (amax, bmax) = (ab[LANES - 1], bb[LANES - 1]);
+        if amax < bb[0] {
+            ops += 1;
+            i += LANES;
+        } else if bmax < ab[0] {
+            ops += 1;
+            j += LANES;
+        } else {
+            ops += LANES as u64;
+            for &x in ab {
+                if lane_contains(bb, x) {
+                    out.push(x);
+                }
+            }
+            // Advance past the lower maximum (both on a tie): every
+            // element ≤ the advanced block's max was just swept against
+            // the other block, and earlier blocks are already exhausted.
+            if amax <= bmax {
+                i += LANES;
+            }
+            if bmax <= amax {
+                j += LANES;
+            }
+        }
+        if let Some(s) = minsup {
+            let remaining = (a.len() - i).min(b.len() - j);
+            if (out.len() + remaining) < s as usize {
+                return (None, ops);
+            }
+        }
+    }
+    // Scalar tail: identical to `intersect_inner`, continuing the same
+    // output and bound state.
+    while i < a.len() && j < b.len() {
+        ops += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+        if let Some(s) = minsup {
+            let remaining = (a.len() - i).min(b.len() - j);
+            if (out.len() + remaining) < s as usize {
+                return (None, ops);
+            }
+        }
+    }
+    (Some(TidList { tids: out }), ops)
+}
+
+/// Galloping kernel with a chunked final block: the exponential search is
+/// [`gallop_inner`]'s, but the located window is narrowed by binary
+/// search only while it is wider than [`LANES`]; the final block is then
+/// resolved by one branchless rank sweep (`pos = lo + #{v < x}` — exactly
+/// `partition_point` on a sorted block, without its data-dependent
+/// branches). `short` must be the shorter operand. Ops: 1 per
+/// stride-doubling probe, 1 per binary-search halving, 1 per final-block
+/// sweep.
+fn gallop_chunked_inner(short: &[Tid], long: &[Tid]) -> (TidList, u64) {
+    let mut out = Vec::with_capacity(short.len());
+    let mut base = 0usize;
+    let mut ops = 0u64;
+    for &x in short {
+        if base >= long.len() {
+            break;
+        }
+        let mut stride = 1usize;
+        ops += 1;
+        while base + stride < long.len() && long[base + stride] < x {
+            stride <<= 1;
+            ops += 1;
+        }
+        let end = (base + stride + 1).min(long.len());
+        // Binary search [lo, hi) down to a final block of ≤ LANES.
+        let (mut lo, mut hi) = (base, end);
+        while hi - lo > LANES {
+            ops += 1;
+            let mid = lo + (hi - lo) / 2;
+            if long[mid] < x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Branchless final block: rank of x = count of elements < x.
+        ops += 1;
+        let pos = lo
+            + long[lo..hi]
+                .iter()
+                .map(|&v| usize::from(v < x))
+                .sum::<usize>();
         if pos < long.len() && long[pos] == x {
             out.push(x);
             base = pos + 1;

@@ -233,6 +233,70 @@ impl TidSet for GallopList {
     }
 }
 
+/// A [`TidList`] whose joins run the explicitly vectorized chunked
+/// kernels: the 8-wide unrolled block merge
+/// ([`TidList::intersect_chunked`]) on balanced operands, the
+/// chunked-final-block galloping kernel
+/// ([`TidList::gallop_intersect_chunked`]) when the lengths are skewed by
+/// more than 16×. This is the sparse side of the `auto-density`
+/// representation — dense classes go to [`crate::BitmapSet`] instead.
+///
+/// The bounded joins keep the §5.3 short-circuit on the merge path
+/// (re-checked per block); the galloping path computes the full
+/// intersection and thresholds, like [`GallopList`]. Either way the trait
+/// contract (`None` iff infrequent) holds exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkedList(pub TidList);
+
+impl ChunkedList {
+    fn skewed(&self, other: &Self) -> bool {
+        self.0.gallop_pays(&other.0)
+    }
+}
+
+impl TidSet for ChunkedList {
+    fn support(&self) -> u32 {
+        self.0.support()
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size()
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        ChunkedList(self.0.intersect_chunked_adaptive(&other.0))
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        if self.skewed(other) {
+            let out = self.join(other);
+            return (out.support() >= minsup).then_some(out);
+        }
+        self.0
+            .intersect_chunked_bounded(&other.0, minsup)
+            .into_frequent()
+            .map(ChunkedList)
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        ChunkedList(self.0.intersect_chunked_adaptive_metered(&other.0, meter))
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        if self.skewed(other) {
+            let out = self.join_metered(other, meter);
+            return (out.support() >= minsup).then_some(out);
+        }
+        match self
+            .0
+            .intersect_chunked_bounded_metered(&other.0, minsup, meter)
+        {
+            IntersectOutcome::Frequent(t) => Some(ChunkedList(t)),
+            IntersectOutcome::Infrequent => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,206 @@
+//! Kernel-equivalence properties on *adversarial* inputs: galloping,
+//! chunked (8-lane), and bitmap joins must agree element-for-element with
+//! the two-pointer merge, and every `*_bounded` variant must be exactly a
+//! frequency filter — including on the shapes that historically break
+//! search-based kernels (empty operands, single elements, all-equal runs,
+//! disjoint tails, and tids at `u32::MAX` where `hi = base + stride + 1`
+//! style bounds can overflow or clamp wrong).
+
+use mining_types::{OpMeter, Tid};
+use proptest::prelude::*;
+use tidlist::{BitmapSet, ChunkedList, GallopList, IntersectOutcome, TidList, TidSet};
+
+/// One tid-list drawn from a menu of adversarial shapes.
+fn adversarial() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        // Empty.
+        Just(Vec::new()),
+        // Single element, anywhere in the tid space (incl. u32::MAX).
+        prop_oneof![
+            Just(0u32),
+            Just(1),
+            Just(63),
+            Just(64),
+            Just(u32::MAX - 1),
+            Just(u32::MAX)
+        ]
+        .prop_map(|x| vec![x]),
+        // All-equal run (dedups to a single element).
+        (any::<u32>(), 1usize..64).prop_map(|(x, n)| vec![x; n]),
+        // Dense low range: many repeats and adjacencies.
+        proptest::collection::vec(0u32..96, 0..160),
+        // Sparse wide range, biased to word boundaries and the top of
+        // the tid space.
+        proptest::collection::vec(
+            prop_oneof![
+                0u32..1024,
+                (0u32..64).prop_map(|k| k * 64),
+                (0u32..200).prop_map(|k| u32::MAX - k),
+            ],
+            0..96
+        ),
+        // Long skew: one long ramp (gallop's favourite prey).
+        (0u32..512, 1u32..8, 0usize..256).prop_map(|(start, step, n)| (0..n)
+            .map(|i| start + i as u32 * step)
+            .collect::<Vec<u32>>()),
+    ]
+}
+
+/// A pair of lists; sometimes with a shared prefix and *disjoint tails*
+/// (the shape where a final-block galloping bound that overshoots keeps
+/// probing past its operand's real end).
+fn adversarial_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    prop_oneof![
+        (adversarial(), adversarial()).prop_map(|(a, b)| (a, b)),
+        (adversarial(), 0usize..64, 0usize..64).prop_map(|(shared, n_a, n_b)| {
+            let mut a = shared.clone();
+            let mut b = shared;
+            a.extend((0..n_a as u32).map(|i| 2_000_000 + 2 * i));
+            b.extend((0..n_b as u32).map(|i| 2_000_001 + 2 * i));
+            (a, b)
+        }),
+    ]
+}
+
+fn raw(t: &TidList) -> Vec<u32> {
+    t.tids().iter().map(|t| t.0).collect()
+}
+
+proptest! {
+    /// Satellite 1: `gallop_intersect` and both chunked kernels are
+    /// drop-in replacements for the two-pointer merge.
+    #[test]
+    fn search_kernels_match_two_pointer(ab in adversarial_pair()) {
+        let (a, b) = ab;
+        let ta = TidList::from_unsorted(a.iter().copied());
+        let tb = TidList::from_unsorted(b.iter().copied());
+        let expect = raw(&ta.intersect(&tb));
+        prop_assert_eq!(raw(&ta.gallop_intersect(&tb)), expect.clone());
+        prop_assert_eq!(raw(&tb.gallop_intersect(&ta)), expect.clone());
+        prop_assert_eq!(raw(&ta.intersect_chunked(&tb)), expect.clone());
+        prop_assert_eq!(raw(&tb.intersect_chunked(&ta)), expect.clone());
+        prop_assert_eq!(raw(&ta.gallop_intersect_chunked(&tb)), expect.clone());
+        prop_assert_eq!(raw(&ta.intersect_chunked_adaptive(&tb)), expect.clone());
+        // Metered variants compute the same list.
+        let mut m = OpMeter::new();
+        prop_assert_eq!(raw(&ta.intersect_chunked_metered(&tb, &mut m)), expect.clone());
+        prop_assert_eq!(raw(&ta.gallop_intersect_chunked_metered(&tb, &mut m)), expect);
+    }
+
+    /// Every bounded kernel is *exactly* a frequency filter: `Frequent`
+    /// iff the full intersection meets `minsup`, with identical contents.
+    #[test]
+    fn bounded_kernels_are_frequency_filters(
+        ab in adversarial_pair(),
+        minsup in 1u32..48,
+    ) {
+        let (a, b) = ab;
+        let ta = TidList::from_unsorted(a.iter().copied());
+        let tb = TidList::from_unsorted(b.iter().copied());
+        let full = ta.intersect(&tb);
+        for outcome in [
+            ta.intersect_bounded(&tb, minsup),
+            ta.intersect_chunked_bounded(&tb, minsup),
+            ta.intersect_chunked_bounded_metered(&tb, minsup, &mut OpMeter::new()),
+        ] {
+            match outcome {
+                IntersectOutcome::Frequent(list) => {
+                    prop_assert!(full.support() >= minsup);
+                    prop_assert_eq!(&list, &full);
+                }
+                IntersectOutcome::Infrequent => prop_assert!(full.support() < minsup),
+            }
+        }
+    }
+
+    /// The `TidSet` wrappers (gallop / chunked) honour the same contract
+    /// through the trait surface used by the mining kernel.
+    #[test]
+    fn tidset_wrappers_agree(ab in adversarial_pair(), minsup in 1u32..48) {
+        let (a, b) = ab;
+        let ta = TidList::from_unsorted(a.iter().copied());
+        let tb = TidList::from_unsorted(b.iter().copied());
+        let full = ta.intersect(&tb);
+        let g = GallopList(ta.clone()).join(&GallopList(tb.clone()));
+        prop_assert_eq!(&g.0, &full);
+        let c = ChunkedList(ta.clone()).join(&ChunkedList(tb.clone()));
+        prop_assert_eq!(&c.0, &full);
+        match ChunkedList(ta.clone()).join_bounded(&ChunkedList(tb.clone()), minsup) {
+            Some(j) => {
+                prop_assert!(full.support() >= minsup);
+                prop_assert_eq!(&j.0, &full);
+            }
+            None => prop_assert!(full.support() < minsup),
+        }
+    }
+
+    /// Bitmap joins agree with the merge on any shared frame, and the
+    /// tid-list round-trip is lossless — including at `u32::MAX` when the
+    /// lists stay within one frame.
+    #[test]
+    fn bitmap_join_matches_merge(
+        a in proptest::collection::vec(0u32..2048, 0..128),
+        b in proptest::collection::vec(0u32..2048, 0..128),
+        offset in prop_oneof![Just(0u32), Just(64), Just(4096), Just(u32::MAX - 2048)],
+        minsup in 1u32..48,
+    ) {
+        let shift = |v: &[u32]| TidList::from_unsorted(v.iter().map(|&x| x + offset));
+        let (ta, tb) = (shift(&a), shift(&b));
+        let (base, words) = BitmapSet::frame_of([&ta, &tb]);
+        let (ba, bb) = (
+            BitmapSet::from_tidlist(&ta, base, words),
+            BitmapSet::from_tidlist(&tb, base, words),
+        );
+        prop_assert_eq!(ba.to_tidlist(), ta.clone());
+        let full = ta.intersect(&tb);
+        prop_assert_eq!(ba.join(&bb).to_tidlist(), full.clone());
+        match ba.join_bounded(&bb, minsup) {
+            Some(j) => {
+                prop_assert!(full.support() >= minsup);
+                prop_assert_eq!(j.to_tidlist(), full);
+            }
+            None => prop_assert!(full.support() < minsup),
+        }
+    }
+
+    /// Associativity-of-agreement across a 3-way chain: folding joins in
+    /// either kernel yields the same set (the shape `fold_join` relies on).
+    #[test]
+    fn three_way_chain_agrees(
+        a in adversarial(), b in adversarial(), c in adversarial(),
+    ) {
+        let (ta, tb, tc) = (
+            TidList::from_unsorted(a.iter().copied()),
+            TidList::from_unsorted(b.iter().copied()),
+            TidList::from_unsorted(c.iter().copied()),
+        );
+        let merge = ta.intersect(&tb).intersect(&tc);
+        prop_assert_eq!(ta.gallop_intersect(&tb).gallop_intersect(&tc), merge.clone());
+        prop_assert_eq!(ta.intersect_chunked(&tb).intersect_chunked(&tc), merge);
+    }
+}
+
+/// The specific regression the galloping bound is prone to: a final block
+/// where `base + stride + 1` overshoots the operand — probing must clamp
+/// to the real end and still find a match sitting exactly at `len - 1`.
+#[test]
+fn gallop_final_block_hits_last_element() {
+    for long_len in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 100] {
+        let long = TidList::from_unsorted((0..long_len as u32).map(|i| i * 3));
+        let last = long.tids().last().copied().unwrap_or(Tid(0)).0;
+        let short = TidList::from_unsorted([last]);
+        let hit = short.gallop_intersect(&long);
+        assert_eq!(
+            hit.support(),
+            1,
+            "missed final element, long_len={long_len}"
+        );
+        assert_eq!(raw(&hit), vec![last]);
+        assert_eq!(raw(&short.gallop_intersect_chunked(&long)), vec![last]);
+    }
+    // And at the very top of the tid space.
+    let long = TidList::from_unsorted([u32::MAX - 64, u32::MAX - 1, u32::MAX]);
+    let short = TidList::from_unsorted([u32::MAX]);
+    assert_eq!(raw(&short.gallop_intersect(&long)), vec![u32::MAX]);
+    assert_eq!(raw(&short.gallop_intersect_chunked(&long)), vec![u32::MAX]);
+}

@@ -49,6 +49,16 @@ cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     > "$tmpdir/dmine_spill.out"
 diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_spill.out")
 
+echo "==> dmine --repr bitmap / auto-density == mine (bitmap classes over the wire)"
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --threads 2 --repr bitmap \
+    > "$tmpdir/dmine_bitmap.out"
+diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_bitmap.out")
+cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
+    --support 0.25 --spawn-local 2 --threads 2 --repr auto-density \
+    > "$tmpdir/dmine_autodensity.out"
+diff <(tail -n +2 "$tmpdir/mine.out") <(tail -n +2 "$tmpdir/dmine_autodensity.out")
+
 echo "==> dmine --trace: merged cluster timeline validates + converts to Chrome JSON"
 cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \
     --support 0.25 --spawn-local 2 --threads 2 --trace "$tmpdir/run.jsonl" \
@@ -60,10 +70,12 @@ grep -q "valid trace" "$tmpdir/trace.out"
 grep -q "3 process(es)" "$tmpdir/trace.out"
 grep -q '"traceEvents"' "$tmpdir/run.json"
 
-echo "==> ablations --scale=tiny (incl. disabled-tracing overhead gate)"
+echo "==> ablations --scale=tiny (incl. representation x density + tracing gates)"
 cargo run -q --release -p repro-bench --bin ablations -- --scale=tiny \
     > "$tmpdir/ablations.out"
 grep -q "tracing overhead" "$tmpdir/ablations.out"
+grep -q "representation × density" "$tmpdir/ablations.out"
+grep -q "dense-db bitmap win" "$tmpdir/ablations.out"
 
 echo "==> stats_diff: measured dmine stats vs simulated cluster stats (same schema)"
 cargo run -q --release -p eclat-cli -- dmine --input "$tmpdir/t10.ech" \

@@ -119,6 +119,11 @@ fn every_representation_agrees_on_quest_data() {
         Representation::Diffset,
         Representation::AutoSwitch { depth: 1 },
         Representation::AutoSwitch { depth: 3 },
+        Representation::Bitmap,
+        Representation::AutoDensity { permille: 8 },
+        // Extremes force the pure-chunked and pure-bitmap arms.
+        Representation::AutoDensity { permille: 0 },
+        Representation::AutoDensity { permille: 1000 },
     ] {
         let cfg = EclatConfig::with_representation(repr);
         let mut meter = OpMeter::new();
@@ -150,6 +155,51 @@ fn every_representation_agrees_on_quest_data() {
     }
 }
 
+/// The same representation matrix on a *dense* synthetic database — the
+/// regime the bitmap representation targets, where auto-density actually
+/// selects bitmaps (on sparse Quest data it stays on chunked lists).
+#[test]
+fn every_representation_agrees_on_dense_data() {
+    use eclat::Representation;
+    let db = HorizontalDb::from_transactions(
+        QuestGenerator::new(QuestParams::dense(1_500, 7)).generate_all(),
+    );
+    let minsup = MinSupport::from_percent(20.0);
+    let cost = CostModel::dec_alpha_1997();
+    let topo = ClusterConfig::new(2, 2);
+    let reference = eclat::sequential::mine(&db, minsup);
+    assert!(!reference.is_empty());
+    for repr in [
+        Representation::Diffset,
+        Representation::AutoSwitch { depth: 2 },
+        Representation::Bitmap,
+        Representation::AutoDensity { permille: 8 },
+        Representation::AutoDensity { permille: 1000 },
+    ] {
+        let cfg = EclatConfig::with_representation(repr);
+        assert_eq!(
+            eclat::sequential::mine_with(&db, minsup, &cfg, &mut OpMeter::new()),
+            reference,
+            "sequential {repr:?}"
+        );
+        assert_eq!(
+            eclat::parallel::mine_with(&db, minsup, &cfg, &mut OpMeter::new()),
+            reference,
+            "parallel {repr:?}"
+        );
+        assert_eq!(
+            eclat::cluster::mine_cluster(&db, minsup, &topo, &cost, &cfg).frequent,
+            reference,
+            "cluster {repr:?}"
+        );
+        assert_eq!(
+            eclat::hybrid::mine_hybrid(&db, minsup, &topo, &cost, &cfg).frequent,
+            reference,
+            "hybrid {repr:?}"
+        );
+    }
+}
+
 #[test]
 fn maximal_mining_agrees_across_representations() {
     use eclat::Representation;
@@ -173,6 +223,8 @@ fn maximal_mining_agrees_across_representations() {
             Representation::Diffset,
             Representation::AutoSwitch { depth: 0 },
             Representation::AutoSwitch { depth: 2 },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: 8 },
         ] {
             let cfg = EclatConfig::with_representation(repr);
             let got = eclat::maximal::mine_maximal_with(&db, minsup, &cfg, &mut OpMeter::new());

@@ -66,14 +66,21 @@ proptest! {
 
     #[test]
     fn representations_match_tidlist_eclat(db in arb_db(), pct in 2.0f64..60.0, depth in 0u32..4) {
-        // Golden equivalence across the Representation knob: diffsets and
-        // the depth-switching AdaptiveSet must reproduce the tid-list
-        // result exactly, on every execution variant.
+        // Golden equivalence across the Representation knob: diffsets,
+        // the depth-switching AdaptiveSet, bitmaps, and the density
+        // selector must reproduce the tid-list result exactly, on every
+        // execution variant. `depth * 250` doubles as a permille sweep
+        // (0, 250, 500, 750) so auto-density hits mixed splits.
         let minsup = MinSupport::from_percent(pct);
         let reference = eclat::sequential::mine(&db, minsup);
         let topo = ClusterConfig::new(2, 2);
         let cost = CostModel::dec_alpha_1997();
-        for repr in [Representation::Diffset, Representation::AutoSwitch { depth }] {
+        for repr in [
+            Representation::Diffset,
+            Representation::AutoSwitch { depth },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: depth * 250 },
+        ] {
             let cfg = EclatConfig::with_representation(repr);
             let seq = eclat::sequential::mine_with(&db, minsup, &cfg, &mut OpMeter::new());
             prop_assert_eq!(&seq, &reference, "sequential {:?}", repr);
@@ -99,6 +106,8 @@ proptest! {
             Representation::TidList,
             Representation::Diffset,
             Representation::AutoSwitch { depth },
+            Representation::Bitmap,
+            Representation::AutoDensity { permille: depth * 250 },
         ] {
             for short_circuit in [true, false] {
                 let cfg = EclatConfig {
