@@ -53,8 +53,22 @@
 //! row per worker thread).
 //!
 //! ```text
+//! eclat stream   --input data.ech --support PCT --batch N [--confidence FRAC]
+//!                [--representation ...] [--out snap.ecr] [--verify] [--stats[=json]]
+//! ```
+//!
+//! `stream` replays the database as a sequence of `--batch`-sized
+//! transaction batches through the incremental [`eclat_stream`] engine:
+//! each batch appends to the vertical database, delta-counts the `L2`
+//! triangle, re-mines only the *dirty* equivalence classes, and (with
+//! `--out`) atomically rewrites the results snapshot with a bumped
+//! generation — a live `serve --reload-secs` picks each one up without
+//! restarting. `--verify` additionally full-mines every prefix and
+//! asserts the incremental state matches exactly.
+//!
+//! ```text
 //! eclat serve    (--input data.ech --support PCT | --load snap.ecr)
-//!                [--port P] [--host H]
+//!                [--port P] [--host H] [--reload-secs S]
 //!                [--confidence FRAC] [--shards N] [--cache N] [--workers N]
 //!                [--port-file PATH] [--serve-secs S]
 //! eclat query    --addr HOST:PORT [--ping] [--support-of LIST]
@@ -104,6 +118,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "simulate" => cmd_simulate(&args),
         "worker" => cmd_worker(&args),
         "dmine" => cmd_dmine(&args),
+        "stream" => cmd_stream(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
         "trace" => cmd_trace(&args),
@@ -134,8 +149,12 @@ pub fn usage() -> String {
                 [--threads P] [--mem-budget BYTES]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]\n\
                 [--min-size K] [--top N] [--stats[=json]]\n\
+       stream   --input FILE --support PCT --batch N [--confidence FRAC]\n\
+                [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]]\n\
+                [--out SNAPSHOT] [--verify] [--stats[=json]]\n\
        serve    (--input FILE --support PCT | --load SNAPSHOT) [--port P] [--host H] [--confidence FRAC]\n\
                 [--shards N] [--cache N] [--workers N] [--port-file PATH] [--serve-secs S]\n\
+                [--reload-secs S]\n\
        query    --addr HOST:PORT [--ping] [--support-of LIST] [--subsets-of LIST]\n\
                 [--supersets-of LIST] [--rules-for LIST] [--topk K [--size S]]\n\
                 [--limit N] [--top N] [--server-stats] [--metrics]\n\
@@ -423,6 +442,7 @@ fn write_snapshot(
                 consequent_support: r.consequent_support,
             })
             .collect(),
+        generation: 1,
     };
     let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     let mut w = BufWriter::new(f);
@@ -901,6 +921,177 @@ fn merge_dmine_trace(base: &str, children: usize) -> Result<String, String> {
     ))
 }
 
+/// Read a results snapshot into a serve dataset, plus the
+/// `(generation, checksum)` identity the hot-reload poller keys on.
+/// Generation alone is not enough: `mine --out` always writes
+/// generation 1, so two successive full mines would look identical
+/// without the payload checksum.
+fn read_snapshot_dataset(path: &str) -> Result<(assoc_serve::Dataset, (u64, u64)), String> {
+    let key = {
+        let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let (_, generation, checksum) = binfmt::peek_results_header(&mut BufReader::new(f))
+            .map_err(|e| format!("read {path}: {e}"))?;
+        (generation, checksum)
+    };
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let (snap, _) =
+        binfmt::read_results(&mut BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))?;
+    let dataset = assoc_serve::Dataset {
+        frequent: snap.frequent,
+        rules: snap
+            .rules
+            .into_iter()
+            .map(|r| assoc_rules::Rule {
+                antecedent: r.antecedent,
+                consequent: r.consequent,
+                support: r.support,
+                antecedent_support: r.antecedent_support,
+                consequent_support: r.consequent_support,
+            })
+            .collect(),
+        num_transactions: snap.num_transactions,
+    };
+    Ok((dataset, key))
+}
+
+/// Header-only snapshot identity probe (`None` on any I/O or format
+/// error — the poller treats those as "try again next tick").
+fn peek_snapshot_key(path: &str) -> Option<(u64, u64)> {
+    let f = File::open(path).ok()?;
+    let (_, generation, checksum) = binfmt::peek_results_header(&mut BufReader::new(f)).ok()?;
+    Some((generation, checksum))
+}
+
+/// Write `snap` to `path` atomically: serialize next to it, then rename
+/// over. A concurrent `serve --reload-secs` poller therefore only ever
+/// sees complete snapshots.
+fn write_snapshot_atomic(snap: &binfmt::ResultsSnapshot, path: &str) -> Result<u64, String> {
+    let tmp = format!("{path}.tmp");
+    {
+        let f = File::create(&tmp).map_err(|e| format!("create {tmp}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        binfmt::write_results(snap, &mut w).map_err(|e| format!("write {tmp}: {e}"))?;
+    }
+    let bytes = std::fs::metadata(&tmp).map_err(|e| e.to_string())?.len();
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))?;
+    Ok(bytes)
+}
+
+fn cmd_stream(flags: &Flags) -> Result<String, String> {
+    let db = load_db(flags)?;
+    let minsup = support_of(flags)?;
+    let batch: usize = flags.parse("batch", 0usize)?;
+    if batch == 0 {
+        return Err("--batch must be > 0".to_string());
+    }
+    let confidence: f64 = flags.parse("confidence", 0.5f64)?;
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err("--confidence must be in [0, 1]".to_string());
+    }
+    let representation = representation_of(flags)?;
+    let stats = stats_mode(flags)?;
+    let verify = flags.has("verify");
+    let out_path = flags.get("out").map(str::to_string);
+    let trace_path = flags.get("trace").map(str::to_string);
+    if trace_path.is_some() {
+        arm_tracing(0);
+    }
+
+    let cfg = eclat::EclatConfig::with_representation(representation);
+    let mut engine =
+        eclat_stream::StreamEngine::new(db.num_items(), minsup, confidence, cfg.clone());
+    let mut run = eclat_stream::StreamStats {
+        representation: format!("{representation}"),
+        batch_size: batch as u64,
+        ..Default::default()
+    };
+    let transactions: Vec<Vec<mining_types::ItemId>> = db.iter().map(|(_, t)| t.to_vec()).collect();
+
+    let mut out = String::new();
+    let t0 = std::time::Instant::now();
+    let mut chunks = transactions.chunks(batch).peekable();
+    let mut seen = 0usize;
+    // An empty database still emits one (empty) batch so `--out` always
+    // produces a serveable snapshot.
+    let mut first = true;
+    while first || chunks.peek().is_some() {
+        first = false;
+        let chunk = chunks.next().unwrap_or(&[]);
+        seen += chunk.len();
+        let bstats = engine.ingest_batch(chunk, &eclat::pipeline::Serial);
+        if verify {
+            let prefix = HorizontalDb::from_transactions(transactions[..seen].to_vec());
+            let full = eclat_stream::MinedState::full_mine(&prefix, minsup, confidence, &cfg);
+            if engine.state().frequent != full.frequent || engine.state().rules != full.rules {
+                return Err(format!(
+                    "--verify: incremental state diverged from the full re-mine \
+                     after batch {} ({} transactions)",
+                    bstats.batch, seen
+                ));
+            }
+        }
+        if let Some(path) = &out_path {
+            write_snapshot_atomic(&engine.state().to_snapshot(), path)?;
+        }
+        if stats != StatsMode::Json {
+            let _ = writeln!(
+                out,
+                "batch {:>3}: +{} txns (total {}) | {}/{} classes dirty (bound {}), \
+                 {} carried, {} born, {} dropped | {} itemsets / {} rules | \
+                 {:.3}s remine",
+                bstats.batch,
+                bstats.transactions,
+                bstats.total_transactions,
+                bstats.classes_dirty,
+                bstats.classes_total,
+                bstats.dirty_bound,
+                bstats.classes_carried,
+                bstats.classes_born,
+                bstats.classes_dropped,
+                bstats.itemsets,
+                bstats.rules,
+                bstats.remine_secs
+            );
+        }
+        run.push(bstats);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+
+    if stats == StatsMode::Json {
+        let mut json = run.to_json();
+        json.push('\n');
+        return Ok(json);
+    }
+    let _ = writeln!(
+        out,
+        "streamed {} transactions in {} batches ({dt:.2}s): {} itemsets / {} rules at generation {}{}",
+        run.total_transactions,
+        run.generation,
+        run.itemsets,
+        run.rules,
+        run.generation,
+        if verify { " [verified]" } else { "" }
+    );
+    if let Some(path) = &out_path {
+        let _ = writeln!(out, "snapshot -> {path}");
+    }
+    if let Some(path) = &trace_path {
+        let doc = eclat_obs::trace::render_jsonl();
+        std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "trace: {} records -> {path}",
+            doc.lines().count().saturating_sub(1)
+        );
+    }
+    if stats == StatsMode::Human {
+        out.push('\n');
+        out.push_str(&run.to_json());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 fn cmd_serve(flags: &Flags) -> Result<String, String> {
     let shards: usize = flags.parse("shards", 16usize)?;
     let cache: usize = flags.parse("cache", 4096usize)?;
@@ -910,26 +1101,13 @@ fn cmd_serve(flags: &Flags) -> Result<String, String> {
     }
 
     let t0 = std::time::Instant::now();
+    let mut snapshot_key = None;
     let dataset = if let Some(path) = flags.get("load") {
-        // Boot from a persisted `mine --out` snapshot — no re-mining.
-        let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let (snap, _) = binfmt::read_results(&mut BufReader::new(f))
-            .map_err(|e| format!("read {path}: {e}"))?;
-        assoc_serve::Dataset {
-            frequent: snap.frequent,
-            rules: snap
-                .rules
-                .into_iter()
-                .map(|r| assoc_rules::Rule {
-                    antecedent: r.antecedent,
-                    consequent: r.consequent,
-                    support: r.support,
-                    antecedent_support: r.antecedent_support,
-                    consequent_support: r.consequent_support,
-                })
-                .collect(),
-            num_transactions: snap.num_transactions,
-        }
+        // Boot from a persisted `mine --out` / `stream --out` snapshot —
+        // no re-mining.
+        let (dataset, key) = read_snapshot_dataset(path)?;
+        snapshot_key = Some(key);
+        dataset
     } else {
         let db = load_db(flags)?;
         let minsup = support_of(flags)?;
@@ -969,6 +1147,52 @@ fn cmd_serve(flags: &Flags) -> Result<String, String> {
         .map_err(|e| format!("bind {}:{}: {e}", cfg.host, cfg.port))?;
     let addr = handle.local_addr();
 
+    // --reload-secs: poll the loaded snapshot and hot-swap the store
+    // whenever its (generation, checksum) identity changes. The peek is
+    // header-only, so an idle poll costs one 36-byte read; torn or
+    // half-renamed files simply fail the peek and are retried next tick.
+    let reloader = match flags.get("reload-secs") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("--reload-secs: cannot parse '{raw}'"))?;
+            if secs <= 0.0 || secs.is_nan() {
+                return Err("--reload-secs must be > 0".to_string());
+            }
+            let path = flags
+                .get("load")
+                .ok_or_else(|| "--reload-secs requires --load SNAPSHOT".to_string())?
+                .to_string();
+            let mut last = snapshot_key.expect("--load sets the snapshot key");
+            let store = std::sync::Arc::clone(&store);
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop_flag = std::sync::Arc::clone(&stop);
+            let thread = std::thread::spawn(move || {
+                while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                    let Some(key) = peek_snapshot_key(&path) else {
+                        continue;
+                    };
+                    if key == last {
+                        continue;
+                    }
+                    let Ok((dataset, key)) = read_snapshot_dataset(&path) else {
+                        continue;
+                    };
+                    let generation = store.reload(&dataset);
+                    last = key;
+                    eclat_obs::log_info!(
+                        "eclat-serve",
+                        "hot-reloaded {path} (snapshot generation {}, serving generation {generation})",
+                        key.0
+                    );
+                }
+            });
+            Some((stop, thread))
+        }
+    };
+
     let mut out = String::new();
     let stats = store.serve_stats(None);
     let _ = writeln!(
@@ -987,14 +1211,19 @@ fn cmd_serve(flags: &Flags) -> Result<String, String> {
                 .parse()
                 .map_err(|_| format!("--serve-secs: cannot parse '{raw}'"))?;
             std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            if let Some((stop, thread)) = reloader {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                let _ = thread.join();
+            }
             let counters = handle.shutdown();
             let _ = writeln!(
                 out,
-                "served {} connections / {} requests ({} protocol errors, {} timeouts)",
+                "served {} connections / {} requests ({} protocol errors, {} timeouts, {} reloads)",
                 counters.connections,
                 counters.requests,
                 counters.protocol_errors,
-                counters.timeouts
+                counters.timeouts,
+                store.reloads()
             );
             let cs = store.cache_stats();
             let _ = writeln!(
@@ -1888,6 +2117,222 @@ mod tests {
         let report = server.join().unwrap().unwrap();
         assert!(report.contains("serving"), "{report}");
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&snap).unwrap();
+        std::fs::remove_file(&port_file).unwrap();
+    }
+
+    #[test]
+    fn stream_incremental_matches_mine_snapshot() {
+        let path = tempfile("streamdb");
+        generate(&path, 1200);
+        let snap_stream = std::env::temp_dir()
+            .join(format!("eclat-cli-streamsnap-{}.ecr", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let snap_full = std::env::temp_dir()
+            .join(format!("eclat-cli-fullsnap-{}.ecr", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+
+        let streamed = run(&argv(&[
+            "stream",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--batch",
+            "400",
+            "--confidence",
+            "0.3",
+            "--out",
+            &snap_stream,
+            "--verify",
+        ]))
+        .unwrap();
+        assert!(streamed.contains("[verified]"), "{streamed}");
+        assert!(streamed.contains("classes dirty"), "{streamed}");
+        assert!(
+            streamed.contains("streamed 1200 transactions in 3 batches"),
+            "{streamed}"
+        );
+
+        let mined = run(&argv(&[
+            "mine",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--confidence",
+            "0.3",
+            "--out",
+            &snap_full,
+        ]))
+        .unwrap();
+        assert!(mined.contains("snapshot:"), "{mined}");
+
+        let read = |p: &str| {
+            let f = File::open(p).unwrap();
+            binfmt::read_results(&mut BufReader::new(f)).unwrap().0
+        };
+        let incremental = read(&snap_stream);
+        let full = read(&snap_full);
+        assert_eq!(incremental.frequent, full.frequent);
+        assert_eq!(incremental.rules, full.rules);
+        assert_eq!(incremental.num_transactions, full.num_transactions);
+        assert_eq!(incremental.generation, 3, "one generation per batch");
+        assert_eq!(full.generation, 1, "mine --out always writes generation 1");
+
+        let json = run(&argv(&[
+            "stream",
+            "--input",
+            &path,
+            "--support",
+            "1",
+            "--batch",
+            "500",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(
+            json.starts_with(
+                "{\"schema_version\":1,\"algorithm\":\"eclat\",\"variant\":\"stream\""
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"batches\":[{\"batch\":0,"), "{json}");
+        assert!(json.contains("\"classes_dirty\""), "{json}");
+
+        assert!(
+            run(&argv(&["stream", "--input", &path, "--support", "0.5"]))
+                .unwrap_err()
+                .contains("--batch")
+        );
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&snap_stream).unwrap();
+        std::fs::remove_file(&snap_full).unwrap();
+    }
+
+    /// Satellite loopback: overwrite the loaded snapshot while queries
+    /// are in flight and assert the server switches from the old answers
+    /// to the new ones exactly once, with no mixed or stale responses.
+    #[test]
+    fn serve_hot_reload_loopback() {
+        use mining_types::Itemset;
+
+        let make = |bump: u32, generation: u64| {
+            let frequent: FrequentSet = [
+                (Itemset::of(&[1]), 10 + bump),
+                (Itemset::of(&[2]), 8 + bump),
+                (Itemset::of(&[1, 2]), 5 + bump),
+            ]
+            .into_iter()
+            .collect();
+            let rules = assoc_rules::generate(&frequent, 0.0);
+            binfmt::ResultsSnapshot {
+                num_transactions: 100,
+                frequent,
+                rules: rules
+                    .into_iter()
+                    .map(|r| binfmt::RuleRecord {
+                        antecedent: r.antecedent,
+                        consequent: r.consequent,
+                        support: r.support,
+                        antecedent_support: r.antecedent_support,
+                        consequent_support: r.consequent_support,
+                    })
+                    .collect(),
+                generation,
+            }
+        };
+        let snap = std::env::temp_dir()
+            .join(format!("eclat-cli-reload-{}.ecr", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        write_snapshot_atomic(&make(0, 1), &snap).unwrap();
+
+        let port_file = std::env::temp_dir()
+            .join(format!("eclat-cli-reloadport-{}.txt", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&port_file);
+        let serve_args = argv(&[
+            "serve",
+            "--load",
+            &snap,
+            "--port",
+            "0",
+            "--port-file",
+            &port_file,
+            "--serve-secs",
+            "5",
+            "--reload-secs",
+            "0.05",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let port = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = s.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        let support_of_12 = || -> u32 {
+            let out = run(&argv(&["query", "--addr", &addr, "--support-of", "1,2"])).unwrap();
+            out.trim()
+                .rsplit("= ")
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable support answer: {out}"))
+        };
+
+        assert_eq!(
+            support_of_12(),
+            5,
+            "pre-reload answers come from snapshot 1"
+        );
+        write_snapshot_atomic(&make(100, 2), &snap).unwrap();
+
+        // Keep querying through the swap; answers must be a run of old
+        // values followed by a run of new values — never anything else,
+        // never old again after the first new.
+        let mut observed = Vec::new();
+        let flip_deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = support_of_12();
+            observed.push(s);
+            if s == 105 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < flip_deadline,
+                "reload never observed: {observed:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let first_new = observed.iter().position(|&s| s == 105).unwrap();
+        assert!(
+            observed[..first_new].iter().all(|&s| s == 5)
+                && observed[first_new..].iter().all(|&s| s == 105),
+            "mixed-generation answers: {observed:?}"
+        );
+        assert_eq!(support_of_12(), 105, "post-reload answers stick");
+
+        let stats = run(&argv(&["query", "--addr", &addr, "--server-stats"])).unwrap();
+        assert!(stats.contains("\"reloads\":1"), "{stats}");
+        assert!(stats.contains("\"generation\":2"), "{stats}");
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("1 reloads"), "{report}");
         std::fs::remove_file(&snap).unwrap();
         std::fs::remove_file(&port_file).unwrap();
     }

@@ -152,6 +152,7 @@ mod tests {
     fn stats() -> ServeStats {
         ServeStats {
             generation: 3,
+            reloads: 0,
             shards: 4,
             itemsets: 10,
             rules: 5,

@@ -8,7 +8,8 @@ use std::fmt::Write as _;
 
 /// Bump when the serving-stats JSON layout changes.
 /// v2: added the per-query-kind `queries` latency section.
-pub const SERVE_SCHEMA_VERSION: u64 = 2;
+/// v3: added the `reloads` hot-reload counter.
+pub const SERVE_SCHEMA_VERSION: u64 = 3;
 
 /// Counters maintained by the TCP server ([`crate::server`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,6 +72,9 @@ impl QueryStat {
 pub struct ServeStats {
     /// Current dataset generation (0 = nothing loaded yet).
     pub generation: u64,
+    /// Hot reloads performed after the initial load (see
+    /// [`crate::Store::reload`]).
+    pub reloads: u64,
     /// Number of index shards.
     pub shards: u64,
     /// Frequent itemsets served.
@@ -120,6 +124,7 @@ impl ServeStats {
         Obj::new()
             .u64("schema_version", SERVE_SCHEMA_VERSION)
             .u64("generation", self.generation)
+            .u64("reloads", self.reloads)
             .u64("shards", self.shards)
             .u64("itemsets", self.itemsets)
             .u64("rules", self.rules)
@@ -136,8 +141,8 @@ impl ServeStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve stats: generation {} / {} shards / {} itemsets / {} rules ({} trie nodes)",
-            self.generation, self.shards, self.itemsets, self.rules, self.trie_nodes
+            "serve stats: generation {} ({} reloads) / {} shards / {} itemsets / {} rules ({} trie nodes)",
+            self.generation, self.reloads, self.shards, self.itemsets, self.rules, self.trie_nodes
         );
         let _ = writeln!(
             out,
@@ -176,6 +181,7 @@ mod tests {
     fn sample() -> ServeStats {
         ServeStats {
             generation: 2,
+            reloads: 1,
             shards: 4,
             itemsets: 100,
             rules: 30,
@@ -198,7 +204,10 @@ mod tests {
     #[test]
     fn json_shape_without_server() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+        assert!(
+            json.starts_with("{\"schema_version\":3,\"generation\":2,\"reloads\":1,"),
+            "{json}"
+        );
         assert!(json.contains("\"server\":null"), "{json}");
         assert!(json.contains("\"queries\":null"), "{json}");
         assert!(json.contains("\"hit_rate\":0.9"), "{json}");

@@ -87,6 +87,7 @@ pub struct Store {
     cache: QueryCache,
     num_shards: usize,
     generations: AtomicU64,
+    reloads: AtomicU64,
 }
 
 impl Store {
@@ -103,6 +104,7 @@ impl Store {
             cache: QueryCache::new(cfg.cache_entries),
             num_shards: cfg.shards,
             generations: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +131,21 @@ impl Store {
         // for correctness.
         self.cache.clear();
         generation
+    }
+
+    /// [`Store::load`], counted as a *hot reload*: the serve CLI's
+    /// snapshot watcher calls this for every swap after the initial
+    /// load, so `reloads` in the stats report says how many times the
+    /// served dataset changed underneath live traffic.
+    pub fn reload(&self, dataset: &Dataset) -> u64 {
+        let generation = self.load(dataset);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        generation
+    }
+
+    /// Hot reloads performed so far (initial load excluded).
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
     }
 
     /// Snapshot the current table (readers run entirely on the snapshot).
@@ -231,6 +248,7 @@ impl Store {
         let table = self.snapshot();
         ServeStats {
             generation: table.generation(),
+            reloads: self.reloads(),
             shards: table.shards.len() as u64,
             itemsets: table.num_itemsets() as u64,
             rules: table.num_rules() as u64,
@@ -363,6 +381,18 @@ mod tests {
         assert_eq!(generation, 2);
         assert_eq!(store.snapshot().generation(), 2);
         assert_eq!(store.execute(&q), Response::Support(Some(7)));
+    }
+
+    #[test]
+    fn reload_counter_tracks_hot_swaps_only() {
+        let store = Store::with_dataset(&dataset(), &StoreConfig::default());
+        assert_eq!(store.reloads(), 0, "the initial load is not a reload");
+        let generation = store.reload(&dataset());
+        assert_eq!(generation, 2);
+        assert_eq!(store.reloads(), 1);
+        store.load(&dataset()); // plain load does not count
+        assert_eq!(store.reloads(), 1);
+        assert_eq!(store.serve_stats(None).reloads, 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub const MAGIC_VERTICAL: u32 = 0x4543_4C56;
 pub const MAGIC_RESULTS: u32 = 0x4543_4C52;
 /// Format version.
 pub const VERSION: u32 = 1;
+/// Current results-snapshot version. v2 extends the v1 header with a
+/// generation counter and a feature bitmask; [`read_results`] still
+/// accepts v1 files (generation 0, no features).
+pub const RESULTS_VERSION: u32 = 2;
+/// Feature bits written into v2 snapshot headers. None are defined yet;
+/// readers reject snapshots carrying unknown bits instead of
+/// misdecoding them.
+pub const RESULTS_FEATURES: u32 = 0;
 
 /// Serialize a horizontal database. Returns bytes written.
 ///
@@ -163,6 +171,10 @@ pub struct ResultsSnapshot {
     pub frequent: FrequentSet,
     /// The generated rules.
     pub rules: Vec<RuleRecord>,
+    /// Producer generation counter (v2 header field). A streaming miner
+    /// bumps this every batch so a serving process can skip re-loading a
+    /// snapshot it has already seen; v1 files read back as 0.
+    pub generation: u64,
 }
 
 /// FNV-1a 64 over the payload — the snapshot header's checksum. Cheap,
@@ -198,15 +210,7 @@ fn get_itemset(cur: &mut &[u8]) -> io::Result<Itemset> {
     Ok(Itemset::from_sorted(items))
 }
 
-/// Serialize a mined-result snapshot. Returns bytes written.
-///
-/// Layout: `magic, version, checksum:u64, payload_len:u64`, then the
-/// payload: `num_transactions, num_itemsets`, per itemset
-/// `len:u32, items:u32×len, support:u32` (in [`FrequentSet::sorted`]
-/// order, so files are deterministic), then `num_rules` and per rule
-/// the two itemsets and three support counts. The checksum is FNV-1a 64
-/// over the payload; [`read_results`] verifies it before decoding.
-pub fn write_results<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<u64> {
+fn results_payload(snap: &ResultsSnapshot) -> BytesMut {
     let mut payload = BytesMut::with_capacity(4096);
     payload.put_u32_le(snap.num_transactions);
     let sorted = snap.frequent.sorted();
@@ -223,7 +227,38 @@ pub fn write_results<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<
         payload.put_u32_le(rule.antecedent_support);
         payload.put_u32_le(rule.consequent_support);
     }
+    payload
+}
 
+/// Serialize a mined-result snapshot (current v2 layout). Returns bytes
+/// written.
+///
+/// Layout: `magic, version=2, checksum:u64, payload_len:u64,
+/// generation:u64, features:u32`, then the payload: `num_transactions,
+/// num_itemsets`, per itemset `len:u32, items:u32×len, support:u32` (in
+/// [`FrequentSet::sorted`] order, so files are deterministic), then
+/// `num_rules` and per rule the two itemsets and three support counts.
+/// The checksum is FNV-1a 64 over the payload; [`read_results`]
+/// verifies it before decoding.
+pub fn write_results<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<u64> {
+    let payload = results_payload(snap);
+    let mut header = BytesMut::with_capacity(36);
+    header.put_u32_le(MAGIC_RESULTS);
+    header.put_u32_le(RESULTS_VERSION);
+    header.put_u64_le(fnv1a64(&payload));
+    header.put_u64_le(payload.len() as u64);
+    header.put_u64_le(snap.generation);
+    header.put_u32_le(RESULTS_FEATURES);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    Ok((header.len() + payload.len()) as u64)
+}
+
+/// Serialize a snapshot in the legacy v1 layout (24-byte header, no
+/// generation/features). Kept so the v1 read path stays covered by a
+/// bit-exact fixture; new code should use [`write_results`].
+pub fn write_results_v1<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<u64> {
+    let payload = results_payload(snap);
     let mut header = BytesMut::with_capacity(24);
     header.put_u32_le(MAGIC_RESULTS);
     header.put_u32_le(VERSION);
@@ -234,22 +269,75 @@ pub fn write_results<W: Write>(snap: &ResultsSnapshot, w: &mut W) -> io::Result<
     Ok((header.len() + payload.len()) as u64)
 }
 
-/// Deserialize a mined-result snapshot, verifying the checksum.
+/// Read just enough of a results snapshot to learn `(version,
+/// generation, payload checksum)` — the cheap poll a hot-reloading
+/// server runs before deciding whether to decode the whole file. The
+/// checksum distinguishes rewrites that reuse a generation number; v1
+/// headers report generation 0.
 ///
 /// # Errors
-/// `InvalidData` on wrong magic/version, a checksum mismatch (file
-/// corrupted or truncated), or malformed payload structure.
+/// `InvalidData` on wrong magic, an unknown version, or unknown feature
+/// bits; plain I/O errors (including `UnexpectedEof` on a torn write)
+/// pass through.
+pub fn peek_results_header<R: Read>(r: &mut R) -> io::Result<(u32, u64, u64)> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let magic = h.get_u32_le();
+    let version = h.get_u32_le();
+    if magic != MAGIC_RESULTS {
+        return Err(bad_format("not a results snapshot file"));
+    }
+    let checksum = h.get_u64_le();
+    match version {
+        VERSION => Ok((version, 0, checksum)),
+        RESULTS_VERSION => {
+            let mut ext = [0u8; 12];
+            r.read_exact(&mut ext)?;
+            let mut e = &ext[..];
+            let generation = e.get_u64_le();
+            let features = e.get_u32_le();
+            if features != 0 {
+                return Err(bad_format("results snapshot has unknown feature bits"));
+            }
+            Ok((version, generation, checksum))
+        }
+        _ => Err(bad_format("unsupported results snapshot version")),
+    }
+}
+
+/// Deserialize a mined-result snapshot, verifying the checksum. Accepts
+/// both the current v2 layout and legacy v1 files (which decode with
+/// `generation: 0`).
+///
+/// # Errors
+/// `InvalidData` on wrong magic/version, unknown feature bits, a
+/// checksum mismatch (file corrupted or truncated), or malformed
+/// payload structure.
 pub fn read_results<R: Read>(r: &mut R) -> io::Result<(ResultsSnapshot, u64)> {
     let mut header = [0u8; 24];
     r.read_exact(&mut header)?;
     let mut h = &header[..];
     let magic = h.get_u32_le();
     let version = h.get_u32_le();
-    if magic != MAGIC_RESULTS || version != VERSION {
+    if magic != MAGIC_RESULTS || (version != VERSION && version != RESULTS_VERSION) {
         return Err(bad_format("not a results snapshot file"));
     }
     let checksum = h.get_u64_le();
     let payload_len = h.get_u64_le() as usize;
+    let mut header_len = header.len();
+    let mut generation = 0u64;
+    if version == RESULTS_VERSION {
+        let mut ext = [0u8; 12];
+        r.read_exact(&mut ext)?;
+        let mut e = &ext[..];
+        generation = e.get_u64_le();
+        let features = e.get_u32_le();
+        if features != 0 {
+            return Err(bad_format("results snapshot has unknown feature bits"));
+        }
+        header_len += ext.len();
+    }
     let mut payload = vec![0u8; payload_len];
     r.read_exact(&mut payload)?;
     if fnv1a64(&payload) != checksum {
@@ -298,8 +386,9 @@ pub fn read_results<R: Read>(r: &mut R) -> io::Result<(ResultsSnapshot, u64)> {
             num_transactions,
             frequent,
             rules,
+            generation,
         },
-        (header.len() + payload_len) as u64,
+        (header_len + payload_len) as u64,
     ))
 }
 
@@ -397,6 +486,7 @@ mod tests {
                 antecedent_support: 4,
                 consequent_support: 3,
             }],
+            generation: 7,
         }
     }
 
@@ -417,11 +507,91 @@ mod tests {
             num_transactions: 0,
             frequent: FrequentSet::new(),
             rules: Vec::new(),
+            generation: 0,
         };
         let mut buf = Vec::new();
         write_results(&snap, &mut buf).unwrap();
         let (back, _) = read_results(&mut buf.as_slice()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn v1_snapshot_still_reads_with_generation_zero() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        let written = write_results_v1(&snap, &mut buf).unwrap();
+        // v1 headers are 12 bytes shorter than v2.
+        let mut v2 = Vec::new();
+        assert_eq!(write_results(&snap, &mut v2).unwrap(), written + 12);
+        let (back, read) = read_results(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(back.generation, 0, "v1 files carry no generation");
+        assert_eq!(back.frequent, snap.frequent);
+        assert_eq!(back.rules, snap.rules);
+        assert_eq!(back.num_transactions, snap.num_transactions);
+    }
+
+    /// Bit-exact v1 fixture: an empty snapshot serialized by the v1
+    /// writer at the time the format was frozen. Guards the read path
+    /// against accidental header/layout drift.
+    #[test]
+    fn v1_fixture_bytes_decode() {
+        let fixture: &[u8] = &[
+            0x52, 0x4C, 0x43, 0x45, // magic "ECLR" (LE)
+            0x01, 0x00, 0x00, 0x00, // version 1
+            0xF7, 0xD5, 0xAC, 0xD2, 0x1A, 0xB8, 0xEE, 0x3E, // fnv1a64
+            0x0C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload len 12
+            0x02, 0x00, 0x00, 0x00, // num_transactions 2
+            0x00, 0x00, 0x00, 0x00, // num_itemsets 0
+            0x00, 0x00, 0x00, 0x00, // num_rules 0
+        ];
+        let (snap, read) = read_results(&mut &fixture[..]).unwrap();
+        assert_eq!(read, fixture.len() as u64);
+        assert_eq!(snap.num_transactions, 2);
+        assert_eq!(snap.generation, 0);
+        assert!(snap.frequent.is_empty() && snap.rules.is_empty());
+    }
+
+    #[test]
+    fn peek_reads_version_and_generation_cheaply() {
+        let snap = sample_snapshot();
+        let mut v2 = Vec::new();
+        write_results(&snap, &mut v2).unwrap();
+        let (version, generation, checksum) = peek_results_header(&mut v2.as_slice()).unwrap();
+        assert_eq!((version, generation), (RESULTS_VERSION, 7));
+        let mut v1 = Vec::new();
+        write_results_v1(&snap, &mut v1).unwrap();
+        let (v1_version, v1_generation, v1_checksum) =
+            peek_results_header(&mut v1.as_slice()).unwrap();
+        assert_eq!((v1_version, v1_generation), (VERSION, 0));
+        assert_eq!(checksum, v1_checksum, "same payload, same checksum");
+        // A torn write (header cut short) surfaces as UnexpectedEof, not
+        // a panic — the poller skips and retries.
+        let err = peek_results_header(&mut &v2[..30]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unknown_feature_bits_rejected() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_results(&snap, &mut buf).unwrap();
+        buf[32] |= 0x01; // features field (header bytes 32..36)
+        let err = read_results(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("feature"), "{err}");
+        let err = peek_results_header(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("feature"), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_results(&snap, &mut buf).unwrap();
+        buf[4] = 3; // version field
+        assert!(read_results(&mut buf.as_slice()).is_err());
+        let err = peek_results_header(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
     }
 
     #[test]

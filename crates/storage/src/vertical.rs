@@ -1,7 +1,7 @@
 //! The vertical (inverted) database layout: item → tid-list.
 
 use crate::horizontal::HorizontalDb;
-use mining_types::ItemId;
+use mining_types::{ItemId, Tid};
 use tidlist::TidList;
 
 /// A vertical database: one tid-list per item of the universe.
@@ -44,6 +44,31 @@ impl VerticalDb {
     /// through this).
     pub fn into_lists(self) -> Vec<TidList> {
         self.lists
+    }
+
+    /// Append one transaction — the streaming-ingest path. The new `tid`
+    /// must be strictly above every tid already present (batches arrive
+    /// in tid order, the same §6.3 disjoint ascending ranges the
+    /// partition merge relies on), so each touched item's list stays
+    /// sorted without any re-sort.
+    ///
+    /// # Panics
+    /// Panics if an item is outside the universe (grow first with
+    /// [`VerticalDb::grow_items`]) or `tid` is not above the item's
+    /// current last tid.
+    pub fn append_transaction(&mut self, tid: Tid, items: &[ItemId]) {
+        for &it in items {
+            self.lists[it.index()].push(tid);
+        }
+    }
+
+    /// Widen the item universe to `num_items` (no-op when already at
+    /// least that wide). New items start with empty lists, matching how
+    /// [`VerticalDb::from_horizontal`] treats never-seen items.
+    pub fn grow_items(&mut self, num_items: u32) {
+        if (num_items as usize) > self.lists.len() {
+            self.lists.resize(num_items as usize, TidList::new());
+        }
     }
 
     /// The tid-list of `item`.
@@ -169,6 +194,39 @@ mod tests {
         let v = VerticalDb::from_horizontal(&h);
         let present: Vec<u32> = v.iter().map(|(i, _)| i.0).collect();
         assert_eq!(present, vec![0, 5]);
+    }
+
+    #[test]
+    fn append_transaction_matches_batch_inversion() {
+        let h = sample();
+        let mut v = VerticalDb::from_horizontal_range(&h, 0..2);
+        for (tid, items) in h.iter_range(2..4) {
+            v.append_transaction(tid, items);
+        }
+        assert_eq!(v, VerticalDb::from_horizontal(&h));
+    }
+
+    #[test]
+    fn grow_items_adds_empty_lists_only() {
+        let h = sample();
+        let mut v = VerticalDb::from_horizontal(&h);
+        let before = v.clone();
+        v.grow_items(2); // already wider — no-op
+        assert_eq!(v.num_items(), before.num_items());
+        v.grow_items(10);
+        assert_eq!(v.num_items(), 10);
+        assert_eq!(v.tidlist(ItemId(9)), &TidList::new());
+        for i in 0..before.num_items() {
+            assert_eq!(v.tidlist(ItemId(i)), before.tidlist(ItemId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn append_transaction_rejects_stale_tid() {
+        let h = sample();
+        let mut v = VerticalDb::from_horizontal(&h);
+        v.append_transaction(Tid(0), &[ItemId(1)]);
     }
 
     #[test]

@@ -119,6 +119,28 @@ impl TidList {
         self.tids.extend_from_slice(&other.tids);
     }
 
+    /// Append a sorted slice of tids whose smallest exceeds our largest —
+    /// the streaming-ingest append path. Equivalent to
+    /// [`TidList::append_partial`] without materializing the delta as a
+    /// `TidList`: a transaction batch arrives with tids strictly above
+    /// everything already ingested (the same §6.3 disjoint ascending
+    /// ranges), so the incremental engine extends each item's list in
+    /// place.
+    ///
+    /// # Panics
+    /// Panics if `tids` is not strictly increasing or does not start
+    /// above the current last tid.
+    pub fn append_tids(&mut self, tids: &[Tid]) {
+        let mut last = self.tids.last().copied();
+        for &t in tids {
+            if let Some(prev) = last {
+                assert!(t > prev, "appended tids must be strictly increasing");
+            }
+            last = Some(t);
+        }
+        self.tids.extend_from_slice(tids);
+    }
+
     /// Support count = number of tids.
     #[inline]
     pub fn support(&self) -> u32 {
@@ -958,5 +980,31 @@ mod tests {
     fn debug_format() {
         assert_eq!(format!("{:?}", TidList::of(&[1, 2])), "T[1,2]");
         assert_eq!(format!("{:?}", TidList::new()), "T[]");
+    }
+
+    #[test]
+    fn append_tids_extends_in_place() {
+        let mut t = TidList::of(&[1, 4]);
+        t.append_tids(&[Tid(7), Tid(9)]);
+        assert_eq!(t, TidList::of(&[1, 4, 7, 9]));
+        t.append_tids(&[]);
+        assert_eq!(t, TidList::of(&[1, 4, 7, 9]));
+        let mut empty = TidList::new();
+        empty.append_tids(&[Tid(0), Tid(2)]);
+        assert_eq!(empty, TidList::of(&[0, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn append_tids_rejects_overlap() {
+        let mut t = TidList::of(&[1, 4]);
+        t.append_tids(&[Tid(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn append_tids_rejects_unsorted_slice() {
+        let mut t = TidList::new();
+        t.append_tids(&[Tid(3), Tid(2)]);
     }
 }

@@ -87,6 +87,40 @@ cargo run -q --release -p eclat-cli -- simulate --input "$tmpdir/t10.ech" \
 ./scripts/stats_diff "$tmpdir/dist_stats.json" "$tmpdir/sim_stats.json" \
     > /dev/null || test $? -eq 1
 
+echo "==> cargo test --test incremental_golden (incremental replay == full re-mine)"
+cargo test -q --test incremental_golden
+
+echo "==> stream --verify (batched incremental mine, checked per batch)"
+cargo run -q --release -p eclat-cli -- stream --input "$tmpdir/t10.ech" \
+    --support 1 --batch 5000 --verify --out "$tmpdir/live.snap" \
+    > "$tmpdir/stream.out"
+grep -q "\[verified\]" "$tmpdir/stream.out"
+grep -q "streamed 20000 transactions in 4 batches" "$tmpdir/stream.out"
+
+echo "==> stream -> serve --reload-secs (snapshot hot reload over loopback)"
+cargo run -q --release -p eclat-cli -- serve --load "$tmpdir/live.snap" \
+    --port 0 --port-file "$tmpdir/port" --serve-secs 6 --reload-secs 0.1 \
+    > "$tmpdir/serve.out" &
+serve_pid=$!
+for _ in $(seq 50); do [ -s "$tmpdir/port" ] && break; sleep 0.1; done
+test -s "$tmpdir/port"
+# Re-streaming at a different support rewrites the snapshot in place
+# (atomic rename); the poller must hot-swap it within a tick or two.
+cargo run -q --release -p eclat-cli -- stream --input "$tmpdir/t10.ech" \
+    --support 0.5 --batch 5000 --out "$tmpdir/live.snap" > /dev/null
+sleep 1
+cargo run -q --release -p eclat-cli -- query --addr "127.0.0.1:$(cat "$tmpdir/port")" \
+    --server-stats > "$tmpdir/reload_stats.out"
+# stream writes a snapshot per batch, so the poller may legitimately
+# observe several generations — require at least one hot swap.
+grep -Eq '"reloads":[1-9]' "$tmpdir/reload_stats.out"
+wait "$serve_pid"
+grep -Eq '[1-9][0-9]* reloads' "$tmpdir/serve.out"
+
+echo "==> streambench --smoke (incremental vs full re-mine, equality-asserted)"
+cargo run -q --release -p repro-bench --bin streambench -- --smoke \
+    --json=results/streambench_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,173 @@
+//! Golden replay harness for the incremental mining engine: streaming a
+//! database batch-by-batch through [`eclat_stream::StreamEngine`] must
+//! leave *exactly* the state a full re-mine of the prefix produces —
+//! same itemsets, same supports, same rules — after **every** batch, for
+//! every tid-set representation. Equality is checked on the serialized
+//! results snapshot (generation equalized), so the two paths are pinned
+//! byte for byte all the way through the storage layer.
+
+use dbstore::{binfmt, HorizontalDb};
+use eclat::pipeline::{ExecutionPolicy, FixedThreads, Rayon, Serial};
+use eclat::{EclatConfig, Representation};
+use eclat_stream::{MinedState, StreamEngine};
+use mining_types::{ItemId, MinSupport};
+use proptest::prelude::*;
+use questgen::{QuestGenerator, QuestParams};
+
+const ALL_REPRESENTATIONS: [Representation; 5] = [
+    Representation::TidList,
+    Representation::Diffset,
+    Representation::AutoSwitch { depth: 2 },
+    Representation::Bitmap,
+    Representation::AutoDensity {
+        permille: eclat::DEFAULT_DENSITY_PERMILLE,
+    },
+];
+
+/// Serialize a mined state with its generation forced to zero, so
+/// incremental and from-scratch states compare on content alone (the
+/// generation counter is the *only* intended difference).
+fn snapshot_bytes(state: &MinedState) -> Vec<u8> {
+    let mut snap = state.to_snapshot();
+    snap.generation = 0;
+    let mut buf = Vec::new();
+    binfmt::write_results(&snap, &mut buf).expect("serialize to memory");
+    buf
+}
+
+/// Replay `txns` through the engine in batches of `splits[i % len]`
+/// transactions and assert byte-identity with the full re-mine of every
+/// prefix. Returns the number of batches ingested.
+fn assert_replay_matches_full<P: ExecutionPolicy>(
+    txns: &[Vec<ItemId>],
+    splits: &[usize],
+    minsup: MinSupport,
+    confidence: f64,
+    repr: Representation,
+    policy: &P,
+) -> usize {
+    assert!(splits.iter().all(|&k| k > 0));
+    let cfg = EclatConfig::with_representation(repr);
+    let num_items = txns
+        .iter()
+        .flat_map(|t| t.iter().map(|i| i.0 + 1))
+        .max()
+        .unwrap_or(0);
+    let mut engine = StreamEngine::new(num_items, minsup, confidence, cfg.clone());
+    let mut at = 0;
+    let mut batches = 0;
+    while at < txns.len() {
+        let end = (at + splits[batches % splits.len()]).min(txns.len());
+        let stats = engine.ingest_batch(&txns[at..end], policy);
+        assert!(
+            stats.classes_dirty <= stats.dirty_bound,
+            "{repr:?}: pair-granular dirty set exceeded the item-granular bound"
+        );
+        at = end;
+        batches += 1;
+
+        let prefix = HorizontalDb::from_transactions(txns[..at].to_vec());
+        let full = MinedState::full_mine(&prefix, minsup, confidence, &cfg);
+        assert_eq!(
+            engine.state().frequent,
+            full.frequent,
+            "{repr:?}: frequent sets diverged after batch {batches} ({at} txns)"
+        );
+        assert_eq!(
+            engine.state().rules,
+            full.rules,
+            "{repr:?}: rules diverged after batch {batches}"
+        );
+        assert_eq!(
+            snapshot_bytes(engine.state()),
+            snapshot_bytes(&full),
+            "{repr:?}: serialized snapshots diverged after batch {batches}"
+        );
+    }
+    batches
+}
+
+/// The deterministic golden stream: a questgen database replayed in K
+/// batches, checked after every batch, across all five representations.
+#[test]
+fn replay_matches_full_remine_across_representations() {
+    let txns = QuestGenerator::new(QuestParams::tiny(800, 42)).generate_all();
+    for repr in ALL_REPRESENTATIONS {
+        let batches = assert_replay_matches_full(
+            &txns,
+            &[200],
+            MinSupport::from_percent(3.0),
+            0.5,
+            repr,
+            &Serial,
+        );
+        assert_eq!(batches, 4);
+    }
+}
+
+/// A rising fractional threshold crosses the support border in both
+/// directions mid-stream: ceil(25% · n) climbs from 50 to 200 across
+/// the replay, so pairs frequent in the early prefix die without losing
+/// a tid while batch-local patterns are born. Uneven batch sizes make
+/// sure the threshold moves on every ingest.
+#[test]
+fn replay_survives_border_crossings_both_directions() {
+    let txns = QuestGenerator::new(QuestParams::tiny(800, 1097)).generate_all();
+    for repr in ALL_REPRESENTATIONS {
+        assert_replay_matches_full(
+            &txns,
+            &[200, 50, 350, 120],
+            MinSupport::from_percent(25.0),
+            0.3,
+            repr,
+            &Serial,
+        );
+    }
+}
+
+/// The re-mine phase goes through the same `ExecutionPolicy` surface as
+/// the batch pipeline — threaded policies must replay identically.
+#[test]
+fn replay_is_policy_independent() {
+    let txns = QuestGenerator::new(QuestParams::tiny(600, 7)).generate_all();
+    let minsup = MinSupport::from_percent(1.5);
+    assert_replay_matches_full(&txns, &[150], minsup, 0.5, Representation::TidList, &Rayon);
+    assert_replay_matches_full(
+        &txns,
+        &[150],
+        minsup,
+        0.5,
+        Representation::Diffset,
+        &FixedThreads::new(3),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary databases, arbitrary batch splits, and a support
+    /// fraction high enough that the absolute threshold moves with
+    /// nearly every batch — border crossings in both directions are the
+    /// norm here, not the exception. Every representation takes a turn.
+    #[test]
+    fn incremental_equals_full_for_arbitrary_splits(
+        raw in proptest::collection::vec(proptest::collection::vec(0u32..10, 0..6), 1..40),
+        splits in proptest::collection::vec(1usize..8, 1..6),
+        pct in 5.0f64..60.0,
+        conf in 0.1f64..0.9,
+        repr_ix in 0usize..5,
+    ) {
+        let txns: Vec<Vec<ItemId>> = raw
+            .into_iter()
+            .map(|t| t.into_iter().map(ItemId).collect())
+            .collect();
+        assert_replay_matches_full(
+            &txns,
+            &splits,
+            MinSupport::from_percent(pct),
+            conf,
+            ALL_REPRESENTATIONS[repr_ix],
+            &Serial,
+        );
+    }
+}

@@ -301,6 +301,7 @@ const SERVE_KEYS: &[&str] = &[
     "protocol_errors",
     "queries",
     "query",
+    "reloads",
     "requests",
     "rules",
     "schema_version",
@@ -316,6 +317,7 @@ const SERVE_KEYS: &[&str] = &[
 fn serve_stats_schema_is_pinned() {
     let stats = ServeStats {
         generation: 1,
+        reloads: 1,
         shards: 4,
         itemsets: 200,
         rules: 50,
@@ -352,6 +354,70 @@ fn serve_stats_schema_is_pinned() {
         SERVE_KEYS.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
         "serve-stats schema drifted: update the pinned key list and bump \
          SERVE_SCHEMA_VERSION"
+    );
+}
+
+/// Every key the streaming-stats JSON emits, sorted as [`collect_keys`]
+/// returns them.
+const STREAM_KEYS: &[&str] = &[
+    "algorithm",
+    "batch",
+    "batch_size",
+    "batches",
+    "changed_pairs",
+    "classes_born",
+    "classes_carried",
+    "classes_dirty",
+    "classes_dropped",
+    "classes_total",
+    "delta_secs",
+    "dirty_bound",
+    "dirty_fraction",
+    "generation",
+    "ingest_secs",
+    "itemsets",
+    "merge_secs",
+    "remine_secs",
+    "representation",
+    "rules",
+    "schema_version",
+    "threshold",
+    "total_transactions",
+    "transactions",
+    "variant",
+];
+
+#[test]
+fn stream_stats_schema_is_pinned() {
+    use eclat_stream::{StreamEngine, StreamStats, STREAM_SCHEMA_VERSION};
+
+    let db = quest_db(600, 7);
+    let mut engine = StreamEngine::new(
+        db.num_items(),
+        MinSupport::from_percent(1.0),
+        0.5,
+        EclatConfig::default(),
+    );
+    let mut run = StreamStats {
+        representation: "tidlist".to_string(),
+        batch_size: 300,
+        ..StreamStats::default()
+    };
+    let txns: Vec<Vec<mining_types::ItemId>> = db.iter().map(|(_, t)| t.to_vec()).collect();
+    for chunk in txns.chunks(300) {
+        run.push(engine.ingest_batch(chunk, &eclat::pipeline::Serial));
+    }
+    assert_eq!(run.batches.len(), 2, "fixture too small: one batch");
+    let json = run.to_json();
+    assert!(json.starts_with(&format!("{{\"schema_version\":{STREAM_SCHEMA_VERSION},")));
+    assert_eq!(
+        collect_keys(&json),
+        STREAM_KEYS
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        "stream-stats schema drifted: update the pinned key list and bump \
+         STREAM_SCHEMA_VERSION"
     );
 }
 
