@@ -27,7 +27,8 @@ use std::collections::BTreeMap;
 
 /// Fields that identify a row of an array-of-objects; checked in order.
 const KEY_FIELDS: &[&str] = &[
-    "name", "database", "phase", "level", "size", "quantile", "proc", "bench",
+    "name", "database", "phase", "level", "size", "len", "quantile", "proc", "bench", "policy",
+    "maxlen",
 ];
 
 /// A flattened leaf.
@@ -241,6 +242,17 @@ mod tests {
         assert_eq!(f["xs.[1]"], Leaf::Num(20.0));
         assert!(f.contains_key("rows.[0].name"));
         assert!(f.contains_key("rows.[1].name"));
+    }
+
+    #[test]
+    fn seq_artifact_rows_key_by_len_and_policy() {
+        let a = flat(r#"{"by_len":[{"len":1,"patterns":5},{"len":2,"patterns":3}]}"#);
+        let b = flat(r#"{"by_len":[{"len":2,"patterns":4},{"len":1,"patterns":5}]}"#);
+        assert_eq!(a["by_len.[1].patterns"], b["by_len.[1].patterns"]);
+        assert_eq!(a["by_len.[2].patterns"], Leaf::Num(3.0));
+        assert_eq!(b["by_len.[2].patterns"], Leaf::Num(4.0));
+        let p = flat(r#"{"policies":[{"policy":"sequential","secs":1.5}]}"#);
+        assert!(p.contains_key("policies.[sequential].secs"));
     }
 
     #[test]

@@ -93,10 +93,17 @@
 //! parsed arguments to a report string, so the whole surface is
 //! unit-testable without spawning processes.
 
+mod common;
+mod seq;
+
+use common::{
+    arm_tracing, parse_flags, parse_items, parse_mem_budget, stats_mode, support_of, Flags,
+    StatsMode,
+};
 use dbstore::{binfmt, HorizontalDb};
 use memchannel::{ClusterConfig, CostModel};
 use mining_types::{FrequentSet, MinSupport, OpMeter};
-use questgen::{QuestGenerator, QuestParams};
+use questgen::{QuestGenerator, QuestParams, SeqGenerator, SeqParams};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -114,6 +121,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "mine" => cmd_mine(&args),
+        "seq" => seq::cmd_seq(&args),
         "rules" => cmd_rules(&args),
         "simulate" => cmd_simulate(&args),
         "worker" => cmd_worker(&args),
@@ -133,11 +141,15 @@ pub fn usage() -> String {
      \n\
      subcommands:\n\
        generate --out FILE --transactions N [--family t10i6|t5i2|t20i4|t20i6] [--seed N]\n\
+       generate --out FILE --sequences N [--family c10t4|c5t2|c20t3] [--seed N]\n\
        stats    --input FILE\n\
        mine     --input FILE --support PCT [--algorithm eclat|parallel|apriori|clique]\n\
                 [--representation tidlist|diffset|autoswitch[:DEPTH]|bitmap|auto-density[:PERMILLE]] (alias --repr)\n\
                 [--maximal] [--min-size K] [--top N] [--stats[=json]]\n\
                 [--out SNAPSHOT [--confidence FRAC]]\n\
+       seq      --input FILE (--minsup|--support) PCT [--maxlen K]\n\
+                [--policy serial|rayon|threads[:P]] [--top N]\n\
+                [--out SNAPSHOT] [--verify] [--stats[=json]] [--trace PATH]\n\
        rules    --input FILE --support PCT --confidence FRAC [--top N]\n\
        simulate --input FILE --support PCT [--hosts H] [--procs P]\n\
                 [--algorithm eclat|hybrid|countdist]\n\
@@ -169,62 +181,6 @@ pub fn usage() -> String {
         .to_string()
 }
 
-struct Flags {
-    pairs: Vec<(String, String)>,
-    bare: Vec<String>,
-}
-
-impl Flags {
-    fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key)
-            .ok_or_else(|| format!("missing required flag --{key}"))
-    }
-
-    fn has(&self, key: &str) -> bool {
-        self.bare.iter().any(|b| b == key) || self.get(key).is_some()
-    }
-
-    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
-        }
-    }
-}
-
-fn parse_flags(rest: &[String]) -> Result<Flags, String> {
-    let mut pairs = Vec::new();
-    let mut bare = Vec::new();
-    let mut it = rest.iter().peekable();
-    while let Some(tok) = it.next() {
-        let Some(stripped) = tok.strip_prefix("--") else {
-            return Err(format!("unexpected argument '{tok}' (flags start with --)"));
-        };
-        if let Some((k, v)) = stripped.split_once('=') {
-            pairs.push((k.to_string(), v.to_string()));
-        } else if let Some(next) = it.peek() {
-            if next.starts_with("--") {
-                bare.push(stripped.to_string());
-            } else {
-                pairs.push((stripped.to_string(), it.next().unwrap().clone()));
-            }
-        } else {
-            bare.push(stripped.to_string());
-        }
-    }
-    Ok(Flags { pairs, bare })
-}
-
 fn load_db(flags: &Flags) -> Result<HorizontalDb, String> {
     let path = flags.require("input")?;
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -233,25 +189,50 @@ fn load_db(flags: &Flags) -> Result<HorizontalDb, String> {
     Ok(db)
 }
 
-fn support_of(flags: &Flags) -> Result<MinSupport, String> {
-    let pct: f64 = flags
-        .require("support")?
-        .trim_end_matches('%')
-        .parse()
-        .map_err(|_| "--support: expected a percentage".to_string())?;
-    if !(0.0..=100.0).contains(&pct) {
-        return Err("--support must be in [0, 100]".to_string());
+/// Generate a sequence database (`--sequences N`): Quest's procedure
+/// lifted to customer histories, persisted as a [`dbstore::seqfmt`]
+/// container for `eclat seq`.
+fn generate_sequences(flags: &Flags, out: &str, d: usize, seed: u64) -> Result<String, String> {
+    let family = flags.get("family").unwrap_or("c10t4");
+    let params = match family {
+        "c10t4" => SeqParams::c10_t4(d),
+        "c5t2" => SeqParams::c5_t2(d),
+        "c20t3" => SeqParams::c20_t3(d),
+        other => return Err(format!("unknown sequence family '{other}'")),
     }
-    Ok(MinSupport::from_percent(pct))
+    .with_seed(seed);
+    let name = params.name();
+    let num_items = params.num_items;
+    let raw = SeqGenerator::new(params).generate_all_raw();
+    let events: usize = raw.iter().map(Vec::len).sum();
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    let bytes =
+        dbstore::seqfmt::write_seq_db(&raw, num_items, &mut w).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "generated {name}: {} sequences, {events} events, {} items, {:.1} MB -> {out}\n",
+        raw.len(),
+        num_items,
+        bytes as f64 / (1024.0 * 1024.0)
+    ))
 }
 
 fn cmd_generate(flags: &Flags) -> Result<String, String> {
     let out = flags.require("out")?;
+    let seed: u64 = flags.parse("seed", 0x5EEDu64)?;
+    if let Some(raw) = flags.get("sequences") {
+        let d: usize = raw
+            .parse()
+            .map_err(|_| "--sequences: cannot parse".to_string())?;
+        if d == 0 {
+            return Err("--sequences must be > 0".to_string());
+        }
+        return generate_sequences(flags, out, d, seed);
+    }
     let d: usize = flags.parse("transactions", 0usize)?;
     if d == 0 {
         return Err("--transactions must be > 0".to_string());
     }
-    let seed: u64 = flags.parse("seed", 0x5EEDu64)?;
     let family = flags.get("family").unwrap_or("t10i6");
     let params = match family {
         "t10i6" => QuestParams::t10_i6(d),
@@ -294,28 +275,6 @@ fn cmd_stats(flags: &Flags) -> Result<String, String> {
         }
     }
     Ok(out)
-}
-
-/// What `--stats[=json]` asked for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum StatsMode {
-    /// No stats report.
-    Off,
-    /// Append the human-readable report.
-    Human,
-    /// Emit only the JSON document.
-    Json,
-}
-
-fn stats_mode(flags: &Flags) -> Result<StatsMode, String> {
-    match flags.get("stats") {
-        Some("json") => Ok(StatsMode::Json),
-        Some(other) => Err(format!(
-            "--stats: expected '--stats' or '--stats=json', got '{other}'"
-        )),
-        None if flags.has("stats") => Ok(StatsMode::Human),
-        None => Ok(StatsMode::Off),
-    }
 }
 
 /// Parse `--representation
@@ -452,19 +411,6 @@ fn write_snapshot(
         snap.frequent.len(),
         snap.rules.len()
     ))
-}
-
-/// Arm the process-wide tracer for a `--trace PATH` run. Single-process
-/// commands have no coordinator to mint a run id, so one is derived
-/// from the wall clock and pid.
-fn arm_tracing(rank: u32) {
-    let seed = std::time::SystemTime::now()
-        .duration_since(std::time::SystemTime::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
-    let run_id = (seed ^ u64::from(std::process::id()) << 32).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    eclat_obs::trace::set_identity(run_id.max(1), rank);
-    eclat_obs::trace::set_enabled(true);
 }
 
 fn cmd_mine(flags: &Flags) -> Result<String, String> {
@@ -661,38 +607,6 @@ fn cmd_simulate(flags: &Flags) -> Result<String, String> {
         other => return Err(format!("unknown algorithm '{other}'")),
     }
     Ok(out)
-}
-
-/// Parse a comma-separated item list ("3,17,42") into an [`Itemset`].
-fn parse_items(flag: &str, raw: &str) -> Result<mining_types::Itemset, String> {
-    let mut items = Vec::new();
-    for tok in raw.split(',').filter(|t| !t.trim().is_empty()) {
-        let item: u32 = tok
-            .trim()
-            .parse()
-            .map_err(|_| format!("--{flag}: '{tok}' is not an item id"))?;
-        items.push(item);
-    }
-    Ok(mining_types::Itemset::of(&items))
-}
-
-/// Parse a byte count with an optional `k`/`m`/`g` suffix (powers of
-/// 1024, case-insensitive): `"65536"`, `"64k"`, `"2m"`, `"1g"`.
-fn parse_mem_budget(raw: &str) -> Result<u64, String> {
-    let s = raw.trim();
-    let (digits, shift) = match s.chars().last().map(|c| c.to_ascii_lowercase()) {
-        Some('k') => (&s[..s.len() - 1], 10),
-        Some('m') => (&s[..s.len() - 1], 20),
-        Some('g') => (&s[..s.len() - 1], 30),
-        _ => (s, 0),
-    };
-    let n: u64 = digits
-        .trim()
-        .parse()
-        .map_err(|_| format!("--mem-budget: cannot parse '{raw}' (want BYTES[k|m|g])"))?;
-    n.checked_shl(shift)
-        .filter(|v| v >> shift == n)
-        .ok_or_else(|| format!("--mem-budget: '{raw}' overflows"))
 }
 
 fn cmd_worker(flags: &Flags) -> Result<String, String> {
@@ -2024,18 +1938,6 @@ mod tests {
     }
 
     #[test]
-    fn mem_budget_parsing() {
-        assert_eq!(parse_mem_budget("65536").unwrap(), 65536);
-        assert_eq!(parse_mem_budget("64k").unwrap(), 64 << 10);
-        assert_eq!(parse_mem_budget("2M").unwrap(), 2 << 20);
-        assert_eq!(parse_mem_budget("1g").unwrap(), 1 << 30);
-        assert_eq!(parse_mem_budget("0").unwrap(), 0);
-        assert!(parse_mem_budget("lots").unwrap_err().contains("mem-budget"));
-        assert!(parse_mem_budget("").is_err());
-        assert!(parse_mem_budget("99999999999g").is_err(), "overflow");
-    }
-
-    #[test]
     fn snapshot_round_trip_through_serve() {
         let path = tempfile("snapdb");
         generate(&path, 1200);
@@ -2338,12 +2240,106 @@ mod tests {
     }
 
     #[test]
-    fn flag_parser_variants() {
-        let f = parse_flags(&argv(&["--a=1", "--b", "2", "--bare"])).unwrap();
-        assert_eq!(f.get("a"), Some("1"));
-        assert_eq!(f.get("b"), Some("2"));
-        assert!(f.has("bare"));
-        assert!(!f.has("missing"));
-        assert!(parse_flags(&argv(&["loose"])).is_err());
+    fn seq_generate_mine_verify_pipeline() {
+        let path = std::env::temp_dir()
+            .join(format!("eclat-cli-seq-{}.ecs", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let out = run(&argv(&[
+            "generate",
+            "--out",
+            &path,
+            "--sequences",
+            "300",
+            "--family",
+            "c10t4",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("generated C10.T4.S4.I2.D300"), "{out}");
+
+        // Mine under all three policies; reports must be byte-identical
+        // after the wall-clock headline.
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let base = run(&argv(&[
+            "seq", "--input", &path, "--minsup", "4", "--verify",
+        ]))
+        .unwrap();
+        assert!(base.contains("frequent sequences"), "{base}");
+        assert!(base.contains("[verified]"), "{base}");
+        assert!(base.contains("len  2:"), "{base}");
+        for policy in ["rayon", "threads:3"] {
+            let par = run(&argv(&[
+                "seq", "--input", &path, "--minsup", "4", "--policy", policy,
+            ]))
+            .unwrap();
+            assert_eq!(tail(&par), tail(&base), "policy {policy} diverged");
+        }
+
+        // --maxlen caps pattern length; --support is accepted too.
+        let capped = run(&argv(&[
+            "seq",
+            "--input",
+            &path,
+            "--support",
+            "4",
+            "--maxlen",
+            "2",
+        ]))
+        .unwrap();
+        assert!(!capped.contains("len  3:"), "{capped}");
+
+        // Stats JSON pins the spade algorithm tag and policy variant.
+        let json = run(&argv(&[
+            "seq",
+            "--input",
+            &path,
+            "--minsup",
+            "4",
+            "--policy",
+            "rayon",
+            "--stats=json",
+        ]))
+        .unwrap();
+        assert!(
+            json.starts_with("{\"schema_version\":1,\"algorithm\":\"spade\""),
+            "{json}"
+        );
+        assert!(json.contains("\"variant\":\"rayon\""), "{json}");
+        assert!(json.contains("\"by_len\":[{\"len\":1,"), "{json}");
+
+        // --out persists a checksummed snapshot that round-trips.
+        let snap = std::env::temp_dir()
+            .join(format!("eclat-cli-seq-{}.ecq", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let out = run(&argv(&[
+            "seq", "--input", &path, "--minsup", "4", "--out", &snap,
+        ]))
+        .unwrap();
+        assert!(out.contains("snapshot:"), "{out}");
+        let f = File::open(&snap).unwrap();
+        let ((n, patterns), _) = dbstore::seqfmt::read_seq_results(&mut BufReader::new(f)).unwrap();
+        assert_eq!(n, 300);
+        assert!(!patterns.is_empty());
+
+        // Errors keep the shared parser's vocabulary.
+        assert!(run(&argv(&["seq", "--input", &path]))
+            .unwrap_err()
+            .contains("--support"));
+        assert!(run(&argv(&[
+            "seq", "--input", &path, "--minsup", "4", "--policy", "bogus"
+        ]))
+        .unwrap_err()
+        .contains("unknown policy"));
+        assert!(
+            run(&argv(&["generate", "--out", &path, "--sequences", "0"]))
+                .unwrap_err()
+                .contains("--sequences")
+        );
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&snap).unwrap();
     }
 }

@@ -1,0 +1,191 @@
+//! Generic task execution under the pipeline's policies.
+//!
+//! [`ExecutionPolicy`](crate::pipeline::ExecutionPolicy) is deliberately
+//! concrete — its two methods speak `HorizontalDb` and tid-list
+//! `EquivalenceClass`es, and the pipeline holds it as a trait object.
+//! Other workloads (the SPADE sequence miner in `eclat-seq`) want the
+//! *scheduling behaviour* of the three policies without those types:
+//! "here are `n` independent weighted tasks, run them and give me the
+//! results back in task order".
+//!
+//! [`TaskExecutor`] is that surface. It is implemented for the same
+//! three policy types ([`Serial`], [`Rayon`], [`FixedThreads`]), with
+//! the same semantics the pipeline pins for itemset classes:
+//!
+//! * results come back **in task order**, whatever the schedule, so
+//!   parallel runs are byte-identical to serial ones;
+//! * [`FixedThreads`] splits tasks over exactly `P` scoped OS threads by
+//!   the paper's §5.2.1 greedy least-loaded rule
+//!   ([`schedule_weights`]) on the caller-supplied weights;
+//! * [`Rayon`] uses one task per work item (the vendored rayon's
+//!   order-preserving `collect`).
+
+use crate::pipeline::{FixedThreads, Rayon, Serial};
+use crate::schedule::{schedule_weights, ScheduleHeuristic};
+use rayon::prelude::*;
+use std::sync::Mutex;
+
+/// Run independent tasks under a policy, returning results in task
+/// order. `weights[i]` is the load estimate for `tasks[i]` (the §5.2.1
+/// class weight — only [`FixedThreads`] consults it).
+pub trait TaskExecutor {
+    /// Apply `f` to every task; `f(i, task)` receives the task's index.
+    fn run_tasks<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        weights: &[u64],
+        heuristic: ScheduleHeuristic,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync;
+}
+
+impl TaskExecutor for Serial {
+    fn run_tasks<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        _weights: &[u64],
+        _heuristic: ScheduleHeuristic,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect()
+    }
+}
+
+impl TaskExecutor for Rayon {
+    fn run_tasks<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        _weights: &[u64],
+        _heuristic: ScheduleHeuristic,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let indexed: Vec<(usize, T)> = tasks.into_iter().enumerate().collect();
+        indexed.into_par_iter().map(|(i, t)| f(i, t)).collect()
+    }
+}
+
+impl TaskExecutor for FixedThreads {
+    fn run_tasks<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        weights: &[u64],
+        heuristic: ScheduleHeuristic,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        assert_eq!(
+            tasks.len(),
+            weights.len(),
+            "one weight per task (got {} tasks, {} weights)",
+            tasks.len(),
+            weights.len()
+        );
+        let assignment = schedule_weights(weights, self.threads(), heuristic);
+        let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads())
+                .map(|p| {
+                    let ids = assignment.classes_of(p);
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move || {
+                        ids.into_iter()
+                            .map(|i| {
+                                let t = slots[i]
+                                    .lock()
+                                    .expect("task slot poisoned")
+                                    .take()
+                                    .expect("each task is fetched exactly once");
+                                (i, f(i, t))
+                            })
+                            .collect::<Vec<(usize, R)>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("task thread panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_all(exec: &impl TaskExecutor, n: u64) -> Vec<u64> {
+        let tasks: Vec<u64> = (0..n).collect();
+        let weights: Vec<u64> = tasks.iter().map(|&t| t + 1).collect();
+        exec.run_tasks(tasks, &weights, ScheduleHeuristic::GreedyPairs, |i, t| {
+            assert_eq!(i as u64, t, "task index lines up with the task");
+            t * t
+        })
+    }
+
+    #[test]
+    fn all_policies_preserve_task_order() {
+        let expect: Vec<u64> = (0..37).map(|t| t * t).collect();
+        assert_eq!(square_all(&Serial, 37), expect);
+        assert_eq!(square_all(&Rayon, 37), expect);
+        for p in [1, 2, 3, 8] {
+            assert_eq!(square_all(&FixedThreads::new(p), 37), expect, "P={p}");
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let none: Vec<u64> =
+            Serial.run_tasks(Vec::new(), &[], ScheduleHeuristic::GreedyPairs, |_, t| t);
+        assert!(none.is_empty());
+        let none: Vec<u64> = FixedThreads::new(4).run_tasks(
+            Vec::new(),
+            &[],
+            ScheduleHeuristic::GreedyPairs,
+            |_, t| t,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn fixed_threads_runs_every_task_once() {
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        let tasks: Vec<u64> = (0..100).collect();
+        let weights = vec![1u64; 100];
+        let out = FixedThreads::new(7).run_tasks(
+            tasks,
+            &weights,
+            ScheduleHeuristic::RoundRobin,
+            |_, t| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                t
+            },
+        );
+        assert_eq!(out, (0..100).collect::<Vec<u64>>());
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+}

@@ -38,7 +38,10 @@
 //!
 //! Supporting modules: [`equivalence`] (prefix-class partitioning, §4.1,
 //! generic over the representation), [`schedule`] (greedy least-loaded
-//! class scheduling with `C(s,2)` weights, §5.2.1), [`transform`]
+//! class scheduling with `C(s,2)` weights, §5.2.1), [`executor`] (the
+//! [`TaskExecutor`] face of the three policies — weighted independent
+//! tasks in task order, reused by the `eclat-seq` sequence miner),
+//! [`transform`]
 //! (horizontal → vertical transformation with §6.3's offset placement),
 //! and [`diffset_mine`] (the d-Eclat entry point — a thin wrapper over
 //! the generic kernel at [`compute::Representation::Diffset`]).
@@ -48,6 +51,7 @@ pub mod cluster;
 pub mod compute;
 pub mod diffset_mine;
 pub mod equivalence;
+pub mod executor;
 pub mod hybrid;
 pub mod maximal;
 pub mod parallel;
@@ -57,4 +61,5 @@ pub mod sequential;
 pub mod transform;
 
 pub use compute::{EclatConfig, Representation, DEFAULT_DENSITY_PERMILLE};
+pub use executor::TaskExecutor;
 pub use schedule::ScheduleHeuristic;

@@ -31,6 +31,8 @@
 pub mod generator;
 pub mod params;
 pub mod sampler;
+pub mod seq;
 
 pub use generator::{DatabaseStats, PatternTable, QuestGenerator};
 pub use params::QuestParams;
+pub use seq::{SeqGenerator, SeqParams, SeqPatternTable};

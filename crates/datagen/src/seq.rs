@@ -1,0 +1,631 @@
+//! Quest-style *sequence* database generator for the SPADE workload.
+//!
+//! Mirrors the market-basket procedure in [`crate::generator`], lifted
+//! one level: the pattern table holds maximal potentially frequent
+//! *sequences* (lists of itemset elements), and each customer's history
+//! packs corrupted patterns into a time-ordered event list. The
+//! published notation names databases `C<|C|>.T<|T|>.S<|S|>.I<|I|>.D<|D|>`:
+//! average events per customer |C|, average items per event |T|,
+//! average elements per pattern |S|, average items per pattern element
+//! |I|, number of customers |D|.
+//!
+//! Everything is seeded and deterministic, like the basket generator:
+//! identical [`SeqParams`] produce byte-identical databases.
+
+use crate::sampler;
+use mining_types::{FxHashSet, ItemId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Full parameter set for one synthetic sequence database.
+///
+/// ```
+/// use questgen::SeqParams;
+/// let p = SeqParams::c10_t4(1000);
+/// assert_eq!(p.name(), "C10.T4.S4.I2.D1K");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqParams {
+    /// `|D|` — number of customer sequences.
+    pub num_sequences: usize,
+    /// `|C|` — average events per sequence (Poisson mean).
+    pub avg_events_per_seq: f64,
+    /// `|T|` — average items per event (Poisson mean).
+    pub avg_items_per_event: f64,
+    /// `|S|` — average elements per potentially frequent sequence.
+    pub avg_pattern_elems: f64,
+    /// `|I|` — average items per pattern element.
+    pub avg_pattern_elem_len: f64,
+    /// `|L|` — number of potentially frequent sequences in the table.
+    pub num_patterns: usize,
+    /// `N` — number of items.
+    pub num_items: u32,
+    /// Correlation level between consecutive patterns.
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level.
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level.
+    pub corruption_sd: f64,
+    /// RNG seed; same params + seed ⇒ identical database.
+    pub seed: u64,
+}
+
+impl SeqParams {
+    /// The `C10.T4.S4.I2` family with `d` customers — the mid-sized
+    /// default for benchmarks.
+    pub fn c10_t4(d: usize) -> Self {
+        SeqParams {
+            num_sequences: d,
+            ..SeqParams::base()
+        }
+    }
+
+    /// The `C5.T2.S3.I1` family (short histories, thin events): sparse,
+    /// mostly single-item elements — the classic GSP/SPADE stress shape.
+    pub fn c5_t2(d: usize) -> Self {
+        SeqParams {
+            num_sequences: d,
+            avg_events_per_seq: 5.0,
+            avg_items_per_event: 2.0,
+            avg_pattern_elems: 3.0,
+            avg_pattern_elem_len: 1.0,
+            ..SeqParams::base()
+        }
+    }
+
+    /// The `C20.T3.S6.I2` family (long histories): deep temporal
+    /// patterns, the regime where S-extension chains dominate.
+    pub fn c20_t3(d: usize) -> Self {
+        SeqParams {
+            num_sequences: d,
+            avg_events_per_seq: 20.0,
+            avg_items_per_event: 3.0,
+            avg_pattern_elems: 6.0,
+            ..SeqParams::base()
+        }
+    }
+
+    fn base() -> Self {
+        SeqParams {
+            num_sequences: 0,
+            avg_events_per_seq: 10.0,
+            avg_items_per_event: 4.0,
+            avg_pattern_elems: 4.0,
+            avg_pattern_elem_len: 2.0,
+            num_patterns: 1000,
+            num_items: 500,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed: 0x5EED_u64,
+        }
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scale for a small test database (few patterns over a small
+    /// alphabet, so tiny databases still contain frequent sequences).
+    pub fn tiny(d: usize, seed: u64) -> Self {
+        SeqParams {
+            num_sequences: d,
+            avg_events_per_seq: 6.0,
+            avg_items_per_event: 3.0,
+            avg_pattern_elems: 3.0,
+            avg_pattern_elem_len: 2.0,
+            num_patterns: 25,
+            num_items: 40,
+            correlation: 0.25,
+            corruption_mean: 0.5,
+            corruption_sd: 0.1f64.sqrt(),
+            seed,
+        }
+    }
+
+    /// The database's name, e.g. `C10.T4.S4.I2.D1K`.
+    pub fn name(&self) -> String {
+        let d = self.num_sequences;
+        let dstr = if d >= 1000 && d.is_multiple_of(1000) {
+            format!("{}K", d / 1000)
+        } else {
+            format!("{d}")
+        };
+        format!(
+            "C{}.T{}.S{}.I{}.D{}",
+            self.avg_events_per_seq as u64,
+            self.avg_items_per_event as u64,
+            self.avg_pattern_elems as u64,
+            self.avg_pattern_elem_len as u64,
+            dstr
+        )
+    }
+
+    /// Size in megabytes of the binfmt sequence layout: per sequence an
+    /// event count, per event an eid + length + items, 4-byte words.
+    pub fn approx_size_mb(&self) -> f64 {
+        let per_seq = 1.0 + self.avg_events_per_seq * (2.0 + self.avg_items_per_event);
+        self.num_sequences as f64 * per_seq * 4.0 / (1024.0 * 1024.0)
+    }
+}
+
+/// The table of maximal potentially frequent sequences: ordered element
+/// lists with selection weights and corruption levels.
+#[derive(Clone, Debug)]
+pub struct SeqPatternTable {
+    /// One pattern per entry: a list of sorted itemset elements.
+    patterns: Vec<Vec<Vec<ItemId>>>,
+    /// Cumulative selection weights (last entry ≈ 1.0).
+    cumulative: Vec<f64>,
+    /// Per-pattern corruption level in `\[0, 1\]`.
+    corruption: Vec<f64>,
+}
+
+impl SeqPatternTable {
+    /// Build the table: element counts Poisson(|S|), element sizes
+    /// Poisson(|I|), a correlated fraction of elements copied (in
+    /// temporal order) from the previous pattern, exponential weights,
+    /// normal corruption — the basket procedure, one level up.
+    pub fn build(params: &SeqParams, rng: &mut StdRng) -> SeqPatternTable {
+        assert!(params.num_items >= 1, "need at least one item");
+        assert!(params.num_patterns >= 1, "need at least one pattern");
+        let n = params.num_items;
+        let mut patterns: Vec<Vec<Vec<ItemId>>> = Vec::with_capacity(params.num_patterns);
+        let mut weights: Vec<f64> = Vec::with_capacity(params.num_patterns);
+        let mut corruption: Vec<f64> = Vec::with_capacity(params.num_patterns);
+
+        for p in 0..params.num_patterns {
+            let n_elems = sampler::poisson(rng, params.avg_pattern_elems).max(1) as usize;
+            let mut elems: Vec<Vec<ItemId>> = Vec::with_capacity(n_elems);
+            if p > 0 {
+                // Correlation: an exponentially-distributed fraction of
+                // the elements come from the previous pattern, keeping
+                // their relative order.
+                let frac = sampler::exponential(rng, params.correlation).min(1.0);
+                let prev = &patterns[p - 1];
+                let from_prev = ((frac * n_elems as f64).round() as usize)
+                    .min(prev.len())
+                    .min(n_elems);
+                let mut picks: Vec<usize> = Vec::with_capacity(from_prev);
+                sample_sorted(rng, from_prev, prev.len(), &mut picks);
+                elems.extend(picks.into_iter().map(|i| prev[i].clone()));
+            }
+            // Fill the remainder with fresh random elements.
+            while elems.len() < n_elems {
+                let len = sampler::poisson(rng, params.avg_pattern_elem_len)
+                    .max(1)
+                    .min(n as u64) as usize;
+                let mut chosen: FxHashSet<ItemId> = FxHashSet::default();
+                while chosen.len() < len {
+                    chosen.insert(ItemId(rng.random_range(0..n)));
+                }
+                let mut items: Vec<ItemId> = chosen.into_iter().collect();
+                items.sort_unstable();
+                elems.push(items);
+            }
+            patterns.push(elems);
+
+            weights.push(sampler::exponential(rng, 1.0));
+            corruption.push(
+                sampler::normal(rng, params.corruption_mean, params.corruption_sd).clamp(0.0, 1.0),
+            );
+        }
+
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+
+        SeqPatternTable {
+            patterns,
+            cumulative,
+            corruption,
+        }
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when the table is empty (never after [`SeqPatternTable::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The elements of pattern `idx`, each sorted.
+    pub fn pattern(&self, idx: usize) -> &[Vec<ItemId>] {
+        &self.patterns[idx]
+    }
+
+    /// Corruption level of pattern `idx`.
+    pub fn corruption(&self, idx: usize) -> f64 {
+        self.corruption[idx]
+    }
+
+    /// Draw a pattern index according to the weights.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        sampler::weighted_index(rng, &self.cumulative)
+    }
+}
+
+/// Sample `k` distinct sorted indices from `0..n` (selection sampling:
+/// one pass, each index kept with probability `need / remaining`).
+fn sample_sorted<R: Rng + ?Sized>(rng: &mut R, k: usize, n: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let mut need = k.min(n);
+    for e in 0..n {
+        if need == 0 {
+            break;
+        }
+        if rng.random_range(0..n - e) < need {
+            out.push(e);
+            need -= 1;
+        }
+    }
+}
+
+/// Streaming sequence generator. Implements `Iterator`, yielding each
+/// customer as a time-ordered `Vec<(eid, items)>` event list with eids
+/// `1, 2, …` and sorted, duplicate-free events.
+pub struct SeqGenerator {
+    params: SeqParams,
+    table: SeqPatternTable,
+    rng: StdRng,
+    emitted: usize,
+    /// Pattern deferred from the previous customer, already corrupted.
+    pending: Option<Vec<Vec<ItemId>>>,
+    positions: Vec<usize>,
+}
+
+impl SeqGenerator {
+    /// Create a generator; builds the pattern table immediately.
+    pub fn new(params: SeqParams) -> SeqGenerator {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let table = SeqPatternTable::build(&params, &mut rng);
+        SeqGenerator {
+            params,
+            table,
+            rng,
+            emitted: 0,
+            pending: None,
+            positions: Vec::new(),
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &SeqParams {
+        &self.params
+    }
+
+    /// The underlying pattern table (exposed for white-box tests).
+    pub fn table(&self) -> &SeqPatternTable {
+        &self.table
+    }
+
+    /// Generate the whole database into memory.
+    pub fn generate_all(mut self) -> Vec<Vec<(u32, Vec<ItemId>)>> {
+        let mut out = Vec::with_capacity(self.params.num_sequences);
+        for seq in &mut self {
+            out.push(seq);
+        }
+        out
+    }
+
+    /// Generate the whole database as raw `u32` events — the shape the
+    /// seq crate's `SeqDb::from_events` and the binfmt container take.
+    pub fn generate_all_raw(self) -> Vec<Vec<(u32, Vec<u32>)>> {
+        self.generate_all()
+            .into_iter()
+            .map(|seq| {
+                seq.into_iter()
+                    .map(|(eid, items)| (eid, items.into_iter().map(|i| i.0).collect()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Corrupt a pattern: in each element, drop a random item while a
+    /// uniform draw stays below the corruption level; emptied elements
+    /// vanish (but the first surviving element is never dropped, so a
+    /// placed pattern always contributes something).
+    fn corrupt(&mut self, idx: usize) -> Vec<Vec<ItemId>> {
+        let c = self.table.corruption[idx];
+        let mut elems: Vec<Vec<ItemId>> = Vec::with_capacity(self.table.patterns[idx].len());
+        for src in self.table.patterns[idx].clone() {
+            let mut items = src;
+            while !items.is_empty() && self.rng.random::<f64>() < c {
+                let drop = self.rng.random_range(0..items.len());
+                items.swap_remove(drop);
+            }
+            if !items.is_empty() {
+                items.sort_unstable();
+                elems.push(items);
+            }
+        }
+        if elems.is_empty() {
+            // Fully corrupted away: keep one element of the original so
+            // the packing loop always makes progress.
+            elems.push(self.table.patterns[idx][0].clone());
+        }
+        elems
+    }
+
+    /// Place a corrupted pattern's elements at distinct, increasing
+    /// event positions (extra elements beyond the event count are
+    /// dropped — short histories truncate long patterns).
+    fn place(&mut self, elems: &[Vec<ItemId>], events: &mut [Vec<ItemId>]) -> usize {
+        let k = elems.len().min(events.len());
+        let mut positions = std::mem::take(&mut self.positions);
+        sample_sorted(&mut self.rng, k, events.len(), &mut positions);
+        let mut placed = 0usize;
+        for (&pos, elem) in positions.iter().zip(elems) {
+            events[pos].extend_from_slice(elem);
+            placed += elem.len();
+        }
+        self.positions = positions;
+        placed
+    }
+
+    fn next_sequence(&mut self) -> Vec<(u32, Vec<ItemId>)> {
+        let n_events =
+            sampler::poisson(&mut self.rng, self.params.avg_events_per_seq).max(1) as usize;
+        // Item budget for the whole history: one Poisson(|T|) size per
+        // event, like the basket generator's per-transaction size.
+        let budget: usize = (0..n_events)
+            .map(|_| {
+                sampler::poisson(&mut self.rng, self.params.avg_items_per_event).max(1) as usize
+            })
+            .sum();
+        let mut events: Vec<Vec<ItemId>> = vec![Vec::new(); n_events];
+        let mut placed = 0usize;
+
+        loop {
+            let corrupted = match self.pending.take() {
+                Some(p) => p,
+                None => {
+                    let idx = self.table.pick(&mut self.rng);
+                    self.corrupt(idx)
+                }
+            };
+            let size: usize = corrupted.iter().map(Vec::len).sum();
+            if placed + size <= budget {
+                placed += self.place(&corrupted, &mut events);
+                if placed >= budget {
+                    break;
+                }
+            } else {
+                // Doesn't fit: add anyway half the time, defer otherwise.
+                // A sequence must contain at least one pattern, so the
+                // first is never deferred.
+                if placed == 0 || self.rng.random::<bool>() {
+                    self.place(&corrupted, &mut events);
+                } else {
+                    self.pending = Some(corrupted);
+                }
+                break;
+            }
+        }
+
+        events
+            .into_iter()
+            .enumerate()
+            .filter(|(_, items)| !items.is_empty())
+            .map(|(i, mut items)| {
+                items.sort_unstable();
+                items.dedup();
+                (i as u32 + 1, items)
+            })
+            .collect()
+    }
+}
+
+impl Iterator for SeqGenerator {
+    type Item = Vec<(u32, Vec<ItemId>)>;
+
+    fn next(&mut self) -> Option<Vec<(u32, Vec<ItemId>)>> {
+        if self.emitted >= self.params.num_sequences {
+            return None;
+        }
+        self.emitted += 1;
+        Some(self.next_sequence())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.params.num_sequences - self.emitted;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> SeqParams {
+        SeqParams::tiny(500, 11)
+    }
+
+    #[test]
+    fn names_and_presets() {
+        assert_eq!(SeqParams::c10_t4(1000).name(), "C10.T4.S4.I2.D1K");
+        assert_eq!(SeqParams::c5_t2(250).name(), "C5.T2.S3.I1.D250");
+        assert_eq!(SeqParams::c20_t3(8000).name(), "C20.T3.S6.I2.D8K");
+        let p = SeqParams::c10_t4(100);
+        let q = p.clone().with_seed(99);
+        assert_ne!(p.seed, q.seed);
+        assert_eq!(p.num_sequences, q.num_sequences);
+        assert!(SeqParams::c10_t4(100_000).approx_size_mb() > 20.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SeqGenerator::new(small_params()).generate_all();
+        let b = SeqGenerator::new(small_params()).generate_all();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SeqGenerator::new(small_params()).generate_all();
+        let b = SeqGenerator::new(small_params().with_seed(12)).generate_all();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_normalized_and_in_range() {
+        let p = small_params();
+        let n = p.num_items;
+        let db = SeqGenerator::new(p).generate_all();
+        assert_eq!(db.len(), 500);
+        for seq in &db {
+            assert!(!seq.is_empty(), "every customer buys something");
+            assert!(
+                seq.windows(2).all(|w| w[0].0 < w[1].0),
+                "eids strictly increase: {seq:?}"
+            );
+            for (_, items) in seq {
+                assert!(!items.is_empty());
+                assert!(items.windows(2).all(|w| w[0] < w[1]), "sorted+unique");
+                assert!(items.iter().all(|i| i.0 < n));
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_length_tracks_c() {
+        // |C| = 6 in tiny params; packing fills an item budget of about
+        // |C|·|T|, but elements cluster on fewer events, so the average
+        // non-empty event count sits below |C|. Generous band.
+        let db = SeqGenerator::new(small_params()).generate_all();
+        let events: usize = db.iter().map(Vec::len).sum();
+        let avg = events as f64 / db.len() as f64;
+        assert!((2.0..8.0).contains(&avg), "avg events per sequence {avg}");
+        let items: usize = db.iter().flat_map(|s| s.iter()).map(|(_, i)| i.len()).sum();
+        let avg_event_len = items as f64 / events as f64;
+        assert!(
+            (1.0..7.0).contains(&avg_event_len),
+            "avg items per event {avg_event_len}"
+        );
+    }
+
+    #[test]
+    fn alphabet_coverage() {
+        // 40 items in tiny params: most of the alphabet should occur,
+        // and no item may dominate (planted patterns spread the mass).
+        let db = SeqGenerator::new(small_params()).generate_all();
+        let mut counts = vec![0usize; 40];
+        let mut total = 0usize;
+        for (_, items) in db.iter().flat_map(|s| s.iter()) {
+            for i in items {
+                counts[i.0 as usize] += 1;
+                total += 1;
+            }
+        }
+        let used = counts.iter().filter(|&&c| c > 0).count();
+        assert!(used > 25, "items used: {used}");
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            (max as f64) < 0.35 * total as f64,
+            "one item holds {max}/{total} occurrences"
+        );
+    }
+
+    #[test]
+    fn planted_sequences_recur() {
+        // The point of the generator: planted sequences occur far more
+        // often than chance. Take a small pattern with >= 2 elements and
+        // count customers containing it as a subsequence.
+        let gen = SeqGenerator::new(small_params());
+        let pat: Vec<Vec<ItemId>> = (0..gen.table().len())
+            .map(|i| gen.table().pattern(i).to_vec())
+            .find(|p| p.len() >= 2 && p.iter().map(Vec::len).sum::<usize>() <= 5)
+            .expect("some small pattern exists");
+        let db = SeqGenerator::new(small_params()).generate_all();
+        let contains = |seq: &[(u32, Vec<ItemId>)]| {
+            let mut next = 0usize;
+            for elem in &pat {
+                match seq[next..]
+                    .iter()
+                    .position(|(_, ev)| elem.iter().all(|i| ev.binary_search(i).is_ok()))
+                {
+                    Some(off) => next += off + 1,
+                    None => return false,
+                }
+            }
+            true
+        };
+        let hits = db.iter().filter(|s| contains(s)).count();
+        assert!(hits >= 2, "pattern {pat:?} occurred {hits} times");
+    }
+
+    #[test]
+    fn pattern_table_shapes() {
+        let p = SeqParams::c10_t4(10).with_seed(5);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let t = SeqPatternTable::build(&p, &mut rng);
+        assert_eq!(t.len(), 1000);
+        assert!(!t.is_empty());
+        let mut total_elems = 0usize;
+        for i in 0..t.len() {
+            let pat = t.pattern(i);
+            assert!(!pat.is_empty());
+            for elem in pat {
+                assert!(!elem.is_empty());
+                assert!(elem.windows(2).all(|w| w[0] < w[1]));
+            }
+            assert!((0.0..=1.0).contains(&t.corruption(i)));
+            total_elems += pat.len();
+        }
+        let avg = total_elems as f64 / t.len() as f64;
+        assert!((avg - 4.0).abs() < 0.5, "avg pattern elems {avg}");
+    }
+
+    #[test]
+    fn sample_sorted_is_distinct_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            sample_sorted(&mut rng, 4, 9, &mut out);
+            assert_eq!(out.len(), 4);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "{out:?}");
+            assert!(out.iter().all(|&i| i < 9));
+        }
+        sample_sorted(&mut rng, 7, 3, &mut out);
+        assert_eq!(out, vec![0, 1, 2], "k > n clamps to all of 0..n");
+        sample_sorted(&mut rng, 0, 5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn size_hint_is_exact_and_empty_works() {
+        let mut g = SeqGenerator::new(SeqParams::tiny(5, 1));
+        assert_eq!(g.size_hint(), (5, Some(5)));
+        g.next();
+        assert_eq!(g.size_hint(), (4, Some(4)));
+        assert_eq!(g.count(), 4);
+        assert!(SeqGenerator::new(SeqParams::tiny(0, 1))
+            .generate_all()
+            .is_empty());
+    }
+
+    #[test]
+    fn raw_view_matches_typed_view() {
+        let typed = SeqGenerator::new(small_params()).generate_all();
+        let raw = SeqGenerator::new(small_params()).generate_all_raw();
+        assert_eq!(typed.len(), raw.len());
+        for (t, r) in typed.iter().zip(&raw) {
+            assert_eq!(t.len(), r.len());
+            for ((te, ti), (re, ri)) in t.iter().zip(r) {
+                assert_eq!(te, re);
+                assert_eq!(ti.iter().map(|i| i.0).collect::<Vec<_>>(), *ri);
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! [`PairSet`] — the sequence-vertical occurrence list.
+//!
+//! Where Eclat keeps one tid per transaction, SPADE keeps one
+//! `(sid, eid)` pair per *occurrence*: sequence id plus the event id
+//! (timestamp) at which the pattern's **last element** occurs. Support
+//! is the number of distinct sids, so a pattern occurring five times in
+//! one customer's history still counts once.
+//!
+//! The two SPADE join forms both map onto this layout:
+//!
+//! * **I-extension** (itemset join, same element) is an exact
+//!   `(sid, eid)` intersection — structurally the same sorted merge as
+//!   a tid-list intersection, so [`PairSet`] implements the workspace's
+//!   [`TidSet`] surface with it: `join`/`join_bounded`/metered variants,
+//!   §5.3 minsup bail included.
+//! * **S-extension** (temporal join) is the inherent
+//!   [`temporal_join`](PairSet::temporal_join) family: keep the pairs of
+//!   the extending atom that occur *strictly after* the earliest
+//!   occurrence of the prefix atom in the same sequence.
+//!
+//! Both bounded forms bail as soon as
+//! `matched_sids + min(remaining_a, remaining_b) < minsup` — remaining
+//! pairs bound remaining distinct sids from above, so the bail is
+//! conservative and the `None` ⇔ infrequent contract holds exactly.
+
+use mining_types::OpMeter;
+use tidlist::TidSet;
+
+/// A sorted, deduplicated list of `(sid, eid)` occurrences with its
+/// distinct-sid support cached.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairSet {
+    pairs: Vec<(u32, u32)>,
+    support: u32,
+}
+
+/// Distinct sids in a sorted pair list.
+fn count_sids(pairs: &[(u32, u32)]) -> u32 {
+    let mut n = 0u32;
+    let mut last = None;
+    for &(sid, _) in pairs {
+        if last != Some(sid) {
+            n += 1;
+            last = Some(sid);
+        }
+    }
+    n
+}
+
+impl PairSet {
+    /// Build from occurrences in any order (sorted + deduplicated here).
+    pub fn new(mut pairs: Vec<(u32, u32)>) -> PairSet {
+        pairs.sort_unstable();
+        pairs.dedup();
+        PairSet::from_sorted(pairs)
+    }
+
+    /// Build from pairs already sorted by `(sid, eid)` with no
+    /// duplicates — the shape every scan and join in this crate emits.
+    pub fn from_sorted(pairs: Vec<(u32, u32)>) -> PairSet {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let support = count_sids(&pairs);
+        PairSet { pairs, support }
+    }
+
+    /// The occurrences, ascending by `(sid, eid)`.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of occurrences (≥ support).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no occurrences.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// I-extension join core: exact `(sid, eid)` intersection, bailing
+    /// per the module rule. `minsup == 0` disables the bound (plain
+    /// join); comparisons land in `meter.tid_cmp`.
+    fn eq_join_impl(&self, other: &PairSet, minsup: u32, meter: &mut OpMeter) -> Option<PairSet> {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut support = 0u32;
+        let mut last_sid = None;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let headroom = support as usize + (a.len() - i).min(b.len() - j);
+            if headroom < minsup as usize {
+                return None;
+            }
+            meter.tid_cmp += 1;
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (sid, eid) = a[i];
+                    if last_sid != Some(sid) {
+                        support += 1;
+                        last_sid = Some(sid);
+                    }
+                    out.push((sid, eid));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (support >= minsup).then_some(PairSet {
+            pairs: out,
+            support,
+        })
+    }
+
+    /// S-extension join core: for every sid shared with `other`, keep
+    /// `other`'s occurrences strictly after this set's earliest
+    /// occurrence in that sid. Bail/metering as in
+    /// [`eq_join_impl`](Self::eq_join_impl).
+    fn temporal_join_impl(
+        &self,
+        other: &PairSet,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<PairSet> {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut support = 0u32;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let headroom = support as usize + (a.len() - i).min(b.len() - j);
+            if headroom < minsup as usize {
+                return None;
+            }
+            meter.tid_cmp += 1;
+            let (sa, sb) = (a[i].0, b[j].0);
+            match sa.cmp(&sb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // a is sorted, so a[i] is the earliest occurrence of
+                    // the prefix atom in this sid.
+                    let min_eid = a[i].1;
+                    let mut matched = false;
+                    while j < b.len() && b[j].0 == sb {
+                        meter.tid_cmp += 1;
+                        if b[j].1 > min_eid {
+                            out.push(b[j]);
+                            matched = true;
+                        }
+                        j += 1;
+                    }
+                    if matched {
+                        support += 1;
+                    }
+                    while i < a.len() && a[i].0 == sa {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        (support >= minsup).then_some(PairSet {
+            pairs: out,
+            support,
+        })
+    }
+
+    /// Temporal (S-extension) join: occurrences of `other` strictly
+    /// after this set's earliest same-sid occurrence.
+    pub fn temporal_join(&self, other: &PairSet) -> PairSet {
+        self.temporal_join_impl(other, 0, &mut OpMeter::new())
+            .expect("minsup 0 never bails")
+    }
+
+    /// [`temporal_join`](Self::temporal_join), abandoning with `None`
+    /// exactly when the result's support is below `minsup` (§5.3).
+    pub fn temporal_join_bounded(&self, other: &PairSet, minsup: u32) -> Option<PairSet> {
+        self.temporal_join_bounded_metered(other, minsup, &mut OpMeter::new())
+    }
+
+    /// [`temporal_join`](Self::temporal_join) with comparison metering.
+    pub fn temporal_join_metered(&self, other: &PairSet, meter: &mut OpMeter) -> PairSet {
+        self.temporal_join_impl(other, 0, meter)
+            .expect("minsup 0 never bails")
+    }
+
+    /// [`temporal_join_bounded`](Self::temporal_join_bounded) with
+    /// comparison metering.
+    pub fn temporal_join_bounded_metered(
+        &self,
+        other: &PairSet,
+        minsup: u32,
+        meter: &mut OpMeter,
+    ) -> Option<PairSet> {
+        self.temporal_join_impl(other, minsup, meter)
+    }
+}
+
+impl TidSet for PairSet {
+    fn support(&self) -> u32 {
+        self.support
+    }
+
+    fn byte_size(&self) -> u64 {
+        (self.pairs.len() * std::mem::size_of::<(u32, u32)>()) as u64
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        self.eq_join_impl(other, 0, &mut OpMeter::new())
+            .expect("minsup 0 never bails")
+    }
+
+    fn join_bounded(&self, other: &Self, minsup: u32) -> Option<Self> {
+        self.eq_join_impl(other, minsup, &mut OpMeter::new())
+    }
+
+    fn join_metered(&self, other: &Self, meter: &mut OpMeter) -> Self {
+        self.eq_join_impl(other, 0, meter)
+            .expect("minsup 0 never bails")
+    }
+
+    fn join_bounded_metered(&self, other: &Self, minsup: u32, meter: &mut OpMeter) -> Option<Self> {
+        self.eq_join_impl(other, minsup, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(pairs: &[(u32, u32)]) -> PairSet {
+        PairSet::new(pairs.to_vec())
+    }
+
+    #[test]
+    fn support_counts_distinct_sids() {
+        let s = ps(&[(0, 1), (0, 4), (2, 2), (5, 1)]);
+        assert_eq!(s.support(), 3);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.byte_size(), 32);
+        assert_eq!(ps(&[]).support(), 0);
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ps(&[(2, 2), (0, 4), (0, 1), (0, 4)]);
+        assert_eq!(s.pairs(), &[(0, 1), (0, 4), (2, 2)]);
+    }
+
+    #[test]
+    fn equality_join_intersects_exact_pairs() {
+        let a = ps(&[(0, 1), (0, 3), (1, 2), (3, 5)]);
+        let b = ps(&[(0, 3), (1, 2), (1, 4), (3, 6)]);
+        let j = a.join(&b);
+        assert_eq!(j.pairs(), &[(0, 3), (1, 2)]);
+        assert_eq!(j.support(), 2);
+    }
+
+    #[test]
+    fn temporal_join_keeps_strictly_later_events() {
+        let a = ps(&[(0, 2), (1, 5), (2, 1)]);
+        let b = ps(&[(0, 1), (0, 2), (0, 4), (1, 5), (2, 3), (3, 1)]);
+        let j = a.temporal_join(&b);
+        // sid 0: earliest a-event is 2, so only eid 4 qualifies;
+        // sid 1: b's only event (5) is not strictly after 5;
+        // sid 2: 3 > 1 qualifies; sid 3 is absent from a.
+        assert_eq!(j.pairs(), &[(0, 4), (2, 3)]);
+        assert_eq!(j.support(), 2);
+    }
+
+    #[test]
+    fn temporal_join_is_directional() {
+        let a = ps(&[(0, 1)]);
+        let b = ps(&[(0, 2)]);
+        assert_eq!(a.temporal_join(&b).pairs(), &[(0, 2)]);
+        assert!(b.temporal_join(&a).is_empty());
+    }
+
+    #[test]
+    fn bounded_joins_are_none_iff_infrequent() {
+        let a = ps(&[(0, 1), (1, 1), (2, 9), (3, 1)]);
+        let b = ps(&[(0, 1), (1, 3), (2, 2), (4, 1)]);
+        for minsup in 0..=5u32 {
+            let eq = a.join(&b);
+            assert_eq!(
+                a.join_bounded(&b, minsup).is_some(),
+                eq.support() >= minsup,
+                "eq minsup={minsup}"
+            );
+            if let Some(j) = a.join_bounded(&b, minsup) {
+                assert_eq!(j, eq);
+            }
+            let tj = a.temporal_join(&b);
+            assert_eq!(
+                a.temporal_join_bounded(&b, minsup).is_some(),
+                tj.support() >= minsup,
+                "temporal minsup={minsup}"
+            );
+            if let Some(j) = a.temporal_join_bounded(&b, minsup) {
+                assert_eq!(j, tj);
+            }
+        }
+    }
+
+    #[test]
+    fn metered_joins_count_comparisons() {
+        let a = ps(&[(0, 1), (1, 1), (2, 9)]);
+        let b = ps(&[(0, 1), (1, 3), (2, 2)]);
+        let mut m = OpMeter::new();
+        let j = a.join_metered(&b, &mut m);
+        assert_eq!(j, a.join(&b));
+        assert!(m.tid_cmp > 0);
+        let mut m2 = OpMeter::new();
+        let t = a.temporal_join_metered(&b, &mut m2);
+        assert_eq!(t, a.temporal_join(&b));
+        assert!(m2.tid_cmp > 0);
+    }
+
+    #[test]
+    fn temporal_self_join_finds_repeats() {
+        // sid 0 sees the item at events 1 and 4 → one repeat occurrence.
+        let a = ps(&[(0, 1), (0, 4), (1, 2)]);
+        let j = a.temporal_join(&a);
+        assert_eq!(j.pairs(), &[(0, 4)]);
+        assert_eq!(j.support(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sequential patterns: ordered lists of itemsets ("elements").
+//!
+//! A [`SeqPattern`] like `⟨{A,B} → {C}⟩` means "an event containing both
+//! A and B, later followed by an event containing C". Items within an
+//! element are sorted ascending; elements are ordered in time. The
+//! derived `Ord` (lexicographic over elements, then over items) gives
+//! every result surface — snapshots, CLI listings, golden tests — one
+//! canonical pattern order.
+
+use mining_types::ItemId;
+use std::fmt;
+
+/// One sequential pattern: a non-empty sequence of non-empty itemsets.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqPattern {
+    elems: Vec<Vec<ItemId>>,
+}
+
+impl SeqPattern {
+    /// The 1-sequence `⟨{item}⟩`.
+    pub fn single(item: ItemId) -> SeqPattern {
+        SeqPattern {
+            elems: vec![vec![item]],
+        }
+    }
+
+    /// A pattern from explicit elements. Items inside each element are
+    /// sorted and deduplicated; empty elements are rejected.
+    pub fn of(elems: &[&[u32]]) -> SeqPattern {
+        assert!(!elems.is_empty(), "a pattern needs at least one element");
+        let elems = elems
+            .iter()
+            .map(|e| {
+                assert!(!e.is_empty(), "pattern elements must be non-empty");
+                let mut v: Vec<ItemId> = e.iter().map(|&i| ItemId(i)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        SeqPattern { elems }
+    }
+
+    /// The elements, in temporal order.
+    pub fn elems(&self) -> &[Vec<ItemId>] {
+        &self.elems
+    }
+
+    /// Number of elements (the pattern's length in events).
+    pub fn num_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Total number of items over all elements — the `k` of a
+    /// `k`-sequence, and what `--maxlen` bounds.
+    pub fn len_items(&self) -> usize {
+        self.elems.iter().map(Vec::len).sum()
+    }
+
+    /// The last item of the last element (every extension appends here).
+    pub fn last_item(&self) -> ItemId {
+        *self
+            .elems
+            .last()
+            .and_then(|e| e.last())
+            .expect("patterns are non-empty")
+    }
+
+    /// Itemset extension: `⟨… {X}⟩ → ⟨… {X ∪ item}⟩`. The kernel only
+    /// ever I-extends with `item` greater than the current last item, so
+    /// the element stays sorted by construction.
+    pub fn i_extend(&self, item: ItemId) -> SeqPattern {
+        debug_assert!(item > self.last_item(), "I-extension items ascend");
+        let mut p = self.clone();
+        p.elems
+            .last_mut()
+            .expect("patterns are non-empty")
+            .push(item);
+        p
+    }
+
+    /// Temporal extension: `⟨…⟩ → ⟨… → {item}⟩`.
+    pub fn s_extend(&self, item: ItemId) -> SeqPattern {
+        let mut p = self.clone();
+        p.elems.push(vec![item]);
+        p
+    }
+
+    /// Plain `u32` view of the elements (the binfmt container's shape).
+    pub fn to_raw(&self) -> Vec<Vec<u32>> {
+        self.elems
+            .iter()
+            .map(|e| e.iter().map(|i| i.0).collect())
+            .collect()
+    }
+
+    /// Rebuild from the binfmt container's raw shape.
+    pub fn from_raw(raw: &[Vec<u32>]) -> SeqPattern {
+        let borrowed: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        SeqPattern::of(&borrowed)
+    }
+}
+
+impl fmt::Display for SeqPattern {
+    /// `3 7 -> 2` — items space-joined within an element, elements
+    /// joined by `->`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (ei, elem) in self.elems.iter().enumerate() {
+            if ei > 0 {
+                write!(f, " -> ")?;
+            }
+            for (ii, item) in elem.iter().enumerate() {
+                if ii > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", item.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_extension() {
+        let p = SeqPattern::single(ItemId(3));
+        assert_eq!(p.len_items(), 1);
+        assert_eq!(p.num_elems(), 1);
+        let pi = p.i_extend(ItemId(7));
+        assert_eq!(pi, SeqPattern::of(&[&[3, 7]]));
+        assert_eq!(pi.len_items(), 2);
+        assert_eq!(pi.num_elems(), 1);
+        let ps = pi.s_extend(ItemId(2));
+        assert_eq!(ps, SeqPattern::of(&[&[3, 7], &[2]]));
+        assert_eq!(ps.len_items(), 3);
+        assert_eq!(ps.num_elems(), 2);
+        assert_eq!(ps.last_item(), ItemId(2));
+    }
+
+    #[test]
+    fn display_uses_arrow_between_elements() {
+        assert_eq!(SeqPattern::of(&[&[3, 7], &[2]]).to_string(), "3 7 -> 2");
+        assert_eq!(SeqPattern::single(ItemId(5)).to_string(), "5");
+    }
+
+    #[test]
+    fn of_sorts_and_dedups_items() {
+        assert_eq!(
+            SeqPattern::of(&[&[7, 3, 7]]),
+            SeqPattern::of(&[&[3, 7]]),
+            "items normalize"
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_elements() {
+        let a = SeqPattern::of(&[&[1]]);
+        let b = SeqPattern::of(&[&[1, 2]]);
+        let c = SeqPattern::of(&[&[1], &[1]]);
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        // ⟨{1}⟩ < ⟨{1}→{1}⟩ < ⟨{1,2}⟩: prefix before longer element.
+        assert_eq!(v, vec![a, c, b]);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let p = SeqPattern::of(&[&[3, 7], &[2], &[2, 9]]);
+        assert_eq!(SeqPattern::from_raw(&p.to_raw()), p);
+    }
+}

@@ -13,6 +13,7 @@ pub mod binfmt;
 pub mod disk;
 pub mod horizontal;
 pub mod partition;
+pub mod seqfmt;
 pub mod spill;
 pub mod vertical;
 

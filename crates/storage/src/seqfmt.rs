@@ -1,0 +1,308 @@
+//! Binary on-disk formats for the sequence-mining workload.
+//!
+//! Same conventions as [`crate::binfmt`] — little-endian `u32` word
+//! streams behind a small magic+version header, byte counts returned
+//! for the disk model — but over plain nested-`Vec` shapes instead of
+//! storage types: the sequence crate sits above this one in the
+//! dependency graph, so the container speaks `(eid, items)` event lists
+//! and `(pattern elements, support)` rows that both sides convert
+//! to/from their own types.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Magic for sequence-database files ("ECLS").
+pub const MAGIC_SEQ: u32 = 0x4543_4C53;
+/// Magic for mined-sequence snapshot files ("ECLQ").
+pub const MAGIC_SEQ_RESULTS: u32 = 0x4543_4C51;
+/// Format version for both containers.
+pub const SEQ_VERSION: u32 = 1;
+
+/// One sequence: its time-ordered `(eid, items)` events.
+pub type RawSequence = Vec<(u32, Vec<u32>)>;
+/// One mined pattern: its itemset elements plus the support count.
+pub type RawSeqPattern = (Vec<Vec<u32>>, u32);
+
+/// Serialize a sequence database. Returns bytes written.
+///
+/// Layout: `magic, version, num_items, num_sequences:u64`, then per
+/// sequence `num_events:u32` and per event `eid:u32, len:u32,
+/// items:u32×len` in sid order.
+pub fn write_seq_db<W: Write>(
+    sequences: &[RawSequence],
+    num_items: u32,
+    w: &mut W,
+) -> io::Result<u64> {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_u32_le(MAGIC_SEQ);
+    buf.put_u32_le(SEQ_VERSION);
+    buf.put_u32_le(num_items);
+    buf.put_u64_le(sequences.len() as u64);
+    let mut written = buf.len() as u64;
+    w.write_all(&buf)?;
+    for seq in sequences {
+        buf.clear();
+        buf.put_u32_le(seq.len() as u32);
+        for (eid, items) in seq {
+            buf.put_u32_le(*eid);
+            buf.put_u32_le(items.len() as u32);
+            for &it in items {
+                buf.put_u32_le(it);
+            }
+        }
+        written += buf.len() as u64;
+        w.write_all(&buf)?;
+    }
+    Ok(written)
+}
+
+/// Deserialize a sequence database. Returns
+/// `((sequences, num_items), bytes read)`.
+pub fn read_seq_db<R: Read>(r: &mut R) -> io::Result<((Vec<RawSequence>, u32), u64)> {
+    let mut header = [0u8; 20];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let magic = h.get_u32_le();
+    let version = h.get_u32_le();
+    if magic != MAGIC_SEQ || version != SEQ_VERSION {
+        return Err(bad_format("not a sequence database file"));
+    }
+    let num_items = h.get_u32_le();
+    let n = h.get_u64_le() as usize;
+    let mut read = header.len() as u64;
+    let mut word = [0u8; 4];
+    let mut next_u32 = |r: &mut R, read: &mut u64| -> io::Result<u32> {
+        r.read_exact(&mut word)?;
+        *read += 4;
+        Ok(u32::from_le_bytes(word))
+    };
+    let mut sequences = Vec::with_capacity(n);
+    for _ in 0..n {
+        let num_events = next_u32(r, &mut read)? as usize;
+        let mut seq: RawSequence = Vec::with_capacity(num_events);
+        for _ in 0..num_events {
+            let eid = next_u32(r, &mut read)?;
+            let len = next_u32(r, &mut read)? as usize;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(next_u32(r, &mut read)?);
+            }
+            seq.push((eid, items));
+        }
+        sequences.push(seq);
+    }
+    Ok(((sequences, num_items), read))
+}
+
+/// FNV-1a 64 over the payload (same checksum as the itemset snapshot).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serialize a mined-sequence snapshot. Returns bytes written.
+///
+/// Layout: `magic, version, checksum:u64, payload_len:u64`, then the
+/// payload: `num_sequences:u32, num_patterns:u32`, per pattern
+/// `num_elems:u32`, per element `len:u32, items:u32×len`, then
+/// `support:u32`. Callers pass patterns in canonical order so files are
+/// deterministic; the checksum is FNV-1a 64 over the payload.
+pub fn write_seq_results<W: Write>(
+    num_sequences: u32,
+    patterns: &[RawSeqPattern],
+    w: &mut W,
+) -> io::Result<u64> {
+    let mut payload = BytesMut::with_capacity(4096);
+    payload.put_u32_le(num_sequences);
+    payload.put_u32_le(patterns.len() as u32);
+    for (elems, support) in patterns {
+        payload.put_u32_le(elems.len() as u32);
+        for elem in elems {
+            payload.put_u32_le(elem.len() as u32);
+            for &it in elem {
+                payload.put_u32_le(it);
+            }
+        }
+        payload.put_u32_le(*support);
+    }
+    let mut header = BytesMut::with_capacity(24);
+    header.put_u32_le(MAGIC_SEQ_RESULTS);
+    header.put_u32_le(SEQ_VERSION);
+    header.put_u64_le(fnv1a64(&payload));
+    header.put_u64_le(payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    Ok((header.len() + payload.len()) as u64)
+}
+
+/// Deserialize a mined-sequence snapshot, verifying the checksum.
+/// Returns `((num_sequences, patterns), bytes read)`.
+///
+/// # Errors
+/// `InvalidData` on wrong magic/version, a checksum mismatch, or a
+/// malformed payload; plain I/O errors pass through.
+pub fn read_seq_results<R: Read>(r: &mut R) -> io::Result<((u32, Vec<RawSeqPattern>), u64)> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let magic = h.get_u32_le();
+    let version = h.get_u32_le();
+    if magic != MAGIC_SEQ_RESULTS || version != SEQ_VERSION {
+        return Err(bad_format("not a sequence snapshot file"));
+    }
+    let checksum = h.get_u64_le();
+    let payload_len = h.get_u64_le() as usize;
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != checksum {
+        return Err(bad_format("sequence snapshot checksum mismatch"));
+    }
+
+    let mut cur = &payload[..];
+    let err = || bad_format("truncated sequence snapshot payload");
+    let next_u32 = |cur: &mut &[u8]| -> io::Result<u32> {
+        if cur.remaining() < 4 {
+            return Err(err());
+        }
+        Ok(cur.get_u32_le())
+    };
+    let num_sequences = next_u32(&mut cur)?;
+    let num_patterns = next_u32(&mut cur)? as usize;
+    let mut patterns = Vec::with_capacity(num_patterns);
+    for _ in 0..num_patterns {
+        let num_elems = next_u32(&mut cur)? as usize;
+        let mut elems = Vec::with_capacity(num_elems);
+        for _ in 0..num_elems {
+            let len = next_u32(&mut cur)? as usize;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(next_u32(&mut cur)?);
+            }
+            elems.push(items);
+        }
+        let support = next_u32(&mut cur)?;
+        patterns.push((elems, support));
+    }
+    if cur.remaining() > 0 {
+        return Err(bad_format("trailing bytes in sequence snapshot payload"));
+    }
+    Ok((
+        (num_sequences, patterns),
+        (header.len() + payload_len) as u64,
+    ))
+}
+
+fn bad_format(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Vec<RawSequence> {
+        vec![
+            vec![(1, vec![1, 2]), (3, vec![3]), (9, vec![1])],
+            vec![(2, vec![2])],
+            vec![],
+        ]
+    }
+
+    fn sample_patterns() -> Vec<RawSeqPattern> {
+        vec![
+            (vec![vec![2]], 3),
+            (vec![vec![1, 2], vec![3]], 2),
+            (vec![vec![2], vec![3], vec![1]], 1),
+        ]
+    }
+
+    #[test]
+    fn seq_db_round_trip() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        let written = write_seq_db(&db, 4, &mut buf).unwrap();
+        assert_eq!(written, buf.len() as u64);
+        let ((back, num_items), read) = read_seq_db(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(back, db);
+        assert_eq!(num_items, 4);
+    }
+
+    #[test]
+    fn empty_seq_db_round_trips() {
+        let mut buf = Vec::new();
+        write_seq_db(&[], 0, &mut buf).unwrap();
+        let ((back, num_items), _) = read_seq_db(&mut buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(num_items, 0);
+    }
+
+    #[test]
+    fn seq_results_round_trip() {
+        let patterns = sample_patterns();
+        let mut buf = Vec::new();
+        let written = write_seq_results(3, &patterns, &mut buf).unwrap();
+        assert_eq!(written, buf.len() as u64);
+        let ((n, back), read) = read_seq_results(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(n, 3);
+        assert_eq!(back, patterns);
+    }
+
+    #[test]
+    fn empty_seq_results_round_trip() {
+        let mut buf = Vec::new();
+        write_seq_results(0, &[], &mut buf).unwrap();
+        let ((n, back), _) = read_seq_results(&mut buf.as_slice()).unwrap();
+        assert_eq!(n, 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn magics_do_not_cross() {
+        let mut db = Vec::new();
+        write_seq_db(&sample_db(), 4, &mut db).unwrap();
+        assert!(read_seq_results(&mut db.as_slice()).is_err());
+        let mut snap = Vec::new();
+        write_seq_results(3, &sample_patterns(), &mut snap).unwrap();
+        assert!(read_seq_db(&mut snap.as_slice()).is_err());
+        // Nor with the itemset containers.
+        assert!(crate::binfmt::read_horizontal(&mut db.as_slice()).is_err());
+        assert!(crate::binfmt::read_results(&mut snap.as_slice()).is_err());
+    }
+
+    #[test]
+    fn seq_results_corruption_caught_by_checksum() {
+        let mut buf = Vec::new();
+        write_seq_results(3, &sample_patterns(), &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_seq_results(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut db = Vec::new();
+        write_seq_db(&sample_db(), 4, &mut db).unwrap();
+        db.truncate(db.len() - 3);
+        assert!(read_seq_db(&mut db.as_slice()).is_err());
+        let mut snap = Vec::new();
+        write_seq_results(3, &sample_patterns(), &mut snap).unwrap();
+        snap.truncate(snap.len() - 2);
+        assert!(read_seq_results(&mut snap.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut buf = Vec::new();
+        write_seq_db(&sample_db(), 4, &mut buf).unwrap();
+        buf[4] = 9;
+        assert!(read_seq_db(&mut buf.as_slice()).is_err());
+    }
+}

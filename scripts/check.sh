@@ -121,6 +121,28 @@ echo "==> streambench --smoke (incremental vs full re-mine, equality-asserted)"
 cargo run -q --release -p repro-bench --bin streambench -- --smoke \
     --json=results/streambench_smoke.json
 
+echo "==> cargo test -p eclat-seq (SPADE kernel: unit + golden + proptest oracle)"
+cargo test -q -p eclat-seq
+
+echo "==> eclat seq --verify (SPADE vs GSP-style reference on generated data)"
+cargo run -q --release -p eclat-cli -- generate --out "$tmpdir/c10.ecs" \
+    --sequences 500 --seed 11 > /dev/null
+cargo run -q --release -p eclat-cli -- seq --input "$tmpdir/c10.ecs" \
+    --minsup 6 --verify > "$tmpdir/seq.out"
+grep -q "\[verified\]" "$tmpdir/seq.out"
+
+echo "==> eclat seq: parallel policies byte-identical to serial"
+cargo run -q --release -p eclat-cli -- seq --input "$tmpdir/c10.ecs" \
+    --minsup 6 --policy rayon > "$tmpdir/seq_rayon.out"
+cargo run -q --release -p eclat-cli -- seq --input "$tmpdir/c10.ecs" \
+    --minsup 6 --policy threads:3 > "$tmpdir/seq_threads.out"
+diff <(tail -n +2 "$tmpdir/seq.out") <(tail -n +2 "$tmpdir/seq_rayon.out")
+diff <(tail -n +2 "$tmpdir/seq_rayon.out") <(tail -n +2 "$tmpdir/seq_threads.out")
+
+echo "==> seqbench --smoke (SPADE policies + maxlen ablation, equality-asserted)"
+cargo run -q --release -p repro-bench --bin seqbench -- --smoke \
+    --json=results/seqbench.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

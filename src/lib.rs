@@ -57,6 +57,7 @@ pub use assoc_rules;
 pub use dbstore;
 pub use eclat;
 pub use eclat_net;
+pub use eclat_seq;
 pub use memchannel;
 pub use mining_types;
 pub use parbase;

@@ -278,6 +278,54 @@ fn all_variants_share_the_schema() {
     );
 }
 
+/// Keys the `eclat seq` stats artifact ([`eclat_seq::SeqStats`]) adds
+/// on top of [`LIVE_KEYS`]: the database profile, the `by_len` result
+/// rows, and the embedded `"mining"` report.
+const SEQ_ONLY_KEYS: &[&str] = &[
+    "by_len",
+    "distinct_items",
+    "events",
+    "item_occurrences",
+    "len",
+    "maxlen",
+    "mining",
+    "patterns",
+    "sequences",
+];
+
+#[test]
+fn seq_stats_schema_is_pinned() {
+    use eclat_seq::{mine_stats, SeqConfig, SeqDb, SEQ_SCHEMA_VERSION};
+    use questgen::{SeqGenerator, SeqParams};
+
+    let db = SeqDb::from_events(SeqGenerator::new(SeqParams::tiny(150, 7)).generate_all_raw());
+    let cfg = SeqConfig::default();
+    let (fs, mining) = mine_stats(
+        &db,
+        MinSupport::from_percent(20.0),
+        &cfg,
+        &mut OpMeter::new(),
+        &eclat::pipeline::Serial,
+        "sequential",
+    );
+    assert!(!mining.classes.is_empty(), "fixture too small: no classes");
+    let stats = eclat_seq::SeqStats::from_run(&db, &cfg, &fs, mining);
+    assert!(
+        stats.by_len.len() >= 3,
+        "fixture too small: need 3+ pattern lengths"
+    );
+    let json = stats.to_json();
+    assert!(json.starts_with(&format!(
+        "{{\"schema_version\":{SEQ_SCHEMA_VERSION},\"algorithm\":\"spade\","
+    )));
+    assert_eq!(
+        collect_keys(&json),
+        sorted_union(LIVE_KEYS, SEQ_ONLY_KEYS),
+        "seq-stats schema drifted: update the pinned key list and bump \
+         SEQ_SCHEMA_VERSION"
+    );
+}
+
 /// Every key the serving-stats JSON emits with both the `server` and
 /// per-query-kind `queries` sections populated, sorted as
 /// [`collect_keys`] returns them.
